@@ -1,0 +1,71 @@
+"""Ablation (extension) — matroid-constrained diversity via core-sets.
+
+The matroid extension ([1] in the paper's related work) inherits the
+core-set scaling of the unconstrained problems: the GMM-EXT core-set path
+should match the direct local search's quality at a fraction of its cost,
+with the gap widening as n grows (local search touches the full pairwise
+matrix, the core-set path only O(n k') distances).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import emit, run_once
+from repro.diversity.matroid import PartitionMatroid, solve_matroid_clique
+from repro.experiments.report import format_table
+from repro.metricspace.points import PointSet
+
+SIZES = (2_000, 8_000)
+CATEGORIES = 6
+RANK_PER_CATEGORY = 1
+
+
+def _instance(n: int) -> tuple[PointSet, PartitionMatroid]:
+    rng = np.random.default_rng(n)
+    points = PointSet(rng.random((n, 3)) * 10.0)
+    categories = rng.integers(0, CATEGORIES, size=n)
+    matroid = PartitionMatroid(categories,
+                               {c: RANK_PER_CATEGORY for c in range(CATEGORIES)})
+    return points, matroid
+
+
+def _sweep():
+    rows = []
+    cells = {}
+    for n in SIZES:
+        points, matroid = _instance(n)
+        start = time.perf_counter()
+        _, direct_value = solve_matroid_clique(points, matroid,
+                                               use_coreset=False)
+        direct_time = time.perf_counter() - start
+        start = time.perf_counter()
+        _, coreset_value = solve_matroid_clique(points, matroid,
+                                                use_coreset=True,
+                                                k_prime=8 * matroid.rank)
+        coreset_time = time.perf_counter() - start
+        cells[n] = (direct_value, coreset_value, direct_time, coreset_time)
+        rows.append([n, round(direct_value, 3), round(coreset_value, 3),
+                     round(direct_time, 3), round(coreset_time, 3),
+                     round(direct_time / max(coreset_time, 1e-9), 1)])
+    return rows, cells
+
+
+def test_ablation_matroid(benchmark):
+    rows, cells = run_once(benchmark, _sweep)
+    emit("ablation_matroid", format_table(
+        ["n", "direct value", "core-set value", "direct time (s)",
+         "core-set time (s)", "speedup"],
+        rows,
+        title="Ablation (extension): matroid-constrained remote-clique",
+    ))
+    for n, (direct_value, coreset_value, direct_time, coreset_time) in cells.items():
+        # Quality: core-set path keeps >= 90% of direct local search.
+        assert coreset_value >= 0.9 * direct_value, f"n={n}"
+    # Cost: the core-set path wins at the larger size, and the gap grows.
+    small_speedup = cells[SIZES[0]][2] / max(cells[SIZES[0]][3], 1e-9)
+    large_speedup = cells[SIZES[1]][2] / max(cells[SIZES[1]][3], 1e-9)
+    assert large_speedup > 1.0
+    assert large_speedup > small_speedup

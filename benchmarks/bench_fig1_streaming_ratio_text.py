@@ -1,0 +1,61 @@
+"""Figure 1 — streaming approximation ratio on the musiXmatch-like workload.
+
+Paper setup: remote-edge ratios of the streaming algorithm on the
+musiXmatch dataset (cosine distance) for k in {8, 32, 128} and
+k' in {k, 2k, 4k, 8k}; ratios start around 1.2-1.4 for k'=k and drop
+toward 1 as k' grows.
+
+Scaled reproduction: synthetic Zipf bag-of-words (2,000 docs, vocab 400,
+cosine distance), k in {8, 16, 32}, same k' multipliers, 3 shuffled trials
+per cell (paper: >= 10 runs at 237k docs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, run_once
+from repro.datasets.text import zipf_bag_of_words
+from repro.experiments.harness import approximation_ratio
+from repro.experiments.reference import reference_value
+from repro.experiments.report import format_table
+from repro.streaming.algorithm import StreamingDiversityMaximizer
+from repro.streaming.stream import ArrayStream
+
+KS = (8, 16, 32)
+MULTIPLIERS = (1, 2, 4, 8)
+TRIALS = 3
+
+
+def _sweep() -> list[list[object]]:
+    docs = zipf_bag_of_words(2000, vocab_size=400, topics=24, seed=42)
+    rows = []
+    for k in KS:
+        reference = reference_value(docs, k, "remote-edge")
+        for multiplier in MULTIPLIERS:
+            k_prime = multiplier * k
+            values = []
+            for trial in range(TRIALS):
+                order = np.random.default_rng(trial).permutation(len(docs))
+                algo = StreamingDiversityMaximizer(
+                    k=k, k_prime=k_prime, objective="remote-edge",
+                    metric="cosine",
+                )
+                result = algo.run(ArrayStream(docs.points[order]))
+                values.append(result.value)
+            ratio = approximation_ratio(reference, float(np.mean(values)))
+            rows.append([k, f"{multiplier}k", k_prime, round(ratio, 4)])
+    return rows
+
+
+def test_fig1_streaming_ratio_text(benchmark):
+    rows = run_once(benchmark, _sweep)
+    emit("fig1_streaming_ratio_text", format_table(
+        ["k", "k'", "k'(abs)", "approx ratio"], rows,
+        title="Figure 1 (scaled): streaming remote-edge ratio, bag-of-words/cosine",
+    ))
+    # Shape check: for each k, the largest k' is at least as good as k'=k.
+    by_k = {k: [r[3] for r in rows if r[0] == k] for k in KS}
+    for k, ratios in by_k.items():
+        assert ratios[-1] <= ratios[0] + 0.05, f"k={k}: {ratios}"
+        assert all(r < 2.6 for r in ratios), f"k={k}: ratios out of envelope"

@@ -1,0 +1,64 @@
+"""Figure 4 — MapReduce approximation ratio vs parallelism and k'.
+
+Paper setup: remote-edge ratios of the 2-round MR algorithm on the
+100M-point synthetic dataset, k = 128 fixed, parallelism in {2, 4, 8, 16},
+k' in {k, 2k, 4k, 8k}; ratios sit between 1.00 and 1.10, decrease with k',
+and decrease with parallelism at fixed k' (a bigger aggregate core-set).
+
+Scaled reproduction: 50,000 points, k = 32, same sweep shape, averaged
+over 3 random partitionings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit, run_once
+from repro.datasets.synthetic import sphere_shell
+from repro.experiments.harness import approximation_ratio
+from repro.experiments.reference import reference_value
+from repro.experiments.report import format_table
+from repro.mapreduce.algorithm import MRDiversityMaximizer
+
+N = 50_000
+K = 32
+PARALLELISMS = (2, 4, 8, 16)
+MULTIPLIERS = (1, 2, 4, 8)
+TRIALS = 3
+
+
+def _sweep():
+    points = sphere_shell(N, K, dim=3, seed=99)
+    reference = reference_value(points, K, "remote-edge")
+    rows = []
+    ratios = {}
+    for parallelism in PARALLELISMS:
+        for multiplier in MULTIPLIERS:
+            values = []
+            for trial in range(TRIALS):
+                algo = MRDiversityMaximizer(
+                    k=K, k_prime=multiplier * K, objective="remote-edge",
+                    parallelism=parallelism, seed=trial,
+                )
+                values.append(algo.run(points).value)
+            ratio = approximation_ratio(reference, float(np.mean(values)))
+            ratios[(parallelism, multiplier)] = ratio
+            rows.append([parallelism, f"{multiplier}k", round(ratio, 4)])
+    return rows, ratios
+
+
+def test_fig4_mr_ratio(benchmark):
+    rows, ratios = run_once(benchmark, _sweep)
+    emit("fig4_mr_ratio", format_table(
+        ["parallelism", "k'", "approx ratio"], rows,
+        title=f"Figure 4 (scaled): MR remote-edge ratio, sphere-shell R^3, k={K}",
+    ))
+    # Shape 1: at fixed parallelism, k'=8k is at least as good as k'=k.
+    for parallelism in PARALLELISMS:
+        assert ratios[(parallelism, 8)] <= ratios[(parallelism, 1)] + 0.02
+    # Shape 2: all ratios live in the paper's tight band (close to 1).
+    assert max(ratios.values()) < 1.35
+    assert min(ratios.values()) >= 1.0 - 1e-6
+    # Shape 3: at fixed k', more parallelism (bigger aggregate core-set)
+    # does not hurt much; compare the extremes.
+    assert ratios[(16, 1)] <= ratios[(2, 1)] + 0.05

@@ -1,0 +1,38 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark module reproduces one table or figure from Section 7 of the
+paper at laptop scale (dataset sizes documented per module in DESIGN.md
+section 4).  Conventions:
+
+* each benchmark prints its paper-style table and also writes it to
+  ``benchmarks/results/<experiment>.txt`` so the artifact survives pytest's
+  output capture;
+* each benchmark *asserts the qualitative shape* the paper reports (who
+  wins, monotone trends), making the reproduction self-checking;
+* timing of one representative configuration goes through the
+  ``benchmark`` fixture so ``pytest benchmarks/ --benchmark-only`` shows a
+  timing table per experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the pytest-benchmark fixture.
+
+    The experiments are deterministic sweeps; repeating them only to
+    tighten timing variance would multiply runtimes for no insight.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

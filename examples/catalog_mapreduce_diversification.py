@@ -1,0 +1,67 @@
+"""Scenario: diversifying a sharded product catalog (e-commerce use case).
+
+A catalog of feature vectors lives pre-partitioned across shards (as in a
+distributed store).  We run the full MapReduce family on it:
+
+* the deterministic 2-round algorithm (Theorem 6),
+* the randomized 2-round variant with capped delegates (Theorem 7),
+* the 3-round generalized-core-set algorithm (Theorem 10),
+
+comparing solution quality, aggregate core-set size (the round-2 reducer's
+memory), and rounds — the trade-off surface a deployment would choose from.
+
+Run:  python examples/catalog_mapreduce_diversification.py
+"""
+
+from __future__ import annotations
+
+from repro import MRDiversityMaximizer, gaussian_clusters
+from repro.experiments.report import format_table
+
+K = 32          # products for the landing page
+K_PRIME = 64
+SHARDS = 8
+CATALOG = 40_000
+
+
+def main() -> None:
+    # Product embeddings: a clustered catalog (brands/categories).
+    catalog = gaussian_clusters(CATALOG, centers=25, dim=8, spread=0.08,
+                                seed=21)
+    print(f"catalog: {CATALOG} products, 8-d features, {SHARDS} shards\n")
+
+    algo = MRDiversityMaximizer(k=K, k_prime=K_PRIME,
+                                objective="remote-clique",
+                                parallelism=SHARDS, seed=0)
+
+    two_round = algo.run(catalog)
+    randomized = algo.run(catalog, randomized=True)
+    three_round = algo.run_three_round(catalog)
+
+    rows = [
+        ["2-round deterministic", two_round.rounds, two_round.coreset_size,
+         round(two_round.value, 3)],
+        ["2-round randomized", randomized.rounds, randomized.coreset_size,
+         round(randomized.value, 3)],
+        ["3-round generalized", three_round.rounds, three_round.coreset_size,
+         round(three_round.value, 3)],
+    ]
+    print(format_table(
+        ["algorithm", "rounds", "aggregate core-set (pts)", "remote-clique"],
+        rows,
+    ))
+
+    saving = two_round.coreset_size / max(three_round.coreset_size, 1)
+    print(f"\nThe 3-round algorithm shrinks the aggregation memory "
+          f"{saving:.1f}x (Theorem 10's sqrt(k)-type saving)\n"
+          f"while keeping {100 * three_round.value / two_round.value:.1f}% "
+          "of the 2-round quality.")
+    cap = randomized.extra["delegate_cap"]
+    cut = 100 * (1 - randomized.coreset_size / two_round.coreset_size)
+    print(f"Randomized delegates (cap = {cap} < k = {K}) cut the aggregate "
+          f"core-set by {cut:.0f}%\nwith high-probability guarantees "
+          "(Theorem 7).")
+
+
+if __name__ == "__main__":
+    main()

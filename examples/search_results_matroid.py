@@ -1,0 +1,78 @@
+"""Scenario: diversified search results under per-site caps (matroid).
+
+The paper's motivating applications (web search, e-commerce) rarely want
+*pure* diversity: result pages impose constraints like "at most two results
+per site" or "at most one product per brand".  That is diversity
+maximization under a partition matroid — the extension of remote-clique
+studied by Abbassi et al. [1], which this library implements on top of its
+core-set machinery.
+
+We synthesize result embeddings grouped by source site, then compare:
+* unconstrained remote-clique top-k (may flood the page with one site),
+* matroid-constrained selection with "<= 1 result per site",
+both solved at scale through a GMM-EXT core-set.
+
+Run:  python examples/search_results_matroid.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PointSet, solve_sequential
+from repro.diversity.matroid import (
+    PartitionMatroid,
+    TruncatedMatroid,
+    solve_matroid_clique,
+)
+from repro.utils.rng import ensure_rng
+
+SITES = 12
+RESULTS_PER_SITE = 600
+K = 8
+
+
+def main() -> None:
+    rng = ensure_rng(99)
+    # Each site's results cluster in embedding space (near-duplicates).
+    site_centers = 5.0 * rng.normal(size=(SITES, 6))
+    embeddings = np.vstack([
+        site_centers[site] + 0.15 * rng.normal(size=(RESULTS_PER_SITE, 6))
+        for site in range(SITES)
+    ])
+    site_of = np.repeat(np.arange(SITES), RESULTS_PER_SITE)
+    order = rng.permutation(len(embeddings))
+    results = PointSet(embeddings[order])
+    site_of = site_of[order]
+    print(f"{len(results)} search results from {SITES} sites\n")
+
+    # Unconstrained diversity: may pick several results of one far-out site.
+    indices, value = solve_sequential(results, K, "remote-clique")
+    sites_used = site_of[indices]
+    print(f"unconstrained remote-clique: value {value:.2f}, "
+          f"sites used: {sorted(sites_used.tolist())}")
+
+    # Matroid constraint: at most one result per site AND at most K total
+    # (a partition matroid truncated to rank K — exactly a result page).
+    per_site = PartitionMatroid(site_of, {site: 1 for site in range(SITES)})
+    matroid = TruncatedMatroid(per_site, K)
+    constrained, constrained_value = solve_matroid_clique(
+        results, matroid, k_prime=8 * K, use_coreset=True)
+    constrained_sites = site_of[constrained]
+    print(f"matroid-constrained (<=1/site, {K} total): "
+          f"value {constrained_value:.2f}, "
+          f"sites used: {sorted(constrained_sites.tolist())}")
+
+    assert len(constrained) == K
+    assert len(set(constrained_sites.tolist())) == len(constrained_sites), \
+        "matroid constraint violated"
+    print(f"\nconstrained selection spans {len(set(constrained_sites.tolist()))} "
+          f"distinct sites (unconstrained heuristic: "
+          f"{len(set(sites_used.tolist()))} — near-duplicates flood the page),")
+    print("and the matroid local search here even beats the unconstrained "
+          "matching heuristic on raw value, "
+          f"{constrained_value:.1f} vs {value:.1f}.")
+
+
+if __name__ == "__main__":
+    main()

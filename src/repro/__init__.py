@@ -1,0 +1,132 @@
+"""repro — diversity maximization with core-sets in Streaming and MapReduce.
+
+A faithful, from-scratch Python reproduction of
+
+    M. Ceccarello, A. Pietracaprina, G. Pucci, E. Upfal.
+    "MapReduce and Streaming Algorithms for Diversity Maximization in
+    Metric Spaces of Bounded Doubling Dimension." PVLDB 10(5), 2017.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PointSet, MRDiversityMaximizer
+>>> points = PointSet(np.random.default_rng(0).normal(size=(1000, 3)))
+>>> algo = MRDiversityMaximizer(k=8, k_prime=32, objective="remote-edge",
+...                             parallelism=4)
+>>> result = algo.run(points)
+>>> result.k
+8
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.metricspace import (
+    Metric,
+    EuclideanMetric,
+    ManhattanMetric,
+    ChebyshevMetric,
+    CosineDistance,
+    JaccardDistance,
+    HammingDistance,
+    get_metric,
+    PointSet,
+    estimate_doubling_dimension,
+)
+from repro.diversity import (
+    Objective,
+    get_objective,
+    list_objectives,
+    evaluate_diversity,
+    divk_exact,
+    solve_sequential,
+)
+from repro.coresets import (
+    gmm,
+    gmm_ext,
+    gmm_gen,
+    GeneralizedCoreset,
+    SMM,
+    SMMExt,
+    SMMGen,
+    coreset_size_for,
+)
+from repro.streaming import (
+    ArrayStream,
+    IteratorStream,
+    ShuffledStream,
+    StreamingDiversityMaximizer,
+    TwoPassStreamingDiversityMaximizer,
+)
+from repro.mapreduce import (
+    MapReduceEngine,
+    MRDiversityMaximizer,
+)
+from repro.baselines import (
+    AFZDiversityMaximizer,
+    IMMMStreamingMaximizer,
+)
+from repro.datasets import (
+    sphere_shell,
+    uniform_cube,
+    gaussian_clusters,
+    zipf_bag_of_words,
+)
+from repro.clustering import kcenter_greedy, kcenter_streaming
+from repro.diversity.matroid import (
+    PartitionMatroid,
+    TruncatedMatroid,
+    UniformMatroid,
+    solve_matroid_clique,
+)
+from repro.tuning import recommend_k_prime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "CosineDistance",
+    "JaccardDistance",
+    "HammingDistance",
+    "get_metric",
+    "PointSet",
+    "estimate_doubling_dimension",
+    "Objective",
+    "get_objective",
+    "list_objectives",
+    "evaluate_diversity",
+    "divk_exact",
+    "solve_sequential",
+    "gmm",
+    "gmm_ext",
+    "gmm_gen",
+    "GeneralizedCoreset",
+    "SMM",
+    "SMMExt",
+    "SMMGen",
+    "coreset_size_for",
+    "ArrayStream",
+    "IteratorStream",
+    "ShuffledStream",
+    "StreamingDiversityMaximizer",
+    "TwoPassStreamingDiversityMaximizer",
+    "MapReduceEngine",
+    "MRDiversityMaximizer",
+    "AFZDiversityMaximizer",
+    "IMMMStreamingMaximizer",
+    "sphere_shell",
+    "uniform_cube",
+    "gaussian_clusters",
+    "zipf_bag_of_words",
+    "kcenter_greedy",
+    "kcenter_streaming",
+    "PartitionMatroid",
+    "TruncatedMatroid",
+    "UniformMatroid",
+    "solve_matroid_clique",
+    "recommend_k_prime",
+    "__version__",
+]

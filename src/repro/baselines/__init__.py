@@ -1,0 +1,22 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.afz` — Aghamolaei, Farhadi, Zarrabi-Zadeh (CCCG'15)
+  composable core-sets: local search per partition for remote-clique (the
+  AFZ column of Table 4) and GMM for remote-edge.
+* :mod:`repro.baselines.immm` — Indyk, Mahabadi, Mahdian, Mirrokni
+  (PODS'14): the streaming recipe that splits the stream into
+  ``sqrt(n/k)`` blocks of ``sqrt(nk)`` points and keeps a size-``k``
+  core-set per block.
+* :mod:`repro.baselines.random_subset` — the naive uniform-sample baseline.
+"""
+
+from repro.baselines.afz import AFZDiversityMaximizer, afz_local_search_coreset
+from repro.baselines.immm import IMMMStreamingMaximizer
+from repro.baselines.random_subset import random_subset_solution
+
+__all__ = [
+    "AFZDiversityMaximizer",
+    "afz_local_search_coreset",
+    "IMMMStreamingMaximizer",
+    "random_subset_solution",
+]

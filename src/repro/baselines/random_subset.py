@@ -1,0 +1,27 @@
+"""The naive baseline: a uniform random size-``k`` subset.
+
+Useful as a floor in experiments — any core-set pipeline should beat it
+decisively on the adversarial sphere-shell datasets, whose diverse points
+are a vanishing fraction of the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diversity.objectives import Objective, get_objective
+from repro.metricspace.points import PointSet
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_k_le_n
+
+
+def random_subset_solution(points: PointSet, k: int,
+                           objective: str | Objective,
+                           seed: RngLike = None) -> tuple[PointSet, float]:
+    """Uniformly sample ``k`` points and evaluate the objective on them."""
+    objective = get_objective(objective)
+    k = check_k_le_n(k, len(points))
+    rng = ensure_rng(seed)
+    indices = rng.choice(len(points), size=k, replace=False)
+    solution = points.subset(indices)
+    return solution, objective.value(solution.pairwise())

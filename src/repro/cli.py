@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Three subcommands cover the common workflows without writing any code:
+
+* ``generate`` — synthesize a dataset (sphere-shell, cube, clusters,
+  bag-of-words) and save it via :mod:`repro.datasets.loaders`;
+* ``run`` — run one algorithm (streaming / streaming-2pass / mapreduce /
+  mapreduce-3round / afz / immm) on a saved or freshly generated dataset
+  and print value, ratio and resource usage;
+* ``estimate`` — estimate the doubling dimension of a dataset and the
+  theoretical ``k'`` for given ``(k, eps)``.
+
+Examples
+--------
+::
+
+    python -m repro generate sphere-shell --n 100000 --k 16 --out /tmp/data
+    python -m repro run mapreduce --data /tmp/data --k 16 --k-prime 64 \
+        --objective remote-edge --parallelism 8
+    python -m repro estimate --data /tmp/data --k 16 --epsilon 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines.afz import AFZDiversityMaximizer
+from repro.baselines.immm import IMMMStreamingMaximizer
+from repro.coresets.composable import coreset_size_for
+from repro.datasets.loaders import load_points, save_points
+from repro.datasets.synthetic import gaussian_clusters, sphere_shell, uniform_cube
+from repro.datasets.text import zipf_bag_of_words
+from repro.diversity.objectives import list_objectives
+from repro.experiments.harness import approximation_ratio
+from repro.experiments.reference import reference_value
+from repro.mapreduce.algorithm import MRDiversityMaximizer
+from repro.metricspace.doubling import estimate_doubling_dimension
+from repro.metricspace.points import PointSet
+from repro.streaming.algorithm import (
+    StreamingDiversityMaximizer,
+    TwoPassStreamingDiversityMaximizer,
+)
+from repro.streaming.stream import ArrayStream
+
+GENERATORS = ("sphere-shell", "cube", "clusters", "bag-of-words")
+ALGORITHMS = ("streaming", "streaming-2pass", "mapreduce", "mapreduce-3round",
+              "afz", "immm")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diversity maximization with core-sets "
+                    "(Ceccarello et al., VLDB 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize and save a dataset")
+    gen.add_argument("generator", choices=GENERATORS)
+    gen.add_argument("--n", type=int, default=10_000)
+    gen.add_argument("--k", type=int, default=8,
+                     help="planted far points (sphere-shell only)")
+    gen.add_argument("--dim", type=int, default=3)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output path (no extension)")
+
+    run = sub.add_parser("run", help="run one algorithm on a dataset")
+    run.add_argument("algorithm", choices=ALGORITHMS)
+    run.add_argument("--data", required=True,
+                     help="dataset path saved by 'generate'")
+    run.add_argument("--k", type=int, required=True)
+    run.add_argument("--k-prime", type=int, default=None,
+                     help="core-set parameter (default 4k)")
+    run.add_argument("--objective", choices=list_objectives(),
+                     default="remote-edge")
+    run.add_argument("--parallelism", type=int, default=4)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--with-ratio", action="store_true",
+                     help="also compute the reference value and ratio")
+
+    est = sub.add_parser("estimate",
+                         help="estimate doubling dimension and k' sizing")
+    est.add_argument("--data", required=True)
+    est.add_argument("--k", type=int, default=8)
+    est.add_argument("--epsilon", type=float, default=1.0)
+    est.add_argument("--objective", choices=list_objectives(),
+                     default="remote-edge")
+    est.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> int:
+    if args.generator == "sphere-shell":
+        points = sphere_shell(args.n, args.k, dim=args.dim, seed=args.seed)
+    elif args.generator == "cube":
+        points = uniform_cube(args.n, dim=args.dim, seed=args.seed)
+    elif args.generator == "clusters":
+        points = gaussian_clusters(args.n, dim=args.dim, seed=args.seed)
+    else:
+        points = zipf_bag_of_words(args.n, seed=args.seed)
+    save_points(points, args.out)
+    print(f"wrote {len(points)} points (dim {points.dim}, "
+          f"metric {points.metric.name}) to {args.out}.npy")
+    return 0
+
+
+def _run(args: argparse.Namespace) -> int:
+    points = load_points(args.data)
+    k_prime = args.k_prime if args.k_prime is not None else 4 * args.k
+    metric = points.metric
+
+    if args.algorithm == "streaming":
+        algo = StreamingDiversityMaximizer(k=args.k, k_prime=k_prime,
+                                           objective=args.objective,
+                                           metric=metric)
+        result = algo.run(ArrayStream(points.points))
+        resources = (f"memory {result.peak_memory_points} pts, "
+                     f"{result.kernel_throughput:,.0f} pts/s")
+    elif args.algorithm == "streaming-2pass":
+        algo = TwoPassStreamingDiversityMaximizer(k=args.k, k_prime=k_prime,
+                                                  objective=args.objective,
+                                                  metric=metric)
+        result = algo.run(ArrayStream(points.points))
+        resources = f"memory {result.peak_memory_points} pts, 2 passes"
+    elif args.algorithm == "mapreduce":
+        algo = MRDiversityMaximizer(k=args.k, k_prime=k_prime,
+                                    objective=args.objective,
+                                    parallelism=args.parallelism,
+                                    metric=metric, seed=args.seed)
+        result = algo.run(points)
+        resources = (f"M_L {result.stats.max_local_memory_points} pts, "
+                     f"{result.rounds} rounds")
+    elif args.algorithm == "mapreduce-3round":
+        algo = MRDiversityMaximizer(k=args.k, k_prime=k_prime,
+                                    objective=args.objective,
+                                    parallelism=args.parallelism,
+                                    metric=metric, seed=args.seed)
+        result = algo.run_three_round(points)
+        resources = (f"M_L {result.stats.max_local_memory_points} pts, "
+                     f"{result.rounds} rounds")
+    elif args.algorithm == "afz":
+        algo = AFZDiversityMaximizer(k=args.k, objective=args.objective,
+                                     parallelism=args.parallelism,
+                                     metric=metric, seed=args.seed)
+        result = algo.run(points)
+        resources = f"core-set {result.coreset_size} pts"
+    else:  # immm
+        algo = IMMMStreamingMaximizer(k=args.k, expected_n=len(points),
+                                      objective=args.objective, metric=metric)
+        result = algo.run(ArrayStream(points.points))
+        resources = (f"memory {result.peak_memory_points} pts, "
+                     f"{result.blocks} blocks")
+
+    print(f"{args.algorithm}  {args.objective}  k={args.k} k'={k_prime}")
+    print(f"  value = {result.value:.6f}   [{resources}]")
+    if args.with_ratio:
+        reference = reference_value(points, args.k, args.objective)
+        print(f"  ratio vs best-found reference = "
+              f"{approximation_ratio(reference, result.value):.4f}")
+    return 0
+
+
+def _estimate(args: argparse.Namespace) -> int:
+    points = load_points(args.data)
+    dimension = estimate_doubling_dimension(points, seed=args.seed,
+                                            quantile=0.9)
+    print(f"estimated doubling dimension: {dimension:.2f}")
+    for model in ("mapreduce", "streaming"):
+        size = coreset_size_for(args.k, args.epsilon, dimension,
+                                args.objective, model=model)
+        print(f"theoretical k' ({model:9s}, eps={args.epsilon}): {size}")
+    print(f"practical suggestion: k' in [{2 * args.k}, {8 * args.k}] "
+          "(Section 7 of the paper)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _generate(args)
+    if args.command == "run":
+        return _run(args)
+    return _estimate(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

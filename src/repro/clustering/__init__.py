@@ -1,0 +1,23 @@
+"""k-center clustering — the primitive beneath every core-set in the paper.
+
+GMM is a 2-approximation for k-center (Gonzalez), SMM is the streaming
+8-approximation doubling algorithm (Charikar et al.); both are implemented
+in :mod:`repro.coresets` for core-set building.  This package exposes them
+as standalone clustering APIs for downstream users who want the k-center
+solutions themselves (centers, assignment, radius) rather than diversity
+solutions.
+"""
+
+from repro.clustering.kcenter import (
+    KCenterResult,
+    kcenter_greedy,
+    kcenter_streaming,
+    clustering_radius,
+)
+
+__all__ = [
+    "KCenterResult",
+    "kcenter_greedy",
+    "kcenter_streaming",
+    "clustering_radius",
+]

@@ -1,0 +1,95 @@
+"""Standalone k-center solvers built on the library's core-set machinery.
+
+The k-center problem: pick ``k`` centers minimizing the maximum distance
+of any point to its nearest center (the *radius*).  NP-hard; 2 is the best
+possible approximation factor (unless P = NP), achieved by the Gonzalez
+greedy; the Charikar et al. doubling algorithm achieves 8 in one streaming
+pass with ``O(k)`` memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coresets.gmm import gmm
+from repro.coresets.smm import SMM
+from repro.metricspace.distance import Metric
+from repro.metricspace.points import PointSet
+from repro.streaming.stream import Stream
+from repro.utils.validation import check_k_le_n
+
+
+@dataclass(frozen=True)
+class KCenterResult:
+    """A k-center clustering.
+
+    Attributes
+    ----------
+    centers:
+        The chosen centers as a :class:`PointSet`.
+    assignment:
+        For offline solves, the index (into ``centers``) of each input
+        point's nearest center; ``None`` for streaming solves (the points
+        are gone).
+    radius:
+        ``max_p d(p, centers)`` over the input (offline) or the
+        algorithm's radius upper bound (streaming).
+    """
+
+    centers: PointSet
+    assignment: np.ndarray | None
+    radius: float
+
+    @property
+    def k(self) -> int:
+        return len(self.centers)
+
+
+def kcenter_greedy(points: PointSet, k: int,
+                   first_index: int = 0) -> KCenterResult:
+    """Gonzalez's farthest-point greedy: a 2-approximation for k-center.
+
+    Example
+    -------
+    >>> result = kcenter_greedy(PointSet([[0.0], [1.0], [10.0]]), 2)
+    >>> result.radius
+    1.0
+    """
+    k = check_k_le_n(k, len(points), what="centers")
+    result = gmm(points, k, first_index=first_index)
+    return KCenterResult(
+        centers=points.subset(result.indices),
+        assignment=result.assignment,
+        radius=result.range,
+    )
+
+
+def kcenter_streaming(stream: Stream, k: int,
+                      metric: str | Metric = "euclidean") -> KCenterResult:
+    """One-pass streaming k-center (doubling algorithm, 8-approximation).
+
+    Runs SMM with ``k' = k``: the kept centers cover the stream within
+    ``4 d_ell``, which is at most ``8 r*_k`` [13].
+    """
+    sketch = SMM(k=k, k_prime=k, metric=metric)
+    for point in stream:
+        sketch.process(point)
+    centers = sketch.finalize()
+    # Every stream point is within 4 d_ell of some SMM center.
+    radius_bound = 4.0 * sketch.threshold
+    if len(centers) > k:
+        # SMM holds up to k' + 1 = k + 1 centers; trim greedily to k.  A
+        # dropped center is within the trim's own range of a survivor, so
+        # the coverage bound grows additively by that range.
+        keep = gmm(centers, k)
+        radius_bound += keep.range
+        centers = centers.subset(keep.indices)
+    return KCenterResult(centers=centers, assignment=None, radius=radius_bound)
+
+
+def clustering_radius(points: PointSet, centers: PointSet) -> float:
+    """Exact radius of a given center set over *points*."""
+    cross = points.metric.cross(points.points, centers.points)
+    return float(cross.min(axis=1).max())

@@ -1,0 +1,61 @@
+"""Core-set constructions — the paper's primary contribution.
+
+Two families, one per computational model:
+
+* **MapReduce / offline** (Section 5): :func:`~repro.coresets.gmm.gmm`
+  (Gonzalez farthest-point greedy) for remote-edge and remote-cycle;
+  :func:`~repro.coresets.gmm_ext.gmm_ext` adds per-center delegate points
+  for the four objectives needing injective proxies (Lemma 2);
+  :func:`~repro.coresets.gmm_gen.gmm_gen` keeps only delegate *counts*
+  (generalized core-sets, Section 6).
+* **Streaming** (Section 4): :class:`~repro.coresets.smm.SMM` — the
+  doubling-algorithm variant of Charikar et al. — with the analogous
+  :class:`~repro.coresets.smm_ext.SMMExt` and
+  :class:`~repro.coresets.smm_gen.SMMGen` extensions.
+
+On a metric space of doubling dimension ``D``, running any of these with
+``k' = (c/eps')^D * k`` yields a ``(1 + eps)``-(composable) core-set for the
+corresponding objectives (Theorems 1, 2, 4, 5).
+"""
+
+from repro.coresets.gmm import GMMResult, gmm, gmm_on_matrix
+from repro.coresets.gmm_ext import gmm_ext
+from repro.coresets.gmm_gen import gmm_gen
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.coresets.smm import SMM
+from repro.coresets.smm_ext import SMMExt
+from repro.coresets.smm_gen import SMMGen
+from repro.coresets.characterization import (
+    coreset_range,
+    coreset_farness,
+    optimal_range_upper_bound,
+    proxy_distance_bound,
+    injective_proxy_distance_bound,
+)
+from repro.coresets.composable import (
+    coreset_size_for,
+    epsilon_prime_for,
+    build_composable_coreset,
+    union_coresets,
+)
+
+__all__ = [
+    "GMMResult",
+    "gmm",
+    "gmm_on_matrix",
+    "gmm_ext",
+    "gmm_gen",
+    "GeneralizedCoreset",
+    "SMM",
+    "SMMExt",
+    "SMMGen",
+    "coreset_range",
+    "coreset_farness",
+    "optimal_range_upper_bound",
+    "proxy_distance_bound",
+    "injective_proxy_distance_bound",
+    "coreset_size_for",
+    "epsilon_prime_for",
+    "build_composable_coreset",
+    "union_coresets",
+]

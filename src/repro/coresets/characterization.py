@@ -1,0 +1,119 @@
+"""Core-set characterization quantities (Section 3).
+
+These functions compute the geometric quantities the paper's analysis is
+built on — the *range* ``r_T``, the *farness* ``rho_T``, and the proxy
+distances of Lemmas 1 and 2 — so tests and experiments can check the
+sufficient core-set conditions directly rather than trusting the
+constructions blindly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+
+
+def coreset_range(points: PointSet, subset_indices: np.ndarray) -> float:
+    """``r_T = max_{p in S} d(p, T)`` for ``T`` given by *subset_indices*.
+
+    (The paper takes the max over ``S \\ T``; including ``T`` is harmless
+    since members contribute zero.)
+    """
+    subset_indices = np.asarray(subset_indices, dtype=np.intp)
+    if subset_indices.size == 0:
+        raise ValidationError("core-set must contain at least one point")
+    centers = points.points[subset_indices]
+    dist = points.metric.cross(points.points, centers)
+    return float(dist.min(axis=1).max())
+
+
+def coreset_farness(points: PointSet, subset_indices: np.ndarray) -> float:
+    """``rho_T = min_{c in T} d(c, T \\ {c})`` — minimum pairwise distance."""
+    subset_indices = np.asarray(subset_indices, dtype=np.intp)
+    if subset_indices.size < 2:
+        raise ValidationError("farness needs at least two core-set points")
+    sub = points.subset(subset_indices)
+    dist = sub.pairwise()
+    iu, ju = np.triu_indices(len(sub), k=1)
+    return float(dist[iu, ju].min())
+
+
+def optimal_range_upper_bound(points: PointSet, k: int,
+                              gmm_indices: np.ndarray) -> float:
+    """Upper bound ``r*_k <= r_T`` witnessed by a k-point GMM prefix.
+
+    GMM guarantees ``r_T <= 2 r*_k``, so the returned value over-estimates
+    the optimal range by at most a factor two — enough for the sanity
+    checks in tests.
+    """
+    return coreset_range(points, np.asarray(gmm_indices[:k], dtype=np.intp))
+
+
+def proxy_distance_bound(points: PointSet, coreset: PointSet,
+                         candidate_indices: np.ndarray) -> float:
+    """``max_x d(x, T)`` over the candidate points — Lemma 1's quantity.
+
+    For the non-injective objectives (remote-edge, remote-cycle) the proxy
+    of ``x`` is simply its nearest core-set point, so the relevant bound is
+    the maximum nearest-neighbour distance of the candidate set into the
+    core-set.
+    """
+    candidate_indices = np.asarray(candidate_indices, dtype=np.intp)
+    candidates = points.points[candidate_indices]
+    dist = points.metric.cross(candidates, coreset.points)
+    return float(dist.min(axis=1).max())
+
+
+def injective_proxy_distance_bound(points: PointSet, coreset: PointSet,
+                                   candidate_indices: np.ndarray) -> float:
+    """Smallest ``delta`` admitting an *injective* proxy within distance ``delta``.
+
+    Lemma 2 needs distinct core-set proxies for the candidate points.  We
+    compute, by binary search over candidate-to-core-set distances, the
+    smallest threshold at which a perfect matching of candidates into the
+    core-set exists (Hall's condition checked by Hopcroft-Karp-style
+    augmenting paths on the threshold bipartite graph).
+
+    Returns ``inf`` when the core-set is smaller than the candidate set.
+    """
+    candidate_indices = np.asarray(candidate_indices, dtype=np.intp)
+    k = candidate_indices.size
+    if len(coreset) < k:
+        return float("inf")
+    candidates = points.points[candidate_indices]
+    dist = points.metric.cross(candidates, coreset.points)
+    thresholds = np.unique(dist)
+    lo, hi = 0, len(thresholds) - 1
+    if not _has_perfect_matching(dist, float(thresholds[hi])):
+        return float("inf")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_perfect_matching(dist, float(thresholds[mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    return float(thresholds[lo])
+
+
+def _has_perfect_matching(dist: np.ndarray, threshold: float) -> bool:
+    """Does the bipartite graph ``dist <= threshold`` match every left node?"""
+    k, m = dist.shape
+    adjacency = [np.flatnonzero(dist[i] <= threshold) for i in range(k)]
+    match_right = np.full(m, -1, dtype=np.intp)
+
+    def augment(left: int, visited: np.ndarray) -> bool:
+        for right in adjacency[left]:
+            if visited[right]:
+                continue
+            visited[right] = True
+            if match_right[right] == -1 or augment(int(match_right[right]), visited):
+                match_right[right] = left
+                return True
+        return False
+
+    for left in range(k):
+        if not augment(left, np.zeros(m, dtype=bool)):
+            return False
+    return True

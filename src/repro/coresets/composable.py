@@ -1,0 +1,125 @@
+"""Composable core-set helpers: parameter sizing and partition-wise builds.
+
+:func:`coreset_size_for` computes the theoretical ``k'`` of Theorems 1-5
+from ``(k, eps, D)``; experiments usually override it with the small
+practical values Section 7 shows are sufficient.  :func:`build_composable_coreset`
+applies the correct construction (GMM / GMM-EXT / GMM-GEN) to one partition,
+and :func:`union_coresets` aggregates partition core-sets, mirroring the
+composability definition (Definition 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.coresets.gmm import gmm
+from repro.coresets.gmm_ext import gmm_ext
+from repro.coresets.gmm_gen import gmm_gen
+from repro.diversity.objectives import Objective, get_objective
+from repro.metricspace.points import PointSet
+from repro.utils.validation import check_in_range, check_positive_int
+
+Model = Literal["mapreduce", "streaming"]
+
+
+def epsilon_prime_for(epsilon: float, alpha: float = 1.0) -> float:
+    """Convert a target approximation slack ``eps`` into ``eps'``.
+
+    Theorems 1-6 set ``1/(1 - eps') = 1 + eps/alpha``, i.e.
+    ``eps' = eps / (alpha + eps)``; with ``alpha = 1`` this is the core-set
+    lemmas' own relation ``(1 - eps') = 1/(1 + eps)``.
+    """
+    check_in_range(epsilon, "epsilon", 0.0, 1.0)
+    if alpha < 1.0:
+        raise ValueError(f"alpha must be at least 1, got {alpha}")
+    return epsilon / (alpha + epsilon)
+
+
+def coreset_size_for(k: int, epsilon: float, doubling_dimension: float,
+                     objective: str | Objective, model: Model = "mapreduce",
+                     alpha: float | None = None) -> int:
+    """Theoretical ``k' = (c/eps')^D * k`` for the requested construction.
+
+    ``c`` is 8/16 (MapReduce) or 32/64 (streaming) depending on whether the
+    objective needs injective proxies.  This grows quickly with ``D``; the
+    paper's experiments (and ours) show small constant multiples of ``k``
+    already give excellent ratios, so treat this as an upper bound.
+    """
+    objective = get_objective(objective)
+    check_positive_int(k, "k")
+    if alpha is None:
+        alpha = objective.sequential_alpha
+    eps_prime = epsilon_prime_for(epsilon, alpha)
+    if model == "mapreduce":
+        constant = objective.mr_constant
+    elif model == "streaming":
+        constant = objective.streaming_constant
+    else:
+        raise ValueError(f"model must be 'mapreduce' or 'streaming', got {model!r}")
+    return int(math.ceil((constant / eps_prime) ** doubling_dimension * k))
+
+
+def build_composable_coreset(
+    partition: PointSet, k: int, k_prime: int,
+    objective: str | Objective,
+    use_generalized: bool = False,
+    delegate_cap: int | None = None,
+) -> PointSet | GeneralizedCoreset:
+    """Build the partition core-set prescribed for *objective*.
+
+    * non-injective objectives (remote-edge, remote-cycle): plain ``GMM``;
+    * injective objectives: ``GMM-EXT`` (delegates), or ``GMM-GEN``
+      (multiplicities) when *use_generalized* is set.
+
+    *delegate_cap* overrides the per-cluster delegate budget (defaults to
+    ``k``); the randomized MapReduce algorithm of Theorem 7 passes the
+    smaller ``Theta(max(log n, k/l))`` budget here.
+
+    When the partition has at most ``k'`` points it is its own (perfect)
+    core-set.
+    """
+    objective = get_objective(objective)
+    n = len(partition)
+    if not objective.requires_injective_proxy:
+        # The plain-GMM core-set must itself contain k points.
+        if k_prime < k:
+            raise ValueError(f"k' must be at least k, got k'={k_prime} < k={k}")
+        if n <= k_prime:
+            return partition
+        result = gmm(partition, k_prime)
+        return partition.subset(result.indices)
+    cap = k if delegate_cap is None else max(int(delegate_cap), 1)
+    if use_generalized:
+        if n <= k_prime:
+            return GeneralizedCoreset(
+                points=partition.points,
+                multiplicities=np.ones(n, dtype=np.int64),
+                metric=partition.metric,
+            )
+        return gmm_gen(partition, cap, k_prime)
+    if n <= k_prime:
+        return partition
+    result = gmm_ext(partition, cap, k_prime)
+    return partition.subset(result.indices)
+
+
+def union_coresets(parts: list[PointSet | GeneralizedCoreset]) -> PointSet | GeneralizedCoreset:
+    """Union per-partition core-sets into the aggregate core-set.
+
+    All parts must be of the same kind (plain point sets or generalized
+    core-sets).
+    """
+    if not parts:
+        raise ValueError("cannot union an empty list of core-sets")
+    if isinstance(parts[0], GeneralizedCoreset):
+        if not all(isinstance(part, GeneralizedCoreset) for part in parts):
+            raise ValueError("cannot mix plain and generalized core-sets")
+        return GeneralizedCoreset.union_all(parts)  # type: ignore[arg-type]
+    union = parts[0]
+    for part in parts[1:]:
+        union = union.concat(part)  # type: ignore[union-attr]
+    return union

@@ -1,0 +1,124 @@
+"""Generalized core-sets: kernel points with multiplicities (Section 6).
+
+A generalized core-set represents the delegate-augmented core-set of
+GMM-EXT *implicitly*: instead of storing up to ``k - 1`` delegates per
+kernel point it stores a single integer multiplicity.  The expansion of the
+core-set treats ``m_p`` replicas of ``p`` as distinct points at mutual
+distance zero, and Lemma 7 bounds the diversity loss when replicas are later
+re-materialized by *delta-instantiation* with true input points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metricspace.distance import Metric
+from repro.metricspace.points import PointSet
+
+
+@dataclass
+class GeneralizedCoreset:
+    """A set of ``(point, multiplicity)`` pairs over a shared metric.
+
+    Attributes
+    ----------
+    points:
+        ``(s, d)`` array of distinct kernel points.
+    multiplicities:
+        ``(s,)`` positive integer array; ``m(T) = multiplicities.sum()``.
+    metric:
+        The metric the kernel points live in.
+    """
+
+    points: np.ndarray
+    multiplicities: np.ndarray
+    metric: Metric
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.multiplicities = np.asarray(self.multiplicities, dtype=np.int64)
+        if self.points.ndim != 2:
+            raise ValidationError("kernel points must form a 2-d array")
+        if self.multiplicities.shape != (self.points.shape[0],):
+            raise ValidationError("one multiplicity is required per kernel point")
+        if np.any(self.multiplicities <= 0):
+            raise ValidationError("multiplicities must be positive")
+
+    # -- sizes ---------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``s(T)``: number of stored pairs."""
+        return int(self.points.shape[0])
+
+    @property
+    def expanded_size(self) -> int:
+        """``m(T)``: total multiplicity."""
+        return int(self.multiplicities.sum())
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- views ---------------------------------------------------------------
+    def as_point_set(self) -> PointSet:
+        """The kernel points (multiplicities dropped) as a :class:`PointSet`."""
+        return PointSet(self.points, self.metric)
+
+    def expansion_owners(self) -> np.ndarray:
+        """Kernel index owning each replica of the expansion, length ``m(T)``."""
+        return np.repeat(np.arange(self.size), self.multiplicities)
+
+    def expanded_distance_matrix(self) -> np.ndarray:
+        """Dense ``m(T) x m(T)`` distance matrix of the expansion.
+
+        Replicas of the same kernel point are at distance zero, replicas of
+        different kernel points inherit the kernel distance.
+        """
+        owners = self.expansion_owners()
+        kernel_dist = self.metric.pairwise(self.points)
+        return kernel_dist[np.ix_(owners, owners)]
+
+    # -- algebra ---------------------------------------------------------------
+    def union(self, other: "GeneralizedCoreset") -> "GeneralizedCoreset":
+        """Concatenate two generalized core-sets (disjoint kernels assumed).
+
+        Used to aggregate per-partition core-sets in MapReduce round two;
+        partitions are disjoint so kernel points never collide.
+        """
+        if type(other.metric) is not type(self.metric):
+            raise ValidationError("cannot union generalized core-sets over different metrics")
+        return GeneralizedCoreset(
+            points=np.vstack([self.points, other.points]),
+            multiplicities=np.concatenate([self.multiplicities, other.multiplicities]),
+            metric=self.metric,
+        )
+
+    def coherent_subset(self, kernel_indices: np.ndarray,
+                        counts: np.ndarray) -> "GeneralizedCoreset":
+        """The coherent subset taking ``counts[i]`` replicas of kernel ``i``.
+
+        Enforces the coherence condition ``counts <= multiplicities`` of
+        Section 6 (written ``T1 ⊑ T2`` in the paper).
+        """
+        kernel_indices = np.asarray(kernel_indices, dtype=np.intp)
+        counts = np.asarray(counts, dtype=np.int64)
+        if np.any(counts > self.multiplicities[kernel_indices]):
+            raise ValidationError("coherent subset cannot exceed stored multiplicities")
+        keep = counts > 0
+        return GeneralizedCoreset(
+            points=self.points[kernel_indices[keep]],
+            multiplicities=counts[keep],
+            metric=self.metric,
+        )
+
+    @staticmethod
+    def union_all(parts: list["GeneralizedCoreset"]) -> "GeneralizedCoreset":
+        """Union an arbitrary number of generalized core-sets."""
+        if not parts:
+            raise ValidationError("cannot union an empty list of generalized core-sets")
+        result = parts[0]
+        for part in parts[1:]:
+            result = result.union(part)
+        return result

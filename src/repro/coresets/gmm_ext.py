@@ -1,0 +1,80 @@
+"""GMM-EXT: delegate-augmented core-sets (Algorithm 1 of the paper).
+
+For the four objectives whose core-set proxy function must be injective
+(remote-clique, remote-star, remote-bipartition, remote-tree), a kernel of
+``k'`` GMM centers is not enough: an optimal solution may place several of
+its ``k`` points inside one kernel cluster, and they all need *distinct*
+nearby proxies.  GMM-EXT therefore clusters the input around the kernel and
+keeps, from each cluster, its center plus up to ``k - 1`` additional
+delegate points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coresets.gmm import GMMResult, gmm
+from repro.metricspace.points import PointSet
+from repro.utils.validation import check_k_le_n, check_positive_int
+
+
+@dataclass(frozen=True)
+class GMMExtResult:
+    """Outcome of GMM-EXT.
+
+    Attributes
+    ----------
+    indices:
+        All selected indices (kernel centers and delegates), kernel-cluster
+        by kernel-cluster.
+    kernel:
+        The underlying :class:`~repro.coresets.gmm.GMMResult` for ``k'``.
+    cluster_sizes:
+        ``cluster_sizes[j]`` is the number of selected points (center plus
+        delegates) contributed by kernel cluster ``j``; always in
+        ``[1, k]``.
+    """
+
+    indices: np.ndarray
+    kernel: GMMResult
+    cluster_sizes: np.ndarray
+
+
+def gmm_ext(points: PointSet, k: int, k_prime: int,
+            first_index: int | None = None) -> GMMExtResult:
+    """Run GMM-EXT(S, k, k'): kernel of ``k'`` centers + up to ``k-1`` delegates each.
+
+    The clustering assigns each point to its closest kernel center with ties
+    broken toward earlier centers, exactly as the sets ``C_j`` of
+    Algorithm 1.  "Arbitrary" delegates are taken in input order, which
+    keeps the construction deterministic.
+
+    The output size is at most ``k * k'`` (Theorem 5's core-set size).
+    """
+    check_positive_int(k, "k")
+    k_prime = check_k_le_n(k_prime, len(points), what="kernel centers")
+    # Note: k' < k is legal here — the delegate sets guarantee at least
+    # min(n, k) output points even from a single kernel cluster.
+    kernel = gmm(points, k_prime, first_index=first_index)
+    selected: list[int] = []
+    cluster_sizes = np.zeros(k_prime, dtype=np.int64)
+    for j in range(k_prime):
+        center = int(kernel.indices[j])
+        members = np.flatnonzero(kernel.assignment == j)
+        # The center itself belongs to its own cluster; take it first, then
+        # up to k - 1 other members in input order.
+        delegates = [center]
+        for member in members:
+            if len(delegates) >= k:
+                break
+            if member != center:
+                delegates.append(int(member))
+        selected.extend(delegates)
+        cluster_sizes[j] = len(delegates)
+    return GMMExtResult(
+        indices=np.asarray(selected, dtype=np.intp),
+        kernel=kernel,
+        cluster_sizes=cluster_sizes,
+    )

@@ -1,0 +1,41 @@
+"""GMM-GEN: the generalized (multiplicity-only) core-set construction (§6.2).
+
+GMM-GEN behaves like GMM-EXT but, instead of storing up to ``k - 1``
+delegates per kernel center, it records only *how many* delegates each
+center would have kept.  The result is a
+:class:`~repro.coresets.generalized.GeneralizedCoreset` of size ``s(T) = k'``
+and expanded size ``m(T) <= k * k'`` — the key ingredient of the 3-round
+MapReduce algorithm (Theorem 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.coresets.gmm import gmm
+from repro.metricspace.points import PointSet
+from repro.utils.validation import check_k_le_n, check_positive_int
+
+
+def gmm_gen(points: PointSet, k: int, k_prime: int,
+            first_index: int | None = None) -> GeneralizedCoreset:
+    """Run GMM-GEN(S, k, k'): kernel centers with delegate *counts*.
+
+    For each kernel cluster ``C_j`` the stored multiplicity is
+    ``min(|C_j|, k)`` — the size of the delegate set ``E_j`` that GMM-EXT
+    would have kept.
+    """
+    check_positive_int(k, "k")
+    k_prime = check_k_le_n(k_prime, len(points), what="kernel centers")
+    # As with GMM-EXT, k' < k is legal: multiplicities cover the shortfall.
+    kernel = gmm(points, k_prime, first_index=first_index)
+    cluster_counts = np.bincount(kernel.assignment, minlength=k_prime)
+    multiplicities = np.minimum(cluster_counts, k).astype(np.int64)
+    # Every kernel center covers at least itself.
+    multiplicities = np.maximum(multiplicities, 1)
+    return GeneralizedCoreset(
+        points=points.points[kernel.indices],
+        multiplicities=multiplicities,
+        metric=points.metric,
+    )

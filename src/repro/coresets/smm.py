@@ -1,0 +1,250 @@
+"""SMM: the streaming doubling core-set algorithm (Section 4).
+
+SMM is a variant of the 8-approximation doubling algorithm for k-center of
+Charikar et al. [13].  It maintains a set ``T`` of at most ``k' + 1``
+centers and a distance threshold ``d`` that doubles whenever ``T``
+overflows.  Each *phase* consists of
+
+* a **merge step** — a greedy maximal independent set of the threshold
+  graph on ``T`` (edges between centers within ``2d``), which shrinks ``T``
+  while preserving coverage; and
+* an **update step** — new stream points within ``4d`` of a current center
+  are discarded (or absorbed by subclasses), farther points join ``T``.
+
+The phase invariants (coverage within ``2d``, pairwise separation at least
+``d``) yield the range bound ``r_T <= 8 r*_{k'}`` of [13], which combined
+with the doubling-dimension argument of Lemma 3 gives the
+``(eps'/2) rho*_k`` proxy-distance bound that makes ``T`` a
+``(1 + eps)``-core-set (Theorem 1).
+
+To guarantee ``|T| >= k`` at the end of the stream, the algorithm retains
+the set ``M`` of centers removed by the most recent merge and pads from it
+if needed.
+
+Implementation notes
+--------------------
+* Points are processed strictly one at a time through :meth:`process`; the
+  only state is ``O(k')`` points, so the class honestly simulates the
+  streaming model (``repro.streaming.memory`` audits this).
+* Centers live in a preallocated ``(k'+1, dim)`` buffer so the per-point
+  distance kernel is a single vectorized call with no re-stacking.
+* Exact duplicate points are discarded during initialization (they can
+  never increase any diversity measure beyond one copy; subclasses absorb
+  them as delegates instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.metricspace.distance import Metric, get_metric
+from repro.metricspace.points import PointSet
+from repro.utils.validation import check_positive_int
+
+
+class SMM:
+    """One-pass streaming core-set for remote-edge and remote-cycle.
+
+    Parameters
+    ----------
+    k:
+        Target solution size; the returned core-set has at least ``k``
+        points (stream length permitting).
+    k_prime:
+        Core-set size parameter ``k'`` (``k' >= k``); theory wants
+        ``k' = (32/eps')^D * k``, practice is happy with small multiples
+        of ``k`` (Section 7.1).
+    metric:
+        Metric instance or registry name.
+
+    Example
+    -------
+    >>> smm = SMM(k=2, k_prime=4, metric="euclidean")
+    >>> for x in [0.0, 1.0, 5.0, 9.0, 10.0]:
+    ...     smm.process([x])
+    >>> coreset = smm.finalize()
+    >>> len(coreset) >= 2
+    True
+    """
+
+    def __init__(self, k: int, k_prime: int, metric: str | Metric = "euclidean"):
+        self.k = check_positive_int(k, "k")
+        self.k_prime = check_positive_int(k_prime, "k_prime")
+        if self.k_prime < self.k:
+            raise ValueError(f"k' must be at least k, got k'={k_prime} < k={k}")
+        self.metric = get_metric(metric)
+        self._capacity = self.k_prime + 1
+        self._buffer: np.ndarray | None = None
+        self._count = 0
+        self._removed: list[np.ndarray] = []
+        self._threshold: float = 0.0
+        self._initialized = False
+        self._finalized = False
+        self._points_seen = 0
+        self._phases = 0
+        self._peak_memory = 0
+
+    # -- public properties -----------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """Current phase threshold ``d_i`` (0 until initialization ends)."""
+        return self._threshold
+
+    @property
+    def phases(self) -> int:
+        """Number of completed merge phases."""
+        return self._phases
+
+    @property
+    def points_seen(self) -> int:
+        """Number of stream points processed so far."""
+        return self._points_seen
+
+    @property
+    def peak_memory_points(self) -> int:
+        """Peak number of points held in memory at any time."""
+        return self._peak_memory
+
+    @property
+    def num_centers(self) -> int:
+        """Current number of centers in ``T``."""
+        return self._count
+
+    def centers(self) -> np.ndarray:
+        """Snapshot of the current center set ``T`` (copy)."""
+        if self._buffer is None:
+            return np.empty((0, 0))
+        return self._buffer[:self._count].copy()
+
+    def memory_in_points(self) -> int:
+        """Current number of points held (centers + merge leftovers)."""
+        return self._count + len(self._removed)
+
+    # -- subclass hooks ----------------------------------------------------------
+    def _on_new_center(self, point: np.ndarray) -> None:
+        """Called when *point* becomes a new center (subclass state)."""
+
+    def _on_absorb(self, point: np.ndarray, center_position: int) -> None:
+        """Called when *point* is covered by the center at *center_position*."""
+
+    def _on_merge_keep(self, old_positions: list[int]) -> None:
+        """Called after a merge with the surviving old positions, in order."""
+
+    def _on_merge_transfer(self, removed_old_position: int,
+                           absorber_new_position: int) -> None:
+        """Called when a removed center's payload moves to a survivor."""
+
+    def _extra_memory_points(self) -> int:
+        """Additional per-subclass memory, counted in points."""
+        return 0
+
+    # -- streaming interface ----------------------------------------------------
+    def process(self, point: np.ndarray) -> None:
+        """Feed one stream point into the sketch."""
+        if self._finalized:
+            raise NotFittedError("cannot process points after finalize()")
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._buffer is None:
+            self._buffer = np.empty((self._capacity, point.shape[0]))
+        self._points_seen += 1
+        if not self._initialized:
+            self._process_initial(point)
+        else:
+            self._process_update(point)
+        memory = self.memory_in_points() + self._extra_memory_points()
+        if memory > self._peak_memory:
+            self._peak_memory = memory
+
+    def process_many(self, points: np.ndarray) -> None:
+        """Feed a batch of points (row by row) — convenience for arrays."""
+        for row in np.asarray(points, dtype=np.float64):
+            self.process(row)
+
+    def finalize(self) -> PointSet:
+        """Close the stream and return the core-set (``>= k`` points)."""
+        self._finalized = True
+        if self._buffer is None:
+            raise NotFittedError("finalize() called before any point was processed")
+        selected = [self._buffer[i] for i in range(self._count)]
+        if len(selected) < self.k:
+            # Pad from the most recent merge's leftovers; M ∪ I had k'+1 >= k
+            # points, so enough padding always exists for streams >= k.
+            needed = self.k - len(selected)
+            selected.extend(self._removed[:needed])
+        if len(selected) < self.k <= self._points_seen:
+            # Streams containing exact duplicates can leave fewer than k
+            # distinct points; replicate (faithfully — the input multiset
+            # provably held duplicates) until k copies are available.
+            cursor = 0
+            while len(selected) < self.k:
+                selected.append(selected[cursor])
+                cursor += 1
+        return PointSet(np.vstack(selected), self.metric)
+
+    # -- internals ---------------------------------------------------------------
+    def _distances_to_centers(self, point: np.ndarray) -> np.ndarray:
+        return self.metric.point_to_set(point, self._buffer[:self._count])
+
+    def _append_center(self, point: np.ndarray) -> None:
+        self._buffer[self._count] = point
+        self._count += 1
+        self._on_new_center(point)
+
+    def _process_initial(self, point: np.ndarray) -> None:
+        if self._count:
+            dist = self._distances_to_centers(point)
+            if float(dist.min()) == 0.0:
+                # Exact duplicate: absorb instead of keeping a zero-distance
+                # center, which would wedge the doubling schedule at d = 0.
+                self._on_absorb(point, int(dist.argmin()))
+                return
+        self._append_center(point)
+        if self._count == self._capacity:
+            pair_dist = self.metric.pairwise(self._buffer[:self._count])
+            iu, ju = np.triu_indices(self._count, k=1)
+            self._threshold = float(pair_dist[iu, ju].min())
+            self._initialized = True
+            self._start_phase()
+
+    def _process_update(self, point: np.ndarray) -> None:
+        dist = self._distances_to_centers(point)
+        nearest = int(dist.argmin())
+        if float(dist[nearest]) > 4.0 * self._threshold:
+            self._append_center(point)
+            if self._count == self._capacity:
+                self._threshold *= 2.0
+                self._start_phase()
+        else:
+            self._on_absorb(point, nearest)
+
+    def _start_phase(self) -> None:
+        """Run merge steps (doubling further if needed) until ``|T| <= k'``."""
+        self._merge()
+        while self._count == self._capacity:
+            # The independent set can be the whole of T when all centers are
+            # farther than 2d apart; double and merge again.
+            self._threshold *= 2.0
+            self._merge()
+        self._phases += 1
+
+    def _merge(self) -> None:
+        """Greedy maximal independent set of the ``2d``-threshold graph."""
+        pair_dist = self.metric.pairwise(self._buffer[:self._count])
+        limit = 2.0 * self._threshold
+        kept: list[int] = []
+        removed: list[int] = []
+        for position in range(self._count):
+            if kept and float(pair_dist[position, kept].min()) <= limit:
+                removed.append(position)
+            else:
+                kept.append(position)
+        self._removed = [self._buffer[i].copy() for i in removed]
+        self._on_merge_keep(kept)
+        # Attribute each removed center to its nearest survivor (which is
+        # within 2d by maximality of the independent set).
+        for old_position in removed:
+            absorber = int(np.asarray(pair_dist[old_position, kept]).argmin())
+            self._on_merge_transfer(old_position, absorber)
+        self._buffer[:len(kept)] = self._buffer[kept]
+        self._count = len(kept)

@@ -1,0 +1,76 @@
+"""SMM-GEN: streaming *generalized* core-sets (Section 6.1, Theorem 9).
+
+SMM-GEN is SMM-EXT with delegate sets replaced by delegate *counts*: the
+memory drops from ``O(k' k)`` to ``O(k')`` points, matching the remote-edge
+bound, at the price of a second pass to re-materialize actual delegate
+points (the *delta-instantiation* of Lemma 7).  The two-pass streaming
+driver lives in :mod:`repro.streaming.algorithm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.coresets.smm import SMM
+from repro.metricspace.distance import Metric
+
+
+class SMMGen(SMM):
+    """One-pass streaming sketch producing a generalized core-set.
+
+    :meth:`finalize_generalized` returns the
+    :class:`~repro.coresets.generalized.GeneralizedCoreset` of kernel points
+    and multiplicities, plus the radius bound ``r_T <= 4 d_ell`` needed by
+    the instantiation pass.
+    """
+
+    def __init__(self, k: int, k_prime: int, metric: str | Metric = "euclidean"):
+        super().__init__(k, k_prime, metric)
+        # _counts[i] = multiplicity m_t for the center at position i
+        # (capped at k, always >= 1 for the center itself).
+        self._counts: list[int] = []
+        self._old_counts: list[int] = []
+
+    # -- SMM hooks --------------------------------------------------------------
+    def _on_new_center(self, point: np.ndarray) -> None:
+        self._counts.append(1)
+
+    def _on_absorb(self, point: np.ndarray, center_position: int) -> None:
+        if self._counts[center_position] < self.k:
+            self._counts[center_position] += 1
+
+    def _on_merge_keep(self, old_positions: list[int]) -> None:
+        self._old_counts = self._counts
+        self._counts = [self._old_counts[i] for i in old_positions]
+
+    def _on_merge_transfer(self, removed_old_position: int,
+                           absorber_new_position: int) -> None:
+        transferred = min(
+            self._old_counts[removed_old_position],
+            self.k - self._counts[absorber_new_position],
+        )
+        if transferred > 0:
+            self._counts[absorber_new_position] += transferred
+
+    # -- output -------------------------------------------------------------------
+    def radius_bound(self) -> float:
+        """``4 d_ell`` — upper bound on the distance from any stream point
+        to its nearest kernel point, used as ``delta`` by instantiation."""
+        return 4.0 * self._threshold if self._initialized else 0.0
+
+    def finalize_generalized(self) -> GeneralizedCoreset:
+        """Close the stream and return the generalized core-set."""
+        self._finalized = True
+        if self.num_centers == 0:
+            raise ValueError("finalize called before any point was processed")
+        return GeneralizedCoreset(
+            points=self.centers(),
+            multiplicities=np.asarray(self._counts, dtype=np.int64),
+            metric=self.metric,
+        )
+
+    def finalize(self):  # pragma: no cover - guidance only
+        raise NotImplementedError(
+            "SMMGen produces a generalized core-set; call finalize_generalized()"
+        )

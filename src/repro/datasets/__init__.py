@@ -1,0 +1,27 @@
+"""Dataset generators and loaders used by the experiments.
+
+:mod:`repro.datasets.synthetic` reproduces the paper's adversarial
+sphere-shell generator (Section 7) plus standard uniform/clustered
+distributions; :mod:`repro.datasets.text` synthesizes musiXmatch-like
+bag-of-words vectors for the cosine-distance experiments (see DESIGN.md for
+the substitution rationale).
+"""
+
+from repro.datasets.synthetic import (
+    sphere_shell,
+    uniform_cube,
+    gaussian_clusters,
+    unit_sphere_surface,
+)
+from repro.datasets.text import zipf_bag_of_words
+from repro.datasets.loaders import save_points, load_points
+
+__all__ = [
+    "sphere_shell",
+    "uniform_cube",
+    "gaussian_clusters",
+    "unit_sphere_surface",
+    "zipf_bag_of_words",
+    "save_points",
+    "load_points",
+]

@@ -1,0 +1,35 @@
+"""Save/load helpers for point sets.
+
+Experiments cache generated datasets and reference solutions on disk so
+repeated benchmark runs are cheap and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.metricspace.points import PointSet
+
+
+def save_points(points: PointSet, path: str | Path) -> None:
+    """Persist a :class:`PointSet` as ``<path>.npy`` + ``<path>.json``.
+
+    The sidecar JSON records the metric name so :func:`load_points` can
+    reconstruct the set faithfully.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.save(path.with_suffix(".npy"), points.points)
+    metadata = {"metric": points.metric.name, "n": len(points), "dim": points.dim}
+    path.with_suffix(".json").write_text(json.dumps(metadata))
+
+
+def load_points(path: str | Path) -> PointSet:
+    """Load a :class:`PointSet` saved by :func:`save_points`."""
+    path = Path(path)
+    data = np.load(path.with_suffix(".npy"))
+    metadata = json.loads(path.with_suffix(".json").read_text())
+    return PointSet(data, metric=metadata["metric"])

@@ -1,0 +1,95 @@
+"""Synthetic Euclidean datasets, including the paper's sphere-shell generator.
+
+Section 7 of the paper generates its synthetic workloads as follows: for a
+given ``k``, ``k`` points are placed uniformly at random on the surface of
+the unit sphere (guaranteeing a set of far-away points), and the remaining
+points are drawn uniformly from the concentric ball of radius 0.8.  The
+authors report this as the most challenging distribution they tried —
+random subsets almost surely miss all the diverse points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metricspace.points import PointSet
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def unit_sphere_surface(n: int, dim: int = 3, seed: RngLike = None) -> np.ndarray:
+    """``n`` points uniform on the surface of the unit sphere in ``R^dim``."""
+    check_positive_int(n, "n")
+    check_positive_int(dim, "dim")
+    rng = ensure_rng(seed)
+    raw = rng.normal(size=(n, dim))
+    norms = np.linalg.norm(raw, axis=1, keepdims=True)
+    # Degenerate all-zero draws are essentially impossible, but stay safe.
+    norms[norms == 0.0] = 1.0
+    return raw / norms
+
+
+def _uniform_ball(n: int, dim: int, radius: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """``n`` points uniform in the ``radius``-ball (polar rejection-free)."""
+    directions = unit_sphere_surface(n, dim, seed=rng)
+    radii = radius * rng.random(n) ** (1.0 / dim)
+    return directions * radii[:, None]
+
+
+def sphere_shell(n: int, k: int, dim: int = 3, inner_radius: float = 0.8,
+                 seed: RngLike = None, shuffle: bool = True) -> PointSet:
+    """The paper's adversarial generator: ``k`` far points + a dense core.
+
+    Parameters
+    ----------
+    n:
+        Total number of points.
+    k:
+        Number of points planted on the unit-sphere surface (the diverse
+        set the algorithms should recover).
+    dim:
+        Ambient dimension (the paper uses 3, and 2 for Table 4).
+    inner_radius:
+        Radius of the ball holding the remaining ``n - k`` points.
+    shuffle:
+        Randomly permute the points so the planted ones are not adjacent in
+        stream/partition order (on by default; disable for debugging).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(k, "k")
+    if k > n:
+        raise ValueError(f"k={k} cannot exceed n={n}")
+    rng = ensure_rng(seed)
+    surface = unit_sphere_surface(k, dim, seed=rng)
+    bulk = _uniform_ball(n - k, dim, inner_radius, rng) if n > k else \
+        np.empty((0, dim))
+    data = np.vstack([surface, bulk])
+    if shuffle:
+        data = data[rng.permutation(n)]
+    return PointSet(data, metric="euclidean")
+
+
+def uniform_cube(n: int, dim: int = 3, side: float = 1.0,
+                 seed: RngLike = None) -> PointSet:
+    """``n`` points uniform in the axis-aligned cube ``[0, side]^dim``."""
+    check_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    return PointSet(side * rng.random((n, dim)), metric="euclidean")
+
+
+def gaussian_clusters(n: int, centers: int = 8, dim: int = 3,
+                      spread: float = 0.05, box: float = 1.0,
+                      seed: RngLike = None) -> PointSet:
+    """``n`` points from ``centers`` spherical Gaussians in a box.
+
+    A lower-doubling-dimension-like workload: mass concentrates around a
+    few locations, which is where core-sets shine.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(centers, "centers")
+    rng = ensure_rng(seed)
+    locations = box * rng.random((centers, dim))
+    assignment = rng.integers(0, centers, size=n)
+    data = locations[assignment] + spread * rng.normal(size=(n, dim))
+    return PointSet(data, metric="euclidean")

@@ -1,0 +1,90 @@
+"""Synthetic musiXmatch-like bag-of-words vectors.
+
+The paper's real-world workload is the musiXmatch lyrics dataset: 237k
+songs as word-count vectors over the 5,000 most frequent words, filtered to
+songs with at least 10 distinct frequent words, compared under the cosine
+(angular) distance.  The dataset itself is not redistributable here, so we
+synthesize vectors with the same structural properties (the substitution is
+documented in DESIGN.md):
+
+* a Zipf-distributed vocabulary (heavy head, long tail);
+* per-document topic bias so documents cluster by word support — diverse
+  solutions must pick documents with nearly disjoint supports;
+* the same ``>= min_distinct_words`` filtering rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metricspace.points import PointSet
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def zipf_bag_of_words(
+    num_docs: int,
+    vocab_size: int = 1000,
+    topics: int = 25,
+    words_per_doc: tuple[int, int] = (15, 120),
+    zipf_exponent: float = 1.1,
+    min_distinct_words: int = 10,
+    seed: RngLike = None,
+) -> PointSet:
+    """Generate ``num_docs`` word-count vectors under the cosine distance.
+
+    Parameters
+    ----------
+    num_docs:
+        Number of documents after filtering.
+    vocab_size:
+        Vocabulary dimensionality (the paper's is 5,000; we default smaller
+        so dense vectors stay laptop-friendly — the geometry is unchanged).
+    topics:
+        Number of latent topics; each document draws most of its words from
+        one topic's preferred vocabulary slice, giving the disjoint-support
+        structure that makes diversity non-trivial.
+    words_per_doc:
+        Inclusive (min, max) of the document length distribution.
+    zipf_exponent:
+        Exponent of the word-frequency power law.
+    min_distinct_words:
+        The paper's filtering rule: drop docs with fewer distinct words.
+    """
+    check_positive_int(num_docs, "num_docs")
+    check_positive_int(vocab_size, "vocab_size")
+    check_positive_int(topics, "topics")
+    low, high = words_per_doc
+    if not 1 <= low <= high:
+        raise ValueError(f"invalid words_per_doc range {words_per_doc}")
+    if min_distinct_words > vocab_size:
+        raise ValueError("min_distinct_words cannot exceed vocab_size")
+    rng = ensure_rng(seed)
+
+    # Zipf base frequencies over the vocabulary.
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    base = ranks ** (-zipf_exponent)
+    base /= base.sum()
+
+    # Each topic boosts a contiguous slice of the (shuffled) vocabulary.
+    vocab_order = rng.permutation(vocab_size)
+    slice_size = max(vocab_size // topics, min_distinct_words)
+    topic_boost = np.ones((topics, vocab_size))
+    for topic in range(topics):
+        start = (topic * slice_size) % vocab_size
+        chosen = vocab_order[start:start + slice_size]
+        topic_boost[topic, chosen] = 50.0
+
+    docs = np.zeros((num_docs, vocab_size), dtype=np.float64)
+    produced = 0
+    while produced < num_docs:
+        topic = int(rng.integers(0, topics))
+        weights = base * topic_boost[topic]
+        weights /= weights.sum()
+        length = int(rng.integers(low, high + 1))
+        counts = rng.multinomial(length, weights)
+        if np.count_nonzero(counts) < min_distinct_words:
+            continue
+        docs[produced] = counts
+        produced += 1
+    return PointSet(docs, metric="cosine")

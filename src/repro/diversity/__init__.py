@@ -1,0 +1,46 @@
+"""Diversity objectives: evaluation, exact optima, sequential approximations.
+
+The six diversity maximization problems of the paper's Table 1 are exposed
+through a uniform :class:`~repro.diversity.objectives.Objective` registry.
+Each objective knows how to *evaluate* ``div`` on a chosen subset, carries
+the constants its core-set constructions need, and is paired with the best
+known polynomial-time sequential approximation algorithm.
+"""
+
+from repro.diversity.measures import (
+    remote_edge_value,
+    remote_clique_value,
+    remote_star_value,
+    remote_bipartition_value,
+    remote_tree_value,
+    remote_cycle_value,
+    evaluate_diversity,
+)
+from repro.diversity.objectives import (
+    Objective,
+    get_objective,
+    list_objectives,
+    OBJECTIVES,
+)
+from repro.diversity.exact import divk_exact, divk_exact_subset
+from repro.diversity.local_search import local_search_remote_clique
+from repro.diversity.sequential import sequential_solver, solve_sequential
+
+__all__ = [
+    "remote_edge_value",
+    "remote_clique_value",
+    "remote_star_value",
+    "remote_bipartition_value",
+    "remote_tree_value",
+    "remote_cycle_value",
+    "evaluate_diversity",
+    "Objective",
+    "get_objective",
+    "list_objectives",
+    "OBJECTIVES",
+    "divk_exact",
+    "divk_exact_subset",
+    "local_search_remote_clique",
+    "sequential_solver",
+    "solve_sequential",
+]

@@ -1,0 +1,54 @@
+"""Exact ``div_k`` by exhaustive search — the test oracle.
+
+All six diversity problems are NP-hard, so exact solutions are only
+feasible on tiny instances; that is exactly what the test-suite and the
+approximation-factor property checks need.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.diversity.objectives import Objective, get_objective
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+from repro.utils.validation import check_k_le_n
+
+#: Refuse exhaustive search beyond this many candidate subsets.
+MAX_SUBSETS = 2_000_000
+
+
+def divk_exact_subset(points: PointSet, k: int,
+                      objective: str | Objective) -> tuple[float, tuple[int, ...]]:
+    """Exact optimal subset: ``(div_k(S), argmax indices)``.
+
+    Enumerates all ``C(n, k)`` subsets; raises for instances whose subset
+    count exceeds :data:`MAX_SUBSETS`.
+    """
+    objective = get_objective(objective)
+    n = len(points)
+    k = check_k_le_n(k, n)
+    if comb(n, k) > MAX_SUBSETS:
+        raise ValidationError(
+            f"exact search over C({n}, {k}) = {comb(n, k)} subsets exceeds "
+            f"the limit of {MAX_SUBSETS}; use a sequential approximation instead"
+        )
+    dist = points.pairwise()
+    best_value = -np.inf
+    best_subset: tuple[int, ...] = tuple(range(k))
+    for subset in combinations(range(n), k):
+        idx = np.asarray(subset, dtype=np.intp)
+        value = objective.value(dist[np.ix_(idx, idx)])
+        if value > best_value:
+            best_value = value
+            best_subset = subset
+    return float(best_value), best_subset
+
+
+def divk_exact(points: PointSet, k: int, objective: str | Objective) -> float:
+    """Exact ``div_k(S)``: the value of the optimal size-*k* subset."""
+    value, _ = divk_exact_subset(points, k, objective)
+    return value

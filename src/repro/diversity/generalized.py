@@ -1,0 +1,141 @@
+"""Diversity over generalized core-sets (Section 6).
+
+Three pieces:
+
+* :func:`generalized_diversity` / :func:`gen_divk_exact` — evaluate
+  ``gen-div`` on the expansion of a generalized core-set (replicas of a
+  kernel point are distinct points at distance zero);
+* :func:`solve_generalized` — Fact 2: the sequential approximation
+  algorithms adapted to multisets, returning a *coherent subset* with
+  expanded size exactly ``k``;
+* :func:`instantiate_offline` — Lemma 7's ``delta``-instantiation: replace
+  replicas with distinct true input points within ``delta`` of their kernel
+  point.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.diversity.objectives import Objective, get_objective
+from repro.diversity.sequential.registry import solve_on_matrix
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+from repro.utils.validation import check_positive_int
+
+
+def generalized_diversity(coreset: GeneralizedCoreset,
+                          objective: str | Objective) -> float:
+    """``gen-div(T)``: the diversity of the expansion of *coreset*."""
+    objective = get_objective(objective)
+    return objective.value(coreset.expanded_distance_matrix())
+
+
+def gen_divk_exact(coreset: GeneralizedCoreset, k: int,
+                   objective: str | Objective,
+                   max_subsets: int = 500_000) -> float:
+    """Exact ``gen-div_k(T)`` by enumerating expansion subsets (test oracle).
+
+    Replicas are interchangeable, so enumerating index subsets of the
+    expansion visits every coherent subset (with duplicates); acceptable
+    for the tiny instances tests use.
+    """
+    objective = get_objective(objective)
+    k = check_positive_int(k, "k")
+    m = coreset.expanded_size
+    if k > m:
+        raise ValidationError(f"k={k} exceeds expanded size m(T)={m}")
+    if comb(m, k) > max_subsets:
+        raise ValidationError(
+            f"exact gen-div_k over C({m}, {k}) subsets exceeds the limit"
+        )
+    dist = coreset.expanded_distance_matrix()
+    best = -np.inf
+    for subset in combinations(range(m), k):
+        idx = np.asarray(subset, dtype=np.intp)
+        best = max(best, objective.value(dist[np.ix_(idx, idx)]))
+    return float(best)
+
+
+def solve_generalized(coreset: GeneralizedCoreset, k: int,
+                      objective: str | Objective) -> GeneralizedCoreset:
+    """Fact 2: run the adapted sequential algorithm on a generalized core-set.
+
+    The expansion (replicas at distance zero) is materialized as a distance
+    matrix of size ``m(T) <= k * s(T)`` and fed to the standard sequential
+    solver; the selected replicas are then compressed back into a coherent
+    subset with expanded size exactly ``k``.
+    """
+    objective = get_objective(objective)
+    k = check_positive_int(k, "k")
+    if k > coreset.expanded_size:
+        raise ValidationError(
+            f"k={k} exceeds the expanded size m(T)={coreset.expanded_size}"
+        )
+    owners = coreset.expansion_owners()
+    dist = coreset.expanded_distance_matrix()
+    selected = solve_on_matrix(dist, k, objective)
+    counts = np.bincount(owners[selected], minlength=coreset.size)
+    return coreset.coherent_subset(np.arange(coreset.size), counts)
+
+
+def instantiate_offline(
+    subset: GeneralizedCoreset,
+    pool: PointSet,
+    delta: float,
+) -> tuple[np.ndarray, bool]:
+    """Materialize a ``delta``-instantiation of *subset* from *pool* points.
+
+    Assigns each pool point to its nearest kernel point; each kernel pair
+    ``(p, m_p)`` takes up to ``m_p`` distinct assigned points within
+    *delta* (the kernel point itself, being in the pool at distance zero,
+    is always taken first).
+
+    Returns
+    -------
+    (indices, within_delta):
+        Pool indices of the chosen delegates and a flag indicating whether
+        every delegate respected the *delta* bound.  When a cluster runs
+        short (possible only if *delta* under-estimates the construction's
+        radius), the shortfall is filled with the nearest unused pool
+        points and the flag is ``False``.
+    """
+    if delta < 0:
+        raise ValidationError(f"delta must be non-negative, got {delta}")
+    cross = pool.metric.cross(pool.points, subset.points)
+    nearest_kernel = cross.argmin(axis=1)
+    chosen: list[int] = []
+    used = np.zeros(len(pool), dtype=bool)
+    within_delta = True
+    for kernel_index in range(subset.size):
+        need = int(subset.multiplicities[kernel_index])
+        members = np.flatnonzero(nearest_kernel == kernel_index)
+        dist_to_kernel = cross[members, kernel_index]
+        order = members[np.argsort(dist_to_kernel)]
+        taken = 0
+        for pool_index in order:
+            if taken == need:
+                break
+            if used[pool_index]:
+                continue
+            if cross[pool_index, kernel_index] > delta:
+                break
+            used[pool_index] = True
+            chosen.append(int(pool_index))
+            taken += 1
+        if taken < need:
+            # Shortfall: fill with the globally nearest unused points.
+            within_delta = False
+            backup = np.argsort(cross[:, kernel_index])
+            for pool_index in backup:
+                if taken == need:
+                    break
+                if not used[pool_index]:
+                    used[pool_index] = True
+                    chosen.append(int(pool_index))
+                    taken += 1
+    return np.asarray(chosen, dtype=np.intp), within_delta

@@ -1,0 +1,99 @@
+"""Evaluation of the six diversity measures on a chosen subset.
+
+Each ``*_value`` function takes the dense distance matrix of the *selected*
+points (``k x k``) and returns ``div`` of that set per Table 1 of the paper.
+Sets with fewer than two points have zero diversity under every measure.
+
+Note that remote-bipartition and remote-cycle are NP-hard to evaluate
+exactly; their evaluators dispatch to exact algorithms for small ``k`` and
+documented high-quality heuristics beyond (see :mod:`repro.graph`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.bipartition import min_balanced_bipartition
+from repro.graph.mst import mst_weight
+from repro.graph.tsp import tsp_weight
+
+
+def _check_subset_matrix(dist: np.ndarray) -> np.ndarray:
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValidationError(f"distance matrix must be square, got shape {dist.shape}")
+    return dist
+
+
+def remote_edge_value(dist: np.ndarray) -> float:
+    """``min_{p != q in S} d(p, q)`` — the minimum pairwise distance."""
+    dist = _check_subset_matrix(dist)
+    n = dist.shape[0]
+    if n < 2:
+        return 0.0
+    iu, ju = np.triu_indices(n, k=1)
+    return float(dist[iu, ju].min())
+
+
+def remote_clique_value(dist: np.ndarray) -> float:
+    """``sum_{p < q in S} d(p, q)`` — total pairwise distance."""
+    dist = _check_subset_matrix(dist)
+    n = dist.shape[0]
+    if n < 2:
+        return 0.0
+    iu, ju = np.triu_indices(n, k=1)
+    return float(dist[iu, ju].sum())
+
+
+def remote_star_value(dist: np.ndarray) -> float:
+    """``min_{c in S} sum_{q != c} d(c, q)`` — cheapest star weight."""
+    dist = _check_subset_matrix(dist)
+    if dist.shape[0] < 2:
+        return 0.0
+    return float(dist.sum(axis=1).min())
+
+
+def remote_bipartition_value(dist: np.ndarray) -> float:
+    """Minimum balanced-bipartition cut weight (exact for small sets)."""
+    dist = _check_subset_matrix(dist)
+    if dist.shape[0] < 2:
+        return 0.0
+    weight, _ = min_balanced_bipartition(dist)
+    return weight
+
+
+def remote_tree_value(dist: np.ndarray) -> float:
+    """``w(MST(S))`` — weight of the minimum spanning tree."""
+    dist = _check_subset_matrix(dist)
+    if dist.shape[0] < 2:
+        return 0.0
+    return mst_weight(dist)
+
+
+def remote_cycle_value(dist: np.ndarray) -> float:
+    """``w(TSP(S))`` — weight of the optimal tour (exact for small sets)."""
+    dist = _check_subset_matrix(dist)
+    if dist.shape[0] < 2:
+        return 0.0
+    return tsp_weight(dist)
+
+
+_EVALUATORS = {
+    "remote-edge": remote_edge_value,
+    "remote-clique": remote_clique_value,
+    "remote-star": remote_star_value,
+    "remote-bipartition": remote_bipartition_value,
+    "remote-tree": remote_tree_value,
+    "remote-cycle": remote_cycle_value,
+}
+
+
+def evaluate_diversity(name: str, dist: np.ndarray) -> float:
+    """Evaluate the measure called *name* on a subset distance matrix."""
+    try:
+        evaluator = _EVALUATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_EVALUATORS))
+        raise ValidationError(f"unknown diversity measure {name!r}; known: {known}") from None
+    return evaluator(dist)

@@ -1,0 +1,141 @@
+"""The objective registry: one :class:`Objective` per problem of Table 1.
+
+An :class:`Objective` bundles everything the rest of the stack needs to
+treat the six problems uniformly:
+
+* the ``div`` evaluator for a subset distance matrix;
+* whether the core-set proxy function must be *injective* (Lemma 2) —
+  which decides between GMM/SMM and their -EXT/-GEN extensions;
+* the core-set radius constants of Lemmas 3-6 (``8/16`` for MapReduce,
+  ``32/64`` for streaming);
+* the sequential approximation factor ``alpha`` from Table 1;
+* ``f(k)``, the number of distance terms in ``div`` (Lemma 7), used by the
+  generalized-core-set error bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.diversity import measures
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Static description of one diversity maximization problem."""
+
+    #: canonical registry name, e.g. ``"remote-clique"``
+    name: str
+    #: evaluator over the subset's dense distance matrix
+    evaluate: Callable[[np.ndarray], float]
+    #: True for the four problems of Lemma 2 (clique/star/bipartition/tree)
+    requires_injective_proxy: bool
+    #: approximation factor of the best known sequential algorithm (Table 1)
+    sequential_alpha: float
+    #: ``k' = (mr_constant / eps')^D * k`` for the MapReduce core-set
+    mr_constant: int
+    #: ``k' = (streaming_constant / eps')^D * k`` for the streaming core-set
+    streaming_constant: int
+    #: number of distance terms in div over k points (Lemma 7's ``f(k)``)
+    f_k: Callable[[int], int]
+
+    def value(self, dist: np.ndarray) -> float:
+        """Evaluate ``div`` on the subset distance matrix *dist*."""
+        return self.evaluate(dist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Objective({self.name!r}, alpha={self.sequential_alpha})"
+
+
+def _pairs(k: int) -> int:
+    return k * (k - 1) // 2
+
+
+def _star_terms(k: int) -> int:
+    return max(k - 1, 0)
+
+
+def _bipartition_terms(k: int) -> int:
+    return (k // 2) * ((k + 1) // 2)
+
+
+OBJECTIVES: dict[str, Objective] = {
+    "remote-edge": Objective(
+        name="remote-edge",
+        evaluate=measures.remote_edge_value,
+        requires_injective_proxy=False,
+        sequential_alpha=2.0,
+        mr_constant=8,
+        streaming_constant=32,
+        f_k=lambda k: 1,
+    ),
+    "remote-clique": Objective(
+        name="remote-clique",
+        evaluate=measures.remote_clique_value,
+        requires_injective_proxy=True,
+        sequential_alpha=2.0,
+        mr_constant=16,
+        streaming_constant=64,
+        f_k=_pairs,
+    ),
+    "remote-star": Objective(
+        name="remote-star",
+        evaluate=measures.remote_star_value,
+        requires_injective_proxy=True,
+        sequential_alpha=2.0,
+        mr_constant=16,
+        streaming_constant=64,
+        f_k=_star_terms,
+    ),
+    "remote-bipartition": Objective(
+        name="remote-bipartition",
+        evaluate=measures.remote_bipartition_value,
+        requires_injective_proxy=True,
+        sequential_alpha=3.0,
+        mr_constant=16,
+        streaming_constant=64,
+        f_k=_bipartition_terms,
+    ),
+    "remote-tree": Objective(
+        name="remote-tree",
+        evaluate=measures.remote_tree_value,
+        requires_injective_proxy=True,
+        sequential_alpha=4.0,
+        mr_constant=16,
+        streaming_constant=64,
+        f_k=_star_terms,
+    ),
+    "remote-cycle": Objective(
+        name="remote-cycle",
+        evaluate=measures.remote_cycle_value,
+        requires_injective_proxy=False,
+        sequential_alpha=3.0,
+        mr_constant=8,
+        streaming_constant=32,
+        f_k=lambda k: k,
+    ),
+}
+
+
+def get_objective(name: str | Objective) -> Objective:
+    """Resolve an objective by name (instances pass through).
+
+    >>> get_objective("remote-edge").requires_injective_proxy
+    False
+    """
+    if isinstance(name, Objective):
+        return name
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        known = ", ".join(sorted(OBJECTIVES))
+        raise ValidationError(f"unknown objective {name!r}; known: {known}") from None
+
+
+def list_objectives() -> list[str]:
+    """Names of all supported diversity objectives."""
+    return sorted(OBJECTIVES)

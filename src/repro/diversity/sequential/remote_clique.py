@@ -1,0 +1,31 @@
+"""Sequential 2-approximation for remote-clique (max-sum dispersion).
+
+The Hassin-Rubinstein-Tamir algorithm [22]: greedily match the two farthest
+unmatched points, ``floor(k/2)`` times, and output the matched points.  For
+odd ``k`` one extra point is added — we pick the point maximizing its
+distance sum to the selection, which can only help the objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.matching import greedy_max_matching
+
+
+def solve_remote_clique(dist: np.ndarray, k: int) -> np.ndarray:
+    """Select ``k`` indices 2-approximating the maximum pairwise-distance sum."""
+    dist = np.asarray(dist, dtype=np.float64)
+    n = dist.shape[0]
+    if k >= n:
+        return np.arange(n, dtype=np.intp)
+    pairs = greedy_max_matching(dist, k // 2)
+    selected = [index for pair in pairs for index in pair]
+    if len(selected) < k:
+        remaining = np.setdiff1d(np.arange(n), np.asarray(selected, dtype=np.intp))
+        if selected:
+            gains = dist[np.ix_(remaining, selected)].sum(axis=1)
+        else:
+            gains = dist[remaining].sum(axis=1)
+        selected.append(int(remaining[int(gains.argmax())]))
+    return np.asarray(selected[:k], dtype=np.intp)

@@ -1,0 +1,18 @@
+"""Sequential 3-approximation for remote-cycle.
+
+Halldorsson-Iwano-Katoh-Tokuyama [21] show the farthest-point greedy (GMM)
+selection 3-approximates the maximum-TSP-weight subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coresets.gmm import gmm_on_matrix
+
+
+def solve_remote_cycle(dist: np.ndarray, k: int) -> np.ndarray:
+    """Select ``k`` indices 3-approximating the maximum tour weight."""
+    dist = np.asarray(dist, dtype=np.float64)
+    first = int(dist.sum(axis=1).argmax())
+    return gmm_on_matrix(dist, k, first_index=first)

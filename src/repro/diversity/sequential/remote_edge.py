@@ -1,0 +1,24 @@
+"""Sequential 2-approximation for remote-edge: the GMM greedy.
+
+The farthest-point greedy's anticover property gives
+``div(T) = rho_T >= r_T >= r*_k >= rho*_k / 2``, i.e. a 2-approximation
+for remote-edge [32, 18], matching the lower bound under P != NP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coresets.gmm import gmm_on_matrix
+
+
+def solve_remote_edge(dist: np.ndarray, k: int) -> np.ndarray:
+    """Select ``k`` indices 2-approximating the maximum min-pairwise-distance.
+
+    The initial center is the point with the largest distance sum, a
+    deterministic choice that in practice starts the greedy at an extreme
+    point.
+    """
+    dist = np.asarray(dist, dtype=np.float64)
+    first = int(dist.sum(axis=1).argmax())
+    return gmm_on_matrix(dist, k, first_index=first)

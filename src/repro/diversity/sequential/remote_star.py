@@ -1,0 +1,40 @@
+"""Sequential 2-approximation for remote-star.
+
+Chandra-Halldorsson [12] show the farthest-pair greedy matching also
+2-approximates remote-star: the matched set's cheapest star is within a
+factor two of optimal because every star contains at least ``floor(k/2)``
+matching edges' worth of weight.  We reuse the matching selection and, as a
+cheap deterministic polish, try swapping in the best non-selected point for
+the current star center when it improves the objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diversity.measures import remote_star_value
+from repro.diversity.sequential.remote_clique import solve_remote_clique
+
+
+def solve_remote_star(dist: np.ndarray, k: int) -> np.ndarray:
+    """Select ``k`` indices 2-approximating the maximum min-star weight."""
+    dist = np.asarray(dist, dtype=np.float64)
+    n = dist.shape[0]
+    selected = solve_remote_clique(dist, k)
+    if k >= n:
+        return selected
+    # One greedy improvement round: replacing the current star center (the
+    # argmin row) with an outside point keeps the matching bound and often
+    # raises the realized value.
+    value = remote_star_value(dist[np.ix_(selected, selected)])
+    sub = dist[np.ix_(selected, selected)]
+    center_pos = int(sub.sum(axis=1).argmin())
+    outside = np.setdiff1d(np.arange(n), selected)
+    best = (value, selected)
+    for candidate in outside:
+        trial = selected.copy()
+        trial[center_pos] = candidate
+        trial_value = remote_star_value(dist[np.ix_(trial, trial)])
+        if trial_value > best[0]:
+            best = (trial_value, trial.copy())
+    return best[1]

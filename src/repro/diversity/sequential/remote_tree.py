@@ -1,0 +1,19 @@
+"""Sequential 4-approximation for remote-tree.
+
+Halldorsson-Iwano-Katoh-Tokuyama [21] show the farthest-point greedy (GMM)
+4-approximates the maximum-MST-weight subset: the greedy's anticover radii
+lower-bound the MST weight of any k-subset within constant factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coresets.gmm import gmm_on_matrix
+
+
+def solve_remote_tree(dist: np.ndarray, k: int) -> np.ndarray:
+    """Select ``k`` indices 4-approximating the maximum MST weight."""
+    dist = np.asarray(dist, dtype=np.float64)
+    first = int(dist.sum(axis=1).argmax())
+    return gmm_on_matrix(dist, k, first_index=first)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+model violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class InsufficientPointsError(ValidationError):
+    """An algorithm was asked for more points than the input contains."""
+
+    def __init__(self, requested: int, available: int, what: str = "points"):
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"requested {requested} {what} but only {available} are available"
+        )
+
+
+class MemoryBudgetExceededError(ReproError):
+    """A model-enforced memory budget (streaming or MapReduce) was exceeded."""
+
+    def __init__(self, used: int, budget: int, context: str = ""):
+        self.used = used
+        self.budget = budget
+        suffix = f" ({context})" if context else ""
+        super().__init__(f"memory budget exceeded: used {used} > budget {budget}{suffix}")
+
+
+class NotFittedError(ReproError):
+    """A result was requested from an algorithm that has not been run yet."""
+
+
+class StreamExhaustedError(ReproError):
+    """A streaming pass was requested on a stream that cannot be replayed."""

@@ -1,0 +1,28 @@
+"""Experiment harness: reference solutions, trial running, and reports.
+
+The paper computes approximation ratios against "the best solution found by
+many runs of our MapReduce algorithm with maximum parallelism and large
+local memory" (Section 7); :mod:`repro.experiments.reference` implements
+that methodology, :mod:`repro.experiments.harness` runs seeded repeated
+trials, and :mod:`repro.experiments.report` renders the paper-style tables
+and series.
+"""
+
+from repro.experiments.reference import reference_value
+from repro.experiments.harness import (
+    TrialOutcome,
+    approximation_ratio,
+    run_trials,
+    summarize,
+)
+from repro.experiments.report import format_table, format_series
+
+__all__ = [
+    "reference_value",
+    "TrialOutcome",
+    "approximation_ratio",
+    "run_trials",
+    "summarize",
+    "format_table",
+    "format_series",
+]

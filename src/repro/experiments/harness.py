@@ -1,0 +1,82 @@
+"""Seeded trial running and ratio bookkeeping.
+
+Experiments in the paper average over at least ten runs; here every
+configuration runs ``trials`` times with generators spawned from one master
+seed, and :func:`summarize` reports mean/min/max, which the benchmark
+modules print in paper-figure shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's achieved value and timing."""
+
+    value: float
+    seconds: float
+    extra: dict = field(default_factory=dict)
+
+
+def approximation_ratio(reference: float, achieved: float) -> float:
+    """Paper-style ratio ``reference / achieved`` (>= 1 up to reference noise).
+
+    A zero achieved value (possible for remote-edge when duplicates sneak
+    into a solution) maps to ``inf``.
+    """
+    if achieved <= 0.0:
+        return float("inf")
+    return reference / achieved
+
+
+def run_trials(run: Callable[[np.random.Generator], tuple[float, dict]],
+               trials: int, seed: RngLike = 0) -> list[TrialOutcome]:
+    """Execute *run* once per spawned RNG, timing each trial.
+
+    *run* receives a fresh generator and returns ``(value, extra)``.
+    """
+    outcomes: list[TrialOutcome] = []
+    for rng in spawn_rngs(seed, trials):
+        start = time.perf_counter()
+        value, extra = run(rng)
+        seconds = time.perf_counter() - start
+        outcomes.append(TrialOutcome(value=value, seconds=seconds, extra=extra))
+    return outcomes
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate of a trial batch."""
+
+    mean_value: float
+    min_value: float
+    max_value: float
+    mean_seconds: float
+    trials: int
+
+    def ratio_against(self, reference: float) -> float:
+        """Mean approximation ratio against a reference value."""
+        return approximation_ratio(reference, self.mean_value)
+
+
+def summarize(outcomes: list[TrialOutcome]) -> Summary:
+    """Mean/min/max of trial values and mean wall time."""
+    if not outcomes:
+        raise ValueError("cannot summarize zero trials")
+    values = np.asarray([o.value for o in outcomes])
+    seconds = np.asarray([o.seconds for o in outcomes])
+    return Summary(
+        mean_value=float(values.mean()),
+        min_value=float(values.min()),
+        max_value=float(values.max()),
+        mean_seconds=float(seconds.mean()),
+        trials=len(outcomes),
+    )

@@ -1,0 +1,53 @@
+"""Plain-text rendering of paper-style tables and series.
+
+Benchmarks print their reproduced figures as aligned text tables — one row
+per parameter setting, matching the rows/series the paper plots — so the
+terminal output of ``pytest benchmarks/`` doubles as the EXPERIMENTS.md
+evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table.
+
+    >>> print(format_table(["k", "ratio"], [[8, 1.02], [32, 1.10]]))
+    k   ratio
+    --  -----
+    8   1.02
+    32  1.1
+    """
+    cells = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one figure series as ``name: (x -> y)`` pairs."""
+    pairs = ", ".join(f"{_render(x)} -> {_render(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.001):
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

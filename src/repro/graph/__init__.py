@@ -1,0 +1,39 @@
+"""Graph substrate over metric cliques: MST, TSP, matching, bipartition.
+
+The remote-tree and remote-cycle diversity objectives are defined via the
+minimum spanning tree and the optimal travelling-salesman tour of the metric
+clique on the chosen points; remote-clique's sequential approximation uses
+greedy farthest-pair matching, and remote-bipartition needs a balanced
+min-cut.  All four are implemented here from scratch over distance matrices.
+"""
+
+from repro.graph.mst import mst_weight, prim_mst
+from repro.graph.tsp import (
+    tsp_weight,
+    held_karp_tsp,
+    mst_doubling_tour,
+    two_opt_improve,
+    tour_weight,
+)
+from repro.graph.matching import greedy_max_matching
+from repro.graph.bipartition import (
+    min_balanced_bipartition,
+    exact_min_balanced_bipartition,
+    local_search_balanced_bipartition,
+    bipartition_cut_weight,
+)
+
+__all__ = [
+    "mst_weight",
+    "prim_mst",
+    "tsp_weight",
+    "held_karp_tsp",
+    "mst_doubling_tour",
+    "two_opt_improve",
+    "tour_weight",
+    "greedy_max_matching",
+    "min_balanced_bipartition",
+    "exact_min_balanced_bipartition",
+    "local_search_balanced_bipartition",
+    "bipartition_cut_weight",
+]

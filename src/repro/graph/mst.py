@@ -1,0 +1,57 @@
+"""Minimum spanning tree of a metric clique (Prim's algorithm).
+
+Operating on a dense distance matrix, Prim's algorithm with an array-based
+frontier runs in O(n^2), which is optimal for complete graphs and fully
+vectorizes in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _check_square(dist: np.ndarray) -> np.ndarray:
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValidationError(f"distance matrix must be square, got shape {dist.shape}")
+    return dist
+
+
+def prim_mst(dist: np.ndarray) -> list[tuple[int, int]]:
+    """Edges ``(parent, child)`` of an MST of the complete graph on *dist*.
+
+    Returns an empty list for a single vertex.
+    """
+    dist = _check_square(dist)
+    n = dist.shape[0]
+    if n <= 1:
+        return []
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = dist[0].copy()
+    best_parent = np.zeros(n, dtype=np.intp)
+    in_tree[0] = True
+    best_dist[0] = np.inf
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        nxt = int(np.argmin(best_dist))
+        edges.append((int(best_parent[nxt]), nxt))
+        in_tree[nxt] = True
+        best_dist[nxt] = np.inf
+        closer = dist[nxt] < best_dist
+        closer &= ~in_tree
+        best_parent[closer] = nxt
+        best_dist[closer] = dist[nxt][closer]
+    return edges
+
+
+def mst_weight(dist: np.ndarray) -> float:
+    """Total weight of the MST of the complete graph on *dist*.
+
+    ``w(MST(S))`` is exactly the remote-tree diversity value of the point
+    set behind the matrix.
+    """
+    dist = _check_square(dist)
+    edges = prim_mst(dist)
+    return float(sum(dist[a, b] for a, b in edges))

@@ -1,0 +1,37 @@
+"""Simulated MapReduce model with memory accounting and real parallelism.
+
+The MR model of [24, 29] is defined by rounds in which reducers transform
+key-grouped data under a local-memory constraint ``M_L`` and a total-memory
+constraint ``M_T``.  :class:`~repro.mapreduce.engine.MapReduceEngine`
+simulates exactly that — each round applies a reducer function per
+partition, records the local/total memory actually used, and can execute
+reducers either serially (deterministic, for ratio experiments) or on a
+process pool (for the scalability experiment of Figure 5).
+"""
+
+from repro.mapreduce.model import RoundStats, JobStats
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.partition import (
+    chunk_partition,
+    random_partition,
+    adversarial_partition,
+    partition_points,
+)
+from repro.mapreduce.algorithm import (
+    MRDiversityMaximizer,
+    MRResult,
+    randomized_delegate_cap,
+)
+
+__all__ = [
+    "RoundStats",
+    "JobStats",
+    "MapReduceEngine",
+    "chunk_partition",
+    "random_partition",
+    "adversarial_partition",
+    "partition_points",
+    "MRDiversityMaximizer",
+    "MRResult",
+    "randomized_delegate_cap",
+]

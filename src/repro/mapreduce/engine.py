@@ -1,0 +1,98 @@
+"""The simulated MapReduce engine.
+
+A *round* takes a list of reducer inputs (one per reducer), applies a
+reducer function to each, and returns the outputs.  The engine measures
+wall time and memory (in points, via a caller-provided sizing function) per
+round, and can run reducers serially or on a ``ProcessPoolExecutor`` —
+real processes, so the scalability experiment measures genuine parallel
+speedup rather than GIL-bound threads.
+
+Reducer functions submitted to the process executor must be picklable
+(module-level functions); the library's algorithm module obeys this.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import MemoryBudgetExceededError, ValidationError
+from repro.mapreduce.model import JobStats, RoundStats
+
+SizeFn = Callable[[Any], int]
+
+
+def _default_size(payload: Any) -> int:
+    """Best-effort size of a payload in points."""
+    try:
+        return len(payload)
+    except TypeError:
+        return 1
+
+
+class MapReduceEngine:
+    """Round-based executor with memory accounting.
+
+    Parameters
+    ----------
+    parallelism:
+        Number of worker processes for the ``"process"`` executor (and the
+        nominal reducer count reported in stats).
+    executor:
+        ``"serial"`` (default; deterministic, zero IPC overhead) or
+        ``"process"`` (real multiprocessing, for timing experiments).
+    local_memory_limit:
+        Optional hard cap on per-reducer memory in points; exceeding it
+        raises :class:`MemoryBudgetExceededError`, which is how tests pin
+        down the ``M_L`` guarantees of Theorems 6-10.
+    """
+
+    def __init__(self, parallelism: int = 1, executor: str = "serial",
+                 local_memory_limit: int | None = None):
+        if parallelism < 1:
+            raise ValidationError(f"parallelism must be >= 1, got {parallelism}")
+        if executor not in ("serial", "process"):
+            raise ValidationError(f"executor must be 'serial' or 'process', got {executor!r}")
+        self.parallelism = parallelism
+        self.executor = executor
+        self.local_memory_limit = local_memory_limit
+        self.stats = JobStats()
+
+    def run_round(
+        self,
+        inputs: Sequence[Any],
+        reducer: Callable[[Any], Any],
+        size_fn: SizeFn = _default_size,
+    ) -> list[Any]:
+        """Apply *reducer* to every input, recording a :class:`RoundStats`."""
+        if not inputs:
+            raise ValidationError("a MapReduce round needs at least one reducer input")
+        start = time.perf_counter()
+        if self.executor == "process" and len(inputs) > 1:
+            with ProcessPoolExecutor(max_workers=self.parallelism) as pool:
+                outputs = list(pool.map(reducer, inputs))
+        else:
+            outputs = [reducer(payload) for payload in inputs]
+        wall = time.perf_counter() - start
+
+        local_memories = [
+            size_fn(payload) + size_fn(output)
+            for payload, output in zip(inputs, outputs)
+        ]
+        local_memory = max(local_memories)
+        total_memory = sum(size_fn(payload) for payload in inputs)
+        stats = RoundStats(
+            round_index=self.stats.num_rounds,
+            num_reducers=len(inputs),
+            local_memory_points=local_memory,
+            total_memory_points=total_memory,
+            wall_seconds=wall,
+        )
+        if self.local_memory_limit is not None and local_memory > self.local_memory_limit:
+            raise MemoryBudgetExceededError(
+                local_memory, self.local_memory_limit,
+                context=f"round {stats.round_index}",
+            )
+        self.stats.add(stats)
+        return outputs

@@ -1,0 +1,54 @@
+"""MapReduce bookkeeping records.
+
+The model's two resource parameters are the local memory ``M_L`` available
+to one reducer and the total memory ``M_T`` across the round.  Memory is
+counted in *points*, the natural unit for these algorithms (a point is a
+fixed-size vector; counting bytes would only multiply by ``8 d``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Resources used by one MapReduce round.
+
+    ``local_memory_points`` is the maximum, over reducers, of the reducer's
+    input size plus its output size — the M_L actually needed to run it.
+    """
+
+    round_index: int
+    num_reducers: int
+    local_memory_points: int
+    total_memory_points: int
+    wall_seconds: float
+
+
+@dataclass
+class JobStats:
+    """Accumulated statistics for a multi-round MapReduce job."""
+
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def max_local_memory_points(self) -> int:
+        """``M_L``: the largest per-reducer memory over all rounds."""
+        return max((r.local_memory_points for r in self.rounds), default=0)
+
+    @property
+    def max_total_memory_points(self) -> int:
+        """``M_T``: the largest round-total memory."""
+        return max((r.total_memory_points for r in self.rounds), default=0)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.rounds)
+
+    def add(self, stats: RoundStats) -> None:
+        self.rounds.append(stats)

@@ -1,0 +1,39 @@
+"""Metric-space substrate: distance functions, point containers, covers.
+
+Everything upstream (core-sets, diversity objectives, streaming and
+MapReduce algorithms) talks to points exclusively through the
+:class:`~repro.metricspace.distance.Metric` interface, so any metric that
+implements vectorized ``cross``/``pairwise`` kernels plugs into the whole
+stack — including the cosine and Jaccard distances that the paper highlights
+for web-search and database workloads.
+"""
+
+from repro.metricspace.distance import (
+    Metric,
+    EuclideanMetric,
+    ManhattanMetric,
+    ChebyshevMetric,
+    CosineDistance,
+    JaccardDistance,
+    HammingDistance,
+    get_metric,
+)
+from repro.metricspace.points import PointSet
+from repro.metricspace.balls import greedy_ball_cover, epsilon_net, covering_number
+from repro.metricspace.doubling import estimate_doubling_dimension
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "CosineDistance",
+    "JaccardDistance",
+    "HammingDistance",
+    "get_metric",
+    "PointSet",
+    "greedy_ball_cover",
+    "epsilon_net",
+    "covering_number",
+    "estimate_doubling_dimension",
+]

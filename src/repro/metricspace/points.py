@@ -1,0 +1,107 @@
+"""The :class:`PointSet` container binding a point array to its metric.
+
+A ``PointSet`` is the standard currency of the library: algorithms accept
+one and return index-based or subset-based results against it.  It is a thin,
+immutable view — subsetting shares the underlying array whenever numpy
+fancy-indexing allows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.metricspace.distance import Metric, get_metric
+from repro.utils.validation import check_points_array
+
+MetricLike = Union[str, Metric]
+
+
+class PointSet:
+    """An ``(n, d)`` array of points together with a :class:`Metric`.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)`` (or ``(n,)``, treated as 1-d points).
+    metric:
+        A :class:`Metric` instance or registry name such as ``"euclidean"``.
+
+    Example
+    -------
+    >>> ps = PointSet([[0.0, 0.0], [3.0, 4.0]], metric="euclidean")
+    >>> len(ps), ps.dim
+    (2, 2)
+    >>> float(ps.pairwise()[0, 1])
+    5.0
+    """
+
+    __slots__ = ("points", "metric")
+
+    def __init__(self, points: np.ndarray, metric: MetricLike = "euclidean"):
+        self.points = check_points_array(points)
+        self.metric = get_metric(metric)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the ambient vector representation."""
+        return self.points.shape[1]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.points[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PointSet(n={len(self)}, dim={self.dim}, metric={self.metric.name!r})"
+
+    # -- derived sets --------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "PointSet":
+        """A new ``PointSet`` containing the rows selected by *indices*."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return PointSet(self.points[indices], self.metric)
+
+    def concat(self, other: "PointSet") -> "PointSet":
+        """Concatenate with another ``PointSet`` over the same metric."""
+        if type(other.metric) is not type(self.metric):
+            raise ValueError(
+                f"cannot concat point sets over different metrics "
+                f"({self.metric.name} vs {other.metric.name})"
+            )
+        return PointSet(np.vstack([self.points, other.points]), self.metric)
+
+    def split(self, parts: int) -> list["PointSet"]:
+        """Split into *parts* nearly-equal contiguous chunks."""
+        return [PointSet(chunk, self.metric)
+                for chunk in np.array_split(self.points, parts)]
+
+    # -- distances -----------------------------------------------------------
+    def pairwise(self) -> np.ndarray:
+        """Full ``(n, n)`` self-distance matrix."""
+        return self.metric.pairwise(self.points)
+
+    def cross(self, other: "PointSet") -> np.ndarray:
+        """Distance matrix between this set and *other*."""
+        return self.metric.cross(self.points, other.points)
+
+    def distances_to(self, point: np.ndarray) -> np.ndarray:
+        """Distances from each stored point to a single query *point*."""
+        return self.metric.point_to_set(point, self.points)
+
+    def distance_to_set(self, point: np.ndarray) -> float:
+        """``d(point, S) = min_q d(point, q)`` over the stored points."""
+        return float(self.distances_to(point).min())
+
+    def diameter(self) -> float:
+        """Maximum pairwise distance (exact, O(n^2))."""
+        return float(self.pairwise().max())
+
+    def nearest_index(self, point: np.ndarray) -> int:
+        """Index of the stored point nearest to *point*."""
+        return int(self.distances_to(point).argmin())

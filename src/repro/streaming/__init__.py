@@ -1,0 +1,30 @@
+"""Streaming computation model: sources, memory audit, end-to-end algorithms.
+
+The streaming substrate enforces the model's constraint honestly: the
+diversity maximizers consume points strictly one at a time and the memory
+auditor verifies that the number of points ever held matches the
+``Theta((1/eps)^D k)`` / ``Theta((1/eps)^D k^2)`` bounds of Theorem 3.
+"""
+
+from repro.streaming.stream import ArrayStream, IteratorStream, Stream, ShuffledStream
+from repro.streaming.algorithm import (
+    StreamingDiversityMaximizer,
+    TwoPassStreamingDiversityMaximizer,
+    StreamingResult,
+)
+from repro.streaming.memory import theoretical_memory_points, audit_memory
+from repro.streaming.throughput import measure_throughput, ThroughputReport
+
+__all__ = [
+    "Stream",
+    "ArrayStream",
+    "IteratorStream",
+    "ShuffledStream",
+    "StreamingDiversityMaximizer",
+    "TwoPassStreamingDiversityMaximizer",
+    "StreamingResult",
+    "theoretical_memory_points",
+    "audit_memory",
+    "measure_throughput",
+    "ThroughputReport",
+]

@@ -1,0 +1,45 @@
+"""Memory accounting for the streaming model (Table 3 verification).
+
+The sketches track their own peak held-point counts;
+:func:`theoretical_memory_points` gives the model bound to compare against
+and :func:`audit_memory` performs the comparison, raising
+:class:`~repro.exceptions.MemoryBudgetExceededError` on violation so tests
+and benchmarks can assert the space guarantees of Theorems 1-3 and 9.
+"""
+
+from __future__ import annotations
+
+from repro.coresets.smm import SMM
+from repro.diversity.objectives import Objective, get_objective
+from repro.exceptions import MemoryBudgetExceededError
+
+
+def theoretical_memory_points(objective: str | Objective, k: int, k_prime: int,
+                              generalized: bool = False) -> int:
+    """Worst-case points held by the matching sketch, in points.
+
+    * SMM (remote-edge/cycle) holds at most ``k' + 1`` centers plus the
+      merge leftovers (at most ``k' + 1`` more): ``2 (k' + 1)``.
+    * SMM-EXT additionally holds up to ``k - 1`` delegates per center.
+    * SMM-GEN (``generalized=True``) stores counts, not points, so its
+      footprint matches plain SMM.
+    """
+    objective = get_objective(objective)
+    base = 2 * (k_prime + 1)
+    if objective.requires_injective_proxy and not generalized:
+        return base + (k_prime + 1) * (k - 1)
+    return base
+
+
+def audit_memory(sketch: SMM, objective: str | Objective, k: int, k_prime: int,
+                 generalized: bool = False) -> int:
+    """Check the sketch's observed peak against the theoretical bound.
+
+    Returns the observed peak (in points) on success.
+    """
+    bound = theoretical_memory_points(objective, k, k_prime, generalized)
+    observed = sketch.peak_memory_points
+    if observed > bound:
+        raise MemoryBudgetExceededError(observed, bound,
+                                        context=f"{type(sketch).__name__} sketch")
+    return observed

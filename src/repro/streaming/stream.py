@@ -1,0 +1,103 @@
+"""Stream sources.
+
+A :class:`Stream` yields points (1-d numpy rows) one at a time.  Multi-pass
+algorithms call :meth:`Stream.replay` to start a second pass; sources that
+cannot be replayed (true one-shot iterators) raise
+:class:`~repro.exceptions.StreamExhaustedError`, which keeps the pass
+discipline of the model explicit in the type system rather than implicit in
+the caller's behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import StreamExhaustedError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_points_array
+
+
+class Stream(ABC):
+    """Abstract source of points for one or more sequential passes."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Yield points for the current pass."""
+
+    @abstractmethod
+    def replay(self) -> "Stream":
+        """Return a stream for one more pass over the same data."""
+
+    def __len__(self) -> int:
+        """Number of points per pass, if known (else raises TypeError)."""
+        raise TypeError(f"{type(self).__name__} has no known length")
+
+
+class ArrayStream(Stream):
+    """Replayable stream over an in-memory array.
+
+    Algorithms are *not* allowed to index the array; the model is enforced
+    by convention (they only see the iterator) and audited by the memory
+    accounting of the sketches.
+    """
+
+    def __init__(self, points: np.ndarray):
+        self._points = check_points_array(points)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._points)
+
+    def replay(self) -> "ArrayStream":
+        return self
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+
+class ShuffledStream(Stream):
+    """An :class:`ArrayStream` presented in a seeded random order.
+
+    Each :meth:`replay` re-yields the *same* shuffled order, so multi-pass
+    algorithms observe a consistent stream.
+    """
+
+    def __init__(self, points: np.ndarray, seed: RngLike = None):
+        points = check_points_array(points)
+        order = ensure_rng(seed).permutation(points.shape[0])
+        self._points = points[order]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._points)
+
+    def replay(self) -> "ShuffledStream":
+        return self
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+
+class IteratorStream(Stream):
+    """A genuine one-shot stream wrapping an arbitrary iterable.
+
+    :meth:`replay` raises: algorithms requiring multiple passes must be fed
+    a replayable source.
+    """
+
+    def __init__(self, iterable: Iterable[np.ndarray]):
+        self._iterator = iter(iterable)
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        if self._consumed:
+            raise StreamExhaustedError("this one-shot stream was already consumed")
+        self._consumed = True
+        for item in self._iterator:
+            yield np.asarray(item, dtype=np.float64).reshape(-1)
+
+    def replay(self) -> "Stream":
+        raise StreamExhaustedError(
+            "IteratorStream cannot be replayed; use ArrayStream for multi-pass algorithms"
+        )

@@ -1,0 +1,20 @@
+"""Small shared utilities: RNG handling, validation, and timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_positive_int,
+    check_points_array,
+    check_in_range,
+    check_k_le_n,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "check_positive_int",
+    "check_points_array",
+    "check_in_range",
+    "check_k_le_n",
+]

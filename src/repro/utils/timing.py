@@ -1,0 +1,55 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.lap("build"):
+    ...     _ = sum(range(1000))
+    >>> watch.total("build") >= 0.0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_LapContext":
+        """Return a context manager accumulating elapsed time under *name*."""
+        return _LapContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add *seconds* of elapsed time to lap *name*."""
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under *name* (0.0 if never recorded)."""
+        return self.laps.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per recorded lap named *name*."""
+        count = self.counts.get(name, 0)
+        return self.laps.get(name, 0.0) / count if count else 0.0
+
+
+class _LapContext:
+    def __init__(self, watch: Stopwatch, name: str):
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_LapContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

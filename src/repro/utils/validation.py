@@ -1,0 +1,61 @@
+"""Argument-validation helpers shared across the library.
+
+These raise :class:`repro.exceptions.ValidationError` (a ``ValueError``
+subclass) with messages that name the offending parameter, so failures
+surface at API boundaries instead of deep inside numpy kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InsufficientPointsError, ValidationError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive ``int`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_in_range(value: float, name: str, low: float, high: float,
+                   inclusive_low: bool = False, inclusive_high: bool = True) -> float:
+    """Validate that *value* lies in the interval defined by the bounds."""
+    ok_low = value >= low if inclusive_low else value > low
+    ok_high = value <= high if inclusive_high else value < high
+    if not (ok_low and ok_high):
+        lo_bracket = "[" if inclusive_low else "("
+        hi_bracket = "]" if inclusive_high else ")"
+        raise ValidationError(
+            f"{name} must be in {lo_bracket}{low}, {high}{hi_bracket}, got {value}"
+        )
+    return float(value)
+
+
+def check_points_array(points: np.ndarray, name: str = "points") -> np.ndarray:
+    """Validate a 2-d float point array of shape ``(n, d)`` and return it.
+
+    One-dimensional inputs are reshaped to a single column so scalar metric
+    spaces can be expressed as plain vectors.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} must be a 2-d array, got ndim={array.ndim}")
+    if array.shape[0] == 0:
+        raise ValidationError(f"{name} must contain at least one point")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return array
+
+
+def check_k_le_n(k: int, n: int, what: str = "points") -> int:
+    """Validate ``0 < k <= n`` and return ``k``."""
+    k = check_positive_int(k, "k")
+    if k > n:
+        raise InsufficientPointsError(requested=k, available=n, what=what)
+    return k

@@ -1,0 +1,107 @@
+"""Tests for the AFZ, IMMM, and random-subset baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.afz import AFZDiversityMaximizer, afz_local_search_coreset
+from repro.baselines.immm import IMMMStreamingMaximizer
+from repro.baselines.random_subset import random_subset_solution
+from repro.datasets.synthetic import sphere_shell
+from repro.exceptions import ValidationError
+from repro.experiments.reference import reference_value
+from repro.mapreduce.algorithm import MRDiversityMaximizer
+from repro.metricspace.points import PointSet
+from repro.streaming.stream import ArrayStream
+
+
+class TestAFZCoreset:
+    def test_small_partition_passthrough(self, rng):
+        pts = PointSet(rng.random((3, 2)))
+        assert afz_local_search_coreset(pts, 5) is pts
+
+    def test_coreset_is_locally_optimal_selection(self, rng):
+        pts = PointSet(rng.random((40, 2)))
+        core = afz_local_search_coreset(pts, 4)
+        assert len(core) == 4
+
+
+class TestAFZDriver:
+    def test_runs_remote_clique(self):
+        pts = sphere_shell(400, 4, dim=2, seed=3)
+        algo = AFZDiversityMaximizer(k=4, objective="remote-clique",
+                                     parallelism=4, seed=0)
+        result = algo.run(pts)
+        assert result.solution is not None
+        assert len(result.solution) == 4
+        assert result.coreset_size <= 4 * 4  # l partitions of k points each
+
+    def test_runs_remote_edge(self):
+        pts = sphere_shell(400, 4, dim=2, seed=3)
+        algo = AFZDiversityMaximizer(k=4, objective="remote-edge",
+                                     parallelism=4, seed=0)
+        assert algo.run(pts).value > 0.0
+
+    def test_rejects_other_objectives(self):
+        with pytest.raises(ValidationError):
+            AFZDiversityMaximizer(k=4, objective="remote-tree")
+
+    def test_cppu_is_faster_than_afz(self):
+        """Table 4's headline: CPPU orders of magnitude faster, quality
+        at least comparable.  At test scale we only require strictly
+        faster and within-10% quality."""
+        pts = sphere_shell(3000, 4, dim=2, seed=5)
+        afz = AFZDiversityMaximizer(k=4, objective="remote-clique",
+                                    parallelism=4, seed=0)
+        cppu = MRDiversityMaximizer(k=4, k_prime=32, objective="remote-clique",
+                                    parallelism=4, seed=0)
+        afz_result = afz.run(pts)
+        cppu_result = cppu.run(pts)
+        assert cppu_result.stats.total_wall_seconds < afz_result.stats.total_wall_seconds
+        assert cppu_result.value >= afz_result.value * 0.9
+
+
+class TestIMMM:
+    def test_block_structure(self):
+        pts = sphere_shell(900, 4, dim=3, seed=7)
+        algo = IMMMStreamingMaximizer(k=4, expected_n=900,
+                                      objective="remote-edge")
+        result = algo.run(ArrayStream(pts.points))
+        # Block size = sqrt(4 * 900) = 60 -> 15 blocks.
+        assert algo.block_size == 60
+        assert result.blocks == 15
+        assert result.coreset_size == 15 * 4
+
+    def test_memory_grows_with_stream_unlike_smm(self):
+        """IMMM memory scales like sqrt(kn): the contrast motivating SMM."""
+        peaks = []
+        for n in (400, 6400):
+            pts = sphere_shell(n, 4, dim=3, seed=9)
+            algo = IMMMStreamingMaximizer(k=4, expected_n=n,
+                                          objective="remote-edge")
+            peaks.append(algo.run(ArrayStream(pts.points)).peak_memory_points)
+        assert peaks[1] >= 2.5 * peaks[0]  # sqrt(16) = 4x expected
+
+    def test_solution_quality_reasonable(self):
+        pts = sphere_shell(1600, 4, dim=3, seed=11)
+        algo = IMMMStreamingMaximizer(k=4, expected_n=1600,
+                                      objective="remote-edge")
+        result = algo.run(ArrayStream(pts.points))
+        reference = reference_value(pts, 4, "remote-edge")
+        assert reference / result.value <= 3.5  # their guarantee is 3x
+
+
+class TestRandomSubset:
+    def test_returns_k_points(self, medium_points):
+        solution, value = random_subset_solution(medium_points, 5,
+                                                 "remote-edge", seed=0)
+        assert len(solution) == 5
+        assert value >= 0.0
+
+    def test_coreset_methods_beat_random_on_planted_data(self):
+        pts = sphere_shell(2000, 8, dim=3, seed=13)
+        _, random_value = random_subset_solution(pts, 8, "remote-edge", seed=0)
+        algo = MRDiversityMaximizer(k=8, k_prime=32, objective="remote-edge",
+                                    parallelism=4, seed=0)
+        assert algo.run(pts).value > 2.0 * random_value

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    path = tmp_path / "data"
+    code = main(["generate", "sphere-shell", "--n", "400", "--k", "4",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(
+            ["generate", "cube", "--out", "/tmp/x"])
+        assert args.n == 10_000
+        assert args.dim == 3
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quantum", "--data", "x",
+                                       "--k", "4"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("generator", ["sphere-shell", "cube", "clusters"])
+    def test_generators(self, tmp_path, generator, capsys):
+        out = tmp_path / generator
+        assert main(["generate", generator, "--n", "200",
+                     "--out", str(out)]) == 0
+        assert out.with_suffix(".npy").exists()
+        assert "200 points" in capsys.readouterr().out
+
+    def test_bag_of_words(self, tmp_path, capsys):
+        out = tmp_path / "docs"
+        assert main(["generate", "bag-of-words", "--n", "30",
+                     "--out", str(out)]) == 0
+        assert "cosine" in capsys.readouterr().out
+
+
+class TestRun:
+    @pytest.mark.parametrize("algorithm", ["streaming", "mapreduce", "immm"])
+    def test_algorithms(self, dataset, algorithm, capsys):
+        assert main(["run", algorithm, "--data", str(dataset),
+                     "--k", "4", "--parallelism", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value =" in out
+
+    def test_two_pass_and_three_round(self, dataset, capsys):
+        for algorithm in ("streaming-2pass", "mapreduce-3round"):
+            assert main(["run", algorithm, "--data", str(dataset),
+                         "--k", "4", "--objective", "remote-clique",
+                         "--parallelism", "2"]) == 0
+        assert "value =" in capsys.readouterr().out
+
+    def test_afz(self, dataset, capsys):
+        assert main(["run", "afz", "--data", str(dataset), "--k", "4",
+                     "--objective", "remote-clique",
+                     "--parallelism", "2"]) == 0
+        assert "core-set" in capsys.readouterr().out
+
+    def test_with_ratio(self, dataset, capsys):
+        assert main(["run", "mapreduce", "--data", str(dataset),
+                     "--k", "4", "--with-ratio"]) == 0
+        assert "ratio vs best-found reference" in capsys.readouterr().out
+
+    def test_default_k_prime_is_4k(self, dataset, capsys):
+        main(["run", "streaming", "--data", str(dataset), "--k", "4"])
+        assert "k'=16" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_reports_dimension_and_sizes(self, dataset, capsys):
+        assert main(["estimate", "--data", str(dataset), "--k", "4",
+                     "--epsilon", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "doubling dimension" in out
+        assert "mapreduce" in out and "streaming" in out

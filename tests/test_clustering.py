@@ -1,0 +1,90 @@
+"""Tests for the standalone k-center clustering APIs."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kcenter import (
+    clustering_radius,
+    kcenter_greedy,
+    kcenter_streaming,
+)
+from repro.exceptions import InsufficientPointsError
+from repro.metricspace.points import PointSet
+from repro.streaming.stream import ArrayStream
+
+
+def _optimal_radius(points: PointSet, k: int) -> float:
+    dist = points.pairwise()
+    best = np.inf
+    for subset in combinations(range(len(points)), k):
+        idx = np.asarray(subset)
+        best = min(best, float(dist[:, idx].min(axis=1).max()))
+    return best
+
+
+class TestGreedy:
+    def test_two_cluster_instance(self):
+        points = PointSet([[0.0], [0.2], [10.0], [10.2]])
+        result = kcenter_greedy(points, 2)
+        assert result.radius == pytest.approx(0.2)
+        assert result.k == 2
+        assert result.assignment is not None
+        # Points 0,1 share a center; points 2,3 share the other.
+        assert result.assignment[0] == result.assignment[1]
+        assert result.assignment[2] == result.assignment[3]
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_2_approximation(self, k, rng):
+        points = PointSet(rng.random((12, 2)))
+        result = kcenter_greedy(points, k)
+        assert result.radius <= 2.0 * _optimal_radius(points, k) + 1e-9
+
+    def test_radius_matches_recomputation(self, medium_points):
+        result = kcenter_greedy(medium_points, 6)
+        assert result.radius == pytest.approx(
+            clustering_radius(medium_points, result.centers))
+
+    def test_k_too_large(self, small_points):
+        with pytest.raises(InsufficientPointsError):
+            kcenter_greedy(small_points, len(small_points) + 1)
+
+
+class TestStreaming:
+    def test_covers_stream_within_bound(self, rng):
+        data = rng.random((500, 2)) * 10.0
+        points = PointSet(data)
+        result = kcenter_streaming(ArrayStream(data), 5)
+        actual = clustering_radius(points, result.centers)
+        assert actual <= result.radius + 1e-9
+        assert result.k == 5
+
+    def test_8_approximation_empirically(self, rng):
+        """The doubling algorithm's *actual* radius (not just the bound)
+        stays within 8x optimal on random instances."""
+        data = rng.random((200, 2))
+        points = PointSet(data)
+        k = 3
+        result = kcenter_streaming(ArrayStream(data), k)
+        actual = clustering_radius(points, result.centers)
+        # Optimal radius via greedy lower bound r_greedy / 2 <= r*.
+        greedy = kcenter_greedy(points, k)
+        optimal_lower = greedy.radius / 2.0
+        assert actual <= 8.0 * max(optimal_lower, 1e-12) + 1e-9
+
+    def test_short_stream(self):
+        result = kcenter_streaming(ArrayStream(np.asarray([[0.0], [5.0]])), 2)
+        assert result.k == 2
+        assert result.radius == pytest.approx(0.0)
+
+    def test_streaming_vs_greedy_quality(self, rng):
+        """Streaming is allowed to be worse, but not unboundedly so."""
+        data = rng.random((400, 3))
+        points = PointSet(data)
+        greedy = kcenter_greedy(points, 4)
+        streaming = kcenter_streaming(ArrayStream(data), 4)
+        actual = clustering_radius(points, streaming.centers)
+        assert actual <= 8.0 * greedy.radius + 1e-9

@@ -1,0 +1,147 @@
+"""Tests for GMM and its anticover / k-center guarantees."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coresets.characterization import coreset_farness, coreset_range
+from repro.coresets.gmm import gmm, gmm_on_matrix
+from repro.exceptions import InsufficientPointsError
+from repro.metricspace.points import PointSet
+
+
+def _optimal_range(points: PointSet, k: int) -> float:
+    """Exact r*_k by enumeration (tiny instances only)."""
+    n = len(points)
+    best = np.inf
+    dist = points.pairwise()
+    for subset in combinations(range(n), k):
+        idx = np.asarray(subset)
+        best = min(best, float(dist[:, idx].min(axis=1).max()))
+    return best
+
+
+class TestGMMBasics:
+    def test_selects_k_distinct(self, medium_points):
+        result = gmm(medium_points, 10)
+        assert len(result.indices) == 10
+        assert len(set(result.indices.tolist())) == 10
+
+    def test_line_selection_order(self, line_points):
+        # From 0: farthest is 16, then 8 (dist 8 to {0,16}), then 4...
+        result = gmm(line_points, 4, first_index=0)
+        chosen = [float(line_points.points[i][0]) for i in result.indices]
+        assert chosen == [0.0, 16.0, 8.0, 4.0]
+
+    def test_anticover_radii_non_increasing(self, medium_points):
+        result = gmm(medium_points, 20)
+        radii = result.anticover_radii[1:]
+        assert np.all(radii[:-1] >= radii[1:] - 1e-12)
+
+    def test_range_equals_max_min_dist(self, medium_points):
+        result = gmm(medium_points, 8)
+        assert result.range == pytest.approx(
+            coreset_range(medium_points, result.indices)
+        )
+
+    def test_assignment_is_nearest_center(self, medium_points):
+        result = gmm(medium_points, 6)
+        centers = medium_points.subset(result.indices)
+        cross = medium_points.cross(centers)
+        expected = cross.argmin(axis=1)
+        # Ties broken toward earlier centers; with random data ties are
+        # measure-zero so exact equality is expected.
+        assert np.array_equal(result.assignment, expected)
+
+    def test_k_equals_n(self, small_points):
+        result = gmm(small_points, len(small_points))
+        assert sorted(result.indices.tolist()) == list(range(len(small_points)))
+        assert result.range == pytest.approx(0.0)
+
+    def test_k_too_large_rejected(self, small_points):
+        with pytest.raises(InsufficientPointsError):
+            gmm(small_points, len(small_points) + 1)
+
+    def test_first_index_respected(self, medium_points):
+        result = gmm(medium_points, 4, first_index=17)
+        assert result.indices[0] == 17
+
+    def test_bad_first_index(self, small_points):
+        with pytest.raises(ValueError):
+            gmm(small_points, 2, first_index=99)
+
+    def test_random_start_deterministic_for_seed(self, medium_points):
+        a = gmm(medium_points, 5, seed=3).indices
+        b = gmm(medium_points, 5, seed=3).indices
+        assert np.array_equal(a, b)
+
+
+class TestGMMGuarantees:
+    def test_anticover_property(self, medium_points):
+        """r_T <= d_k <= rho_T for the full selection (anticover)."""
+        result = gmm(medium_points, 12)
+        r_t = coreset_range(medium_points, result.indices)
+        rho_t = coreset_farness(medium_points, result.indices)
+        d_last = float(result.anticover_radii[-1])
+        assert r_t <= d_last + 1e-9
+        assert d_last <= rho_t + 1e-9
+
+    def test_prefix_radius_brackets(self, medium_points):
+        result = gmm(medium_points, 12)
+        for k in (3, 6, 9):
+            prefix_range = coreset_range(medium_points, result.indices[:k])
+            assert prefix_range <= result.prefix_radius(k) + 1e-9
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_2_approximation_for_k_center(self, k, rng):
+        pts = PointSet(rng.random((12, 2)))
+        result = gmm(pts, k)
+        r_t = coreset_range(pts, result.indices)
+        assert r_t <= 2.0 * _optimal_range(pts, k) + 1e-9
+
+    def test_fact1_range_le_farness(self, rng):
+        """Fact 1: r*_k <= rho*_k, witnessed on tiny exact instances."""
+        pts = PointSet(rng.random((9, 2)))
+        for k in (2, 3):
+            r_star = _optimal_range(pts, k)
+            rho_star = max(
+                coreset_farness(pts, np.asarray(subset))
+                for subset in combinations(range(9), k)
+            )
+            assert r_star <= rho_star + 1e-9
+
+
+class TestGMMOnMatrix:
+    def test_matches_pointset_gmm(self, medium_points):
+        from_matrix = gmm_on_matrix(medium_points.pairwise(), 7, first_index=0)
+        from_points = gmm(medium_points, 7, first_index=0).indices
+        assert np.array_equal(from_matrix, from_points)
+
+    def test_handles_zero_distance_copies(self):
+        # Duplicate rows (multiset expansion): copies picked only at the end.
+        xs = np.asarray([0.0, 0.0, 5.0, 10.0])
+        dist = np.abs(xs[:, None] - xs[None, :])
+        indices = gmm_on_matrix(dist, 3, first_index=0)
+        values = sorted(xs[indices].tolist())
+        assert values == [0.0, 5.0, 10.0]
+
+    def test_bad_first_index(self):
+        with pytest.raises(ValueError):
+            gmm_on_matrix(np.zeros((3, 3)), 2, first_index=5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=arrays(np.float64, (10, 2), elements=st.floats(0, 100, allow_nan=False)),
+       k=st.integers(2, 5))
+def test_gmm_anticover_property_random(points, k):
+    pts = PointSet(points + np.arange(10)[:, None] * 1e-7)
+    result = gmm(pts, k)
+    r_t = coreset_range(pts, result.indices)
+    rho_t = coreset_farness(pts, result.indices)
+    assert r_t <= rho_t + 1e-6

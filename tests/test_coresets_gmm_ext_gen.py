@@ -1,0 +1,101 @@
+"""Tests for GMM-EXT (delegates) and GMM-GEN (multiplicities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coresets.gmm import gmm
+from repro.coresets.gmm_ext import gmm_ext
+from repro.coresets.gmm_gen import gmm_gen
+from repro.coresets.characterization import injective_proxy_distance_bound
+from repro.diversity.exact import divk_exact_subset
+from repro.metricspace.points import PointSet
+
+
+@pytest.fixture
+def clustered(rng) -> PointSet:
+    """Four tight clusters of 10 points each, far apart (exact-solver sized)."""
+    centers = np.asarray([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]])
+    data = np.vstack([
+        center + 0.1 * rng.normal(size=(10, 2)) for center in centers
+    ])
+    return PointSet(data[rng.permutation(40)])
+
+
+class TestGMMExt:
+    def test_size_bound(self, clustered):
+        result = gmm_ext(clustered, k=3, k_prime=4)
+        assert len(result.indices) <= 3 * 4
+        assert len(set(result.indices.tolist())) == len(result.indices)
+
+    def test_cluster_sizes_capped_at_k(self, clustered):
+        result = gmm_ext(clustered, k=3, k_prime=4)
+        assert np.all(result.cluster_sizes >= 1)
+        assert np.all(result.cluster_sizes <= 3)
+
+    def test_kernel_centers_included(self, clustered):
+        result = gmm_ext(clustered, k=3, k_prime=4)
+        for center in result.kernel.indices:
+            assert center in result.indices
+
+    def test_delegates_are_in_their_cluster(self, clustered):
+        result = gmm_ext(clustered, k=5, k_prime=4)
+        kernel = result.kernel
+        # Every selected point's nearest kernel center assignment matches a
+        # cluster that contributed it; verify via distance: each delegate is
+        # within the cluster radius of its center.
+        selected = set(result.indices.tolist())
+        assert selected  # non-empty
+        for j, center in enumerate(kernel.indices):
+            members = np.flatnonzero(kernel.assignment == j)
+            contributed = [i for i in members if i in selected]
+            assert 1 <= len(contributed) <= 5
+
+    def test_injective_proxy_exists_for_optimum(self, clustered):
+        """The EXT core-set admits an injective proxy for the optimal
+        solution within a small distance (the hypothesis of Lemma 2)."""
+        k = 4
+        result = gmm_ext(clustered, k=k, k_prime=8)
+        coreset = clustered.subset(result.indices)
+        _, optimum = divk_exact_subset(clustered, k, "remote-edge")
+        bound = injective_proxy_distance_bound(
+            clustered, coreset, np.asarray(optimum)
+        )
+        # Clusters have radius ~0.5; k'=8 kernels split them finely.
+        assert bound <= 1.0
+
+    def test_k_prime_lt_k_still_yields_k_points(self, clustered):
+        # k' < k is legal for EXT: one cluster can contribute up to k points.
+        result = gmm_ext(clustered, k=6, k_prime=2)
+        assert len(result.indices) >= 6
+
+
+class TestGMMGen:
+    def test_multiplicities_match_ext_cluster_sizes(self, clustered):
+        ext = gmm_ext(clustered, k=3, k_prime=4)
+        gen = gmm_gen(clustered, k=3, k_prime=4)
+        assert gen.size == 4
+        assert np.array_equal(
+            np.sort(gen.multiplicities), np.sort(ext.cluster_sizes)
+        )
+
+    def test_kernel_points_are_gmm_centers(self, clustered):
+        gen = gmm_gen(clustered, k=3, k_prime=4)
+        kernel = gmm(clustered, 4)
+        assert np.allclose(gen.points, clustered.points[kernel.indices])
+
+    def test_expanded_size_bound(self, clustered):
+        gen = gmm_gen(clustered, k=3, k_prime=4)
+        assert gen.expanded_size <= 3 * 4
+        assert gen.expanded_size >= 4  # every kernel point appears
+
+    def test_multiplicity_floor_of_one(self, rng):
+        # k' = n: every point its own cluster of size 1.
+        pts = PointSet(rng.random((6, 2)))
+        gen = gmm_gen(pts, k=2, k_prime=6)
+        assert np.all(gen.multiplicities == 1)
+
+    def test_k_prime_lt_k_expanded_size_covers_k(self, clustered):
+        gen = gmm_gen(clustered, k=6, k_prime=2)
+        assert gen.expanded_size >= 6

@@ -1,0 +1,126 @@
+"""Tests for the dataset generators and loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_points, save_points
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    sphere_shell,
+    uniform_cube,
+    unit_sphere_surface,
+)
+from repro.datasets.text import zipf_bag_of_words
+
+
+class TestSphereSurface:
+    def test_unit_norm(self, rng):
+        pts = unit_sphere_surface(50, dim=4, seed=0)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_deterministic(self):
+        a = unit_sphere_surface(10, seed=5)
+        b = unit_sphere_surface(10, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestSphereShell:
+    def test_structure(self):
+        pts = sphere_shell(500, 8, dim=3, inner_radius=0.8, seed=0)
+        norms = np.linalg.norm(pts.points, axis=1)
+        on_surface = np.isclose(norms, 1.0, atol=1e-9)
+        assert on_surface.sum() == 8
+        assert np.all(norms[~on_surface] <= 0.8 + 1e-12)
+
+    def test_shuffle_disperses_planted_points(self):
+        pts = sphere_shell(1000, 8, dim=3, seed=0, shuffle=True)
+        norms = np.linalg.norm(pts.points, axis=1)
+        planted = np.flatnonzero(np.isclose(norms, 1.0))
+        # With shuffling the planted indices should not be the first 8.
+        assert set(planted.tolist()) != set(range(8))
+
+    def test_no_shuffle_keeps_planted_first(self):
+        pts = sphere_shell(100, 4, dim=3, seed=0, shuffle=False)
+        norms = np.linalg.norm(pts.points, axis=1)
+        assert np.allclose(norms[:4], 1.0)
+
+    def test_k_equals_n(self):
+        pts = sphere_shell(5, 5, dim=2, seed=0)
+        assert np.allclose(np.linalg.norm(pts.points, axis=1), 1.0)
+
+    def test_k_gt_n_rejected(self):
+        with pytest.raises(ValueError):
+            sphere_shell(4, 5)
+
+    def test_planted_points_are_diverse(self):
+        """The planted surface points realize min pairwise distance well
+        above what random inner points achieve — the generator's purpose."""
+        pts = sphere_shell(300, 8, dim=3, seed=1, shuffle=False)
+        surface = pts.subset(range(8))
+        dist = surface.pairwise()
+        iu, ju = np.triu_indices(8, k=1)
+        assert dist[iu, ju].min() > 0.2
+
+
+class TestOtherGenerators:
+    def test_uniform_cube_bounds(self, rng):
+        pts = uniform_cube(100, dim=2, side=3.0, seed=0)
+        assert pts.points.min() >= 0.0
+        assert pts.points.max() <= 3.0
+
+    def test_gaussian_clusters_shape(self):
+        pts = gaussian_clusters(120, centers=4, dim=3, seed=0)
+        assert len(pts) == 120
+        assert pts.dim == 3
+
+
+class TestBagOfWords:
+    def test_shape_and_metric(self):
+        docs = zipf_bag_of_words(50, vocab_size=200, seed=0)
+        assert len(docs) == 50
+        assert docs.dim == 200
+        assert docs.metric.name == "cosine"
+
+    def test_counts_are_non_negative_integers(self):
+        docs = zipf_bag_of_words(30, vocab_size=100, seed=1)
+        assert np.all(docs.points >= 0)
+        assert np.allclose(docs.points, np.round(docs.points))
+
+    def test_min_distinct_words_filter(self):
+        docs = zipf_bag_of_words(40, vocab_size=300, min_distinct_words=10,
+                                 seed=2)
+        distinct = (docs.points > 0).sum(axis=1)
+        assert np.all(distinct >= 10)
+
+    def test_deterministic(self):
+        a = zipf_bag_of_words(20, vocab_size=100, seed=3)
+        b = zipf_bag_of_words(20, vocab_size=100, seed=3)
+        assert np.array_equal(a.points, b.points)
+
+    def test_document_lengths_in_range(self):
+        docs = zipf_bag_of_words(30, vocab_size=200,
+                                 words_per_doc=(20, 40), seed=4)
+        lengths = docs.points.sum(axis=1)
+        assert np.all(lengths >= 20) and np.all(lengths <= 40)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_bag_of_words(10, vocab_size=5, min_distinct_words=10)
+        with pytest.raises(ValueError):
+            zipf_bag_of_words(10, words_per_doc=(0, 5))
+
+
+class TestLoaders:
+    def test_roundtrip(self, tmp_path, rng):
+        pts = zipf_bag_of_words(10, vocab_size=50, seed=0)
+        save_points(pts, tmp_path / "docs")
+        loaded = load_points(tmp_path / "docs")
+        assert np.array_equal(loaded.points, pts.points)
+        assert loaded.metric.name == "cosine"
+
+    def test_creates_parent_dirs(self, tmp_path, rng):
+        pts = uniform_cube(5, seed=0)
+        save_points(pts, tmp_path / "deep" / "nested" / "data")
+        assert load_points(tmp_path / "deep" / "nested" / "data").dim == 3

@@ -1,0 +1,125 @@
+"""Tests for exact div_k and the sequential approximation algorithms.
+
+The crucial property checked here is each solver's approximation guarantee
+against the exact optimum on small random instances: GMM's factor 2 for
+remote-edge, matching's factor 2 for remote-clique, etc.  These are the
+``alpha`` values every end-to-end theorem multiplies by ``(1 + eps)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.diversity.exact import divk_exact, divk_exact_subset
+from repro.diversity.objectives import get_objective, list_objectives
+from repro.diversity.sequential import solve_on_matrix, solve_sequential
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+
+APPROX_FACTORS = {
+    "remote-edge": 2.0,
+    "remote-clique": 2.0,
+    "remote-star": 2.0,
+    "remote-bipartition": 3.0,
+    "remote-tree": 4.0,
+    "remote-cycle": 3.0,
+}
+
+
+class TestExact:
+    def test_line_remote_edge(self, line_points):
+        # Points 0,1,2,4,8,16; best 3-subset spread: {0, 8, 16} -> min gap 8.
+        value, subset = divk_exact_subset(line_points, 3, "remote-edge")
+        assert value == pytest.approx(8.0)
+        chosen = sorted(float(line_points.points[i][0]) for i in subset)
+        assert chosen == [0.0, 8.0, 16.0]
+
+    def test_line_remote_clique(self, line_points):
+        value, _ = divk_exact_subset(line_points, 2, "remote-clique")
+        assert value == pytest.approx(16.0)
+
+    def test_k_equals_n(self, small_points):
+        value = divk_exact(small_points, len(small_points), "remote-edge")
+        objective = get_objective("remote-edge")
+        assert value == pytest.approx(objective.value(small_points.pairwise()))
+
+    def test_subset_count_guard(self, rng):
+        big = PointSet(rng.random((60, 2)))
+        with pytest.raises(ValidationError):
+            divk_exact(big, 20, "remote-edge")
+
+    def test_monotone_in_k_for_edge(self, small_points):
+        """Remote-edge optimum can only shrink as k grows."""
+        values = [divk_exact(small_points, k, "remote-edge") for k in (2, 3, 4)]
+        assert values[0] >= values[1] >= values[2]
+
+
+@pytest.mark.parametrize("objective", list_objectives())
+class TestSequentialGuarantees:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_approximation_factor_on_random_instances(self, objective, k, rng):
+        alpha = APPROX_FACTORS[objective]
+        for trial in range(5):
+            pts = PointSet(np.random.default_rng(1000 * k + trial).random((10, 2)))
+            optimum = divk_exact(pts, k, objective)
+            _, achieved = solve_sequential(pts, k, objective)
+            assert achieved >= optimum / alpha - 1e-9, (
+                f"{objective}: achieved {achieved} < optimum {optimum} / {alpha}"
+            )
+            assert achieved <= optimum + 1e-9
+
+    def test_selects_k_distinct_indices(self, objective, small_points):
+        indices, _ = solve_sequential(small_points, 5, objective)
+        assert len(indices) == 5
+        assert len(set(indices.tolist())) == 5
+
+    def test_k_equals_n_selects_everything(self, objective, small_points):
+        indices, _ = solve_sequential(small_points, len(small_points), objective)
+        assert sorted(indices.tolist()) == list(range(len(small_points)))
+
+
+class TestSolveOnMatrix:
+    def test_rejects_k_too_large(self, rng):
+        dist = np.zeros((3, 3))
+        with pytest.raises(Exception):
+            solve_on_matrix(dist, 4, "remote-edge")
+
+    def test_remote_edge_picks_extremes_on_line(self):
+        xs = np.asarray([0.0, 1.0, 2.0, 10.0])
+        dist = np.abs(xs[:, None] - xs[None, :])
+        indices = solve_on_matrix(dist, 2, "remote-edge")
+        assert set(indices.tolist()) == {0, 3}
+
+    def test_clique_picks_farthest_pair(self):
+        xs = np.asarray([0.0, 4.0, 9.0])
+        dist = np.abs(xs[:, None] - xs[None, :])
+        indices = solve_on_matrix(dist, 2, "remote-clique")
+        assert set(indices.tolist()) == {0, 2}
+
+    def test_clique_odd_k_adds_good_third(self):
+        # Farthest pair is (0,0)-(10,0); the best third by distance sum is
+        # the off-axis point, not the near-duplicate of the first endpoint.
+        pts = np.asarray([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [10.0, 0.0]])
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+        indices = solve_on_matrix(dist, 3, "remote-clique")
+        assert set(indices.tolist()) == {0, 2, 3}
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=arrays(np.float64, (8, 2), elements=st.floats(0, 10, allow_nan=False)),
+       k=st.integers(2, 4))
+def test_gmm_remote_edge_2_approx_property(points, k):
+    """Property: GMM never falls below half the remote-edge optimum.
+
+    The tie-breaking jitter must exceed the Gram-trick kernel's
+    cancellation noise (~1e-7 at coordinate magnitude 10), otherwise
+    duplicates produce zero distances on both sides of the comparison.
+    """
+    pts = PointSet(points + np.arange(8)[:, None] * 1e-3)
+    optimum = divk_exact(pts, k, "remote-edge")
+    _, achieved = solve_sequential(pts, k, "remote-edge")
+    assert achieved >= optimum / 2.0 - 1e-7

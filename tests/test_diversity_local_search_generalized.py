@@ -1,0 +1,164 @@
+"""Tests for local search and generalized (multiset) diversity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.diversity.exact import divk_exact
+from repro.diversity.generalized import (
+    gen_divk_exact,
+    generalized_diversity,
+    instantiate_offline,
+    solve_generalized,
+)
+from repro.diversity.local_search import local_search_remote_clique
+from repro.diversity.measures import remote_clique_value
+from repro.exceptions import ValidationError
+from repro.metricspace.distance import EuclideanMetric
+from repro.metricspace.points import PointSet
+
+
+def _dist(points: np.ndarray) -> np.ndarray:
+    return np.linalg.norm(points[:, None] - points[None, :], axis=2)
+
+
+class TestLocalSearch:
+    def test_improves_bad_start(self, rng):
+        pts = rng.random((30, 2))
+        dist = _dist(pts)
+        start = np.arange(4, dtype=np.intp)
+        start_value = remote_clique_value(dist[np.ix_(start, start)])
+        indices, swaps = local_search_remote_clique(dist, 4, initial=start)
+        final_value = remote_clique_value(dist[np.ix_(indices, indices)])
+        assert final_value >= start_value - 1e-12
+        assert len(set(indices.tolist())) == 4
+
+    def test_local_optimality(self, rng):
+        """At termination no single swap improves the objective."""
+        pts = rng.random((15, 2))
+        dist = _dist(pts)
+        indices, _ = local_search_remote_clique(dist, 3)
+        value = remote_clique_value(dist[np.ix_(indices, indices)])
+        outside = np.setdiff1d(np.arange(15), indices)
+        for pos in range(3):
+            for candidate in outside:
+                trial = indices.copy()
+                trial[pos] = candidate
+                trial_value = remote_clique_value(dist[np.ix_(trial, trial)])
+                assert trial_value <= value + 1e-9
+
+    def test_near_optimal_on_small_instance(self, rng):
+        pts = PointSet(rng.random((10, 2)))
+        optimum = divk_exact(pts, 3, "remote-clique")
+        indices, _ = local_search_remote_clique(pts.pairwise(), 3)
+        achieved = remote_clique_value(pts.pairwise()[np.ix_(indices, indices)])
+        # 1-swap local optima are within factor 2 of optimal; usually exact.
+        assert achieved >= optimum / 2.0 - 1e-9
+
+    def test_k_equals_n_no_swaps(self, rng):
+        dist = _dist(rng.random((5, 2)))
+        indices, swaps = local_search_remote_clique(dist, 5)
+        assert swaps == 0
+        assert sorted(indices.tolist()) == list(range(5))
+
+    def test_bad_initial_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            local_search_remote_clique(_dist(rng.random((6, 2))), 3,
+                                       initial=np.asarray([0, 1]))
+
+
+def _gcore(points, mult):
+    return GeneralizedCoreset(points=np.asarray(points, dtype=float),
+                              multiplicities=np.asarray(mult),
+                              metric=EuclideanMetric())
+
+
+class TestGeneralizedDiversity:
+    def test_expansion_distances(self):
+        core = _gcore([[0.0], [3.0]], [2, 1])
+        dist = core.expanded_distance_matrix()
+        assert dist.shape == (3, 3)
+        assert dist[0, 1] == pytest.approx(0.0)  # two replicas of 0.0
+        assert dist[0, 2] == pytest.approx(3.0)
+
+    def test_gen_div_clique_counts_replicas(self):
+        core = _gcore([[0.0], [3.0]], [2, 1])
+        # Pairs: (0,0')=0, (0,3)=3, (0',3)=3 -> 6.
+        assert generalized_diversity(core, "remote-clique") == pytest.approx(6.0)
+
+    def test_gen_divk_exact(self):
+        core = _gcore([[0.0], [3.0], [10.0]], [2, 1, 1])
+        # Best 2 of the expansion for clique: {0, 10} -> 10.
+        assert gen_divk_exact(core, 2, "remote-clique") == pytest.approx(10.0)
+
+    def test_gen_divk_rejects_k_too_large(self):
+        core = _gcore([[0.0]], [2])
+        with pytest.raises(ValidationError):
+            gen_divk_exact(core, 3, "remote-clique")
+
+
+class TestSolveGeneralized:
+    def test_coherent_output_of_size_k(self):
+        core = _gcore([[0.0], [5.0], [9.0]], [3, 3, 3])
+        subset = solve_generalized(core, 4, "remote-clique")
+        assert subset.expanded_size == 4
+        assert np.all(subset.multiplicities <= 3)
+
+    def test_matches_fact2_quality(self):
+        """The adapted solver is within alpha=2 of gen-div_k (Fact 2)."""
+        core = _gcore([[0.0], [2.0], [7.0], [11.0]], [2, 1, 2, 1])
+        for k in (2, 3, 4):
+            best = gen_divk_exact(core, k, "remote-clique")
+            subset = solve_generalized(core, k, "remote-clique")
+            achieved = generalized_diversity(subset, "remote-clique")
+            assert achieved >= best / 2.0 - 1e-9
+
+    def test_prefers_spread_kernel_points(self):
+        core = _gcore([[0.0], [0.1], [100.0]], [5, 5, 5])
+        subset = solve_generalized(core, 2, "remote-clique")
+        coords = sorted(float(p[0]) for p in subset.points)
+        assert coords[-1] == pytest.approx(100.0)
+
+
+class TestInstantiation:
+    def test_exact_materialization(self):
+        pool = PointSet([[0.0], [0.05], [0.1], [5.0], [5.05]])
+        subset = _gcore([[0.0], [5.0]], [2, 2])
+        indices, ok = instantiate_offline(subset, pool, delta=0.2)
+        assert ok
+        assert len(indices) == 4
+        assert len(set(indices.tolist())) == 4
+        chosen = sorted(float(pool.points[i][0]) for i in indices)
+        assert chosen == [0.0, 0.05, 5.0, 5.05]
+
+    def test_lemma7_error_bound(self, rng):
+        """div(I(T)) >= gen-div(T) - f(k) * 2 * delta (Lemma 7)."""
+        pts = np.sort(rng.random(12) * 10.0).reshape(-1, 1)
+        pool = PointSet(pts)
+        kernel = np.asarray([[1.0], [5.0], [9.0]])
+        subset = GeneralizedCoreset(points=kernel,
+                                    multiplicities=np.asarray([2, 1, 1]),
+                                    metric=EuclideanMetric())
+        delta = 2.0
+        indices, ok = instantiate_offline(subset, pool, delta=delta)
+        k = subset.expanded_size
+        gen_value = generalized_diversity(subset, "remote-clique")
+        inst = pool.subset(indices)
+        value = remote_clique_value(inst.pairwise())
+        f_k = k * (k - 1) // 2
+        assert value >= gen_value - f_k * 2.0 * delta - 1e-9
+
+    def test_shortfall_flag(self):
+        pool = PointSet([[0.0], [100.0]])
+        subset = _gcore([[0.0]], [2])  # needs 2 delegates near 0.0
+        indices, ok = instantiate_offline(subset, pool, delta=0.5)
+        assert not ok
+        assert len(indices) == 2  # filled from the nearest unused points
+
+    def test_negative_delta_rejected(self):
+        pool = PointSet([[0.0]])
+        subset = _gcore([[0.0]], [1])
+        with pytest.raises(ValidationError):
+            instantiate_offline(subset, pool, delta=-1.0)

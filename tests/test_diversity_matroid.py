@@ -1,0 +1,193 @@
+"""Tests for the matroid-constrained diversity extension."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.diversity.matroid import (
+    PartitionMatroid,
+    UniformMatroid,
+    greedy_matroid_basis,
+    local_search_matroid_clique,
+    solve_matroid_clique,
+)
+from repro.diversity.measures import remote_clique_value
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+
+
+def _dist(points):
+    points = np.asarray(points, dtype=float)
+    return np.linalg.norm(points[:, None] - points[None, :], axis=2)
+
+
+def _exact_matroid_optimum(dist, matroid):
+    n = dist.shape[0]
+    best = -np.inf
+    for size in range(matroid.rank, 0, -1):
+        for subset in combinations(range(n), size):
+            if matroid.is_independent(subset):
+                idx = np.asarray(subset)
+                best = max(best, remote_clique_value(dist[np.ix_(idx, idx)]))
+        if best > -np.inf:
+            break  # only maximum-size independent sets matter for max-sum
+    return best
+
+
+class TestUniformMatroid:
+    def test_independence(self):
+        matroid = UniformMatroid(2)
+        assert matroid.is_independent([0, 1])
+        assert not matroid.is_independent([0, 1, 2])
+        assert not matroid.is_independent([0, 0])
+        assert matroid.rank == 2
+
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            UniformMatroid(0)
+
+
+class TestPartitionMatroid:
+    def test_independence(self):
+        matroid = PartitionMatroid([0, 0, 1, 1, 2], {0: 1, 1: 2, 2: 0})
+        assert matroid.is_independent([0, 2, 3])
+        assert not matroid.is_independent([0, 1])   # two from category 0
+        assert not matroid.is_independent([4])      # category 2 capped at 0
+        assert matroid.rank == 3
+
+    def test_rank_caps_by_availability(self):
+        matroid = PartitionMatroid([0, 0], {0: 5, 1: 3})
+        assert matroid.rank == 2  # only two elements of category 0 exist
+
+    def test_restrict(self):
+        matroid = PartitionMatroid([0, 0, 1, 1], {0: 1, 1: 1})
+        restricted = matroid.restrict([2, 3])
+        assert restricted.rank == 1
+        assert restricted.is_independent([0])
+        assert not restricted.is_independent([0, 1])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            PartitionMatroid([0], {0: -1})
+
+
+class TestGreedyBasis:
+    def test_reaches_rank(self, rng):
+        dist = _dist(rng.random((12, 2)))
+        matroid = PartitionMatroid(np.arange(12) % 3, {0: 2, 1: 2, 2: 2})
+        basis = greedy_matroid_basis(dist, matroid)
+        assert len(basis) == 6
+        assert matroid.is_independent(basis)
+
+
+class TestLocalSearch:
+    def test_respects_constraints(self, rng):
+        pts = rng.random((20, 2))
+        dist = _dist(pts)
+        categories = np.arange(20) % 4
+        matroid = PartitionMatroid(categories, {0: 1, 1: 1, 2: 1, 3: 1})
+        indices, _ = local_search_matroid_clique(dist, matroid)
+        assert matroid.is_independent(indices.tolist())
+        assert len(indices) == 4
+
+    def test_half_approximation_on_small_instances(self):
+        for trial in range(5):
+            rng = np.random.default_rng(trial)
+            pts = rng.random((10, 2))
+            dist = _dist(pts)
+            categories = np.arange(10) % 2
+            matroid = PartitionMatroid(categories, {0: 2, 1: 1})
+            optimum = _exact_matroid_optimum(dist, matroid)
+            indices, _ = local_search_matroid_clique(dist, matroid)
+            achieved = remote_clique_value(dist[np.ix_(indices, indices)])
+            assert achieved >= optimum / 2.0 - 1e-9
+
+    def test_uniform_matroid_matches_unconstrained_quality(self, rng):
+        from repro.diversity.local_search import local_search_remote_clique
+        pts = rng.random((15, 2))
+        dist = _dist(pts)
+        uniform_indices, _ = local_search_matroid_clique(dist, UniformMatroid(4))
+        plain_indices, _ = local_search_remote_clique(dist, 4)
+        uniform_value = remote_clique_value(
+            dist[np.ix_(uniform_indices, uniform_indices)])
+        plain_value = remote_clique_value(
+            dist[np.ix_(plain_indices, plain_indices)])
+        assert uniform_value >= plain_value * 0.8
+
+    def test_bad_initial_rejected(self, rng):
+        dist = _dist(rng.random((6, 2)))
+        matroid = PartitionMatroid([0] * 6, {0: 1})
+        with pytest.raises(ValidationError):
+            local_search_matroid_clique(dist, matroid, initial=[0, 1])
+
+
+class TestSolveMatroidClique:
+    def test_direct_small(self, rng):
+        points = PointSet(rng.random((30, 2)))
+        matroid = PartitionMatroid(np.arange(30) % 3, {0: 2, 1: 2, 2: 2})
+        indices, value = solve_matroid_clique(points, matroid)
+        assert matroid.is_independent(indices.tolist())
+        assert value > 0.0
+
+    def test_coreset_path_matches_constraints(self, rng):
+        points = PointSet(rng.random((500, 2)))
+        categories = (rng.random(500) * 5).astype(int)
+        matroid = PartitionMatroid(categories, {c: 1 for c in range(5)})
+        indices, value = solve_matroid_clique(points, matroid,
+                                              use_coreset=True, k_prime=40)
+        assert matroid.is_independent(indices.tolist())
+        assert len(indices) == 5
+
+    def test_coreset_quality_near_direct(self, rng):
+        points = PointSet(rng.random((600, 2)) * 10.0)
+        categories = (np.arange(600) % 4)
+        matroid = PartitionMatroid(categories, {c: 2 for c in range(4)})
+        _, direct_value = solve_matroid_clique(points, matroid,
+                                               use_coreset=False)
+        _, coreset_value = solve_matroid_clique(points, matroid,
+                                                use_coreset=True, k_prime=64)
+        assert coreset_value >= 0.8 * direct_value
+
+    def test_rank_zero_rejected(self, rng):
+        points = PointSet(rng.random((5, 2)))
+        matroid = PartitionMatroid([0] * 5, {0: 0})
+        with pytest.raises(ValidationError):
+            solve_matroid_clique(points, matroid)
+
+
+class TestTruncatedMatroid:
+    def test_truncation_caps_rank(self):
+        from repro.diversity.matroid import TruncatedMatroid
+        inner = PartitionMatroid([0, 0, 1, 1, 2, 2], {0: 2, 1: 2, 2: 2})
+        truncated = TruncatedMatroid(inner, 4)
+        assert truncated.rank == 4
+        assert truncated.is_independent([0, 2, 4])
+        assert truncated.is_independent([0, 1, 2, 4])
+        assert not truncated.is_independent([0, 1, 2, 3, 4])  # size 5 > 4
+        assert truncated.is_independent([0, 1, 2, 3])  # caps respected
+        assert not truncated.is_independent([0, 0, 2, 4])  # duplicate
+
+    def test_truncation_above_inner_rank_is_inner_rank(self):
+        from repro.diversity.matroid import TruncatedMatroid
+        inner = PartitionMatroid([0, 1], {0: 1, 1: 1})
+        assert TruncatedMatroid(inner, 10).rank == 2
+
+    def test_truncated_solve_end_to_end(self, rng):
+        from repro.diversity.matroid import TruncatedMatroid
+        points = PointSet(rng.random((300, 2)) * 10.0)
+        categories = np.arange(300) % 6
+        inner = PartitionMatroid(categories, {c: 1 for c in range(6)})
+        matroid = TruncatedMatroid(inner, 4)
+        indices, value = solve_matroid_clique(points, matroid,
+                                              use_coreset=True, k_prime=32)
+        assert len(indices) == 4
+        assert matroid.is_independent(indices.tolist())
+        assert value > 0.0
+
+    def test_bad_truncation_rank(self):
+        from repro.diversity.matroid import TruncatedMatroid
+        with pytest.raises(ValidationError):
+            TruncatedMatroid(UniformMatroid(3), 0)

@@ -1,0 +1,102 @@
+"""Tests for the six diversity measure evaluators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diversity.measures import (
+    evaluate_diversity,
+    remote_bipartition_value,
+    remote_clique_value,
+    remote_cycle_value,
+    remote_edge_value,
+    remote_star_value,
+    remote_tree_value,
+)
+from repro.exceptions import ValidationError
+
+# Fixed 4-point instance on a line: 0, 1, 3, 7.
+XS = np.asarray([0.0, 1.0, 3.0, 7.0])
+DIST = np.abs(XS[:, None] - XS[None, :])
+
+
+class TestKnownValues:
+    def test_remote_edge(self):
+        assert remote_edge_value(DIST) == pytest.approx(1.0)
+
+    def test_remote_clique(self):
+        # Pairs: 1+3+7+2+6+4 = 23.
+        assert remote_clique_value(DIST) == pytest.approx(23.0)
+
+    def test_remote_star(self):
+        # Star sums: 11 (at 0), 9 (at 1), 9 (at 3), 17 (at 7) -> 9.
+        assert remote_star_value(DIST) == pytest.approx(9.0)
+
+    def test_remote_bipartition(self):
+        # Balanced cuts of {0,1,3,7} into pairs; min is {0,1}|{3,7}:
+        # 3+7+2+6 = 18?  {0,3}|{1,7}: 1+7+2+4=14.  {0,7}|{1,3}: 1+3+6+4=14.
+        assert remote_bipartition_value(DIST) == pytest.approx(14.0)
+
+    def test_remote_tree(self):
+        # Chain MST: 1 + 2 + 4 = 7.
+        assert remote_tree_value(DIST) == pytest.approx(7.0)
+
+    def test_remote_cycle(self):
+        # Optimal tour on a line: 2 * span = 14.
+        assert remote_cycle_value(DIST) == pytest.approx(14.0)
+
+
+class TestDegenerateSizes:
+    @pytest.mark.parametrize("measure", [
+        remote_edge_value, remote_clique_value, remote_star_value,
+        remote_bipartition_value, remote_tree_value, remote_cycle_value,
+    ])
+    def test_singleton_is_zero(self, measure):
+        assert measure(np.zeros((1, 1))) == 0.0
+
+    def test_pair_values(self):
+        dist = np.asarray([[0.0, 5.0], [5.0, 0.0]])
+        assert remote_edge_value(dist) == pytest.approx(5.0)
+        assert remote_clique_value(dist) == pytest.approx(5.0)
+        assert remote_star_value(dist) == pytest.approx(5.0)
+        assert remote_tree_value(dist) == pytest.approx(5.0)
+        assert remote_cycle_value(dist) == pytest.approx(10.0)
+        assert remote_bipartition_value(dist) == pytest.approx(5.0)
+
+
+class TestRelations:
+    """Structural inequalities relating the measures on any instance."""
+
+    def test_edge_lower_bounds_everything(self, rng):
+        pts = rng.random((8, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+        k = 8
+        edge = remote_edge_value(dist)
+        assert remote_tree_value(dist) >= (k - 1) * edge - 1e-9
+        assert remote_clique_value(dist) >= k * (k - 1) / 2 * edge - 1e-9
+        assert remote_star_value(dist) >= (k - 1) * edge - 1e-9
+
+    def test_tree_le_cycle(self, rng):
+        """MST weight is a lower bound on any tour weight."""
+        pts = rng.random((9, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+        assert remote_tree_value(dist) <= remote_cycle_value(dist) + 1e-9
+
+    def test_star_le_clique(self, rng):
+        pts = rng.random((7, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+        assert remote_star_value(dist) <= remote_clique_value(dist) + 1e-9
+
+
+class TestDispatch:
+    def test_evaluate_by_name(self):
+        assert evaluate_diversity("remote-edge", DIST) == pytest.approx(1.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            evaluate_diversity("remote-triangle", DIST)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            remote_edge_value(np.zeros((2, 3)))

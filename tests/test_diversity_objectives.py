@@ -1,0 +1,72 @@
+"""Tests for the objective registry metadata."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diversity.objectives import (
+    OBJECTIVES,
+    get_objective,
+    list_objectives,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRegistry:
+    def test_all_six_present(self):
+        assert list_objectives() == sorted([
+            "remote-edge", "remote-clique", "remote-star",
+            "remote-bipartition", "remote-tree", "remote-cycle",
+        ])
+
+    def test_get_by_name_and_passthrough(self):
+        objective = get_objective("remote-tree")
+        assert objective.name == "remote-tree"
+        assert get_objective(objective) is objective
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            get_objective("remote-galaxy")
+
+
+class TestMetadata:
+    def test_injectivity_split_matches_lemmas(self):
+        """Lemma 1 covers edge+cycle; Lemma 2 the other four."""
+        non_injective = {name for name, obj in OBJECTIVES.items()
+                         if not obj.requires_injective_proxy}
+        assert non_injective == {"remote-edge", "remote-cycle"}
+
+    def test_coreset_constants(self):
+        """Lemmas 3-6: 32/64 streaming, 8/16 MapReduce."""
+        for objective in OBJECTIVES.values():
+            if objective.requires_injective_proxy:
+                assert (objective.mr_constant, objective.streaming_constant) == (16, 64)
+            else:
+                assert (objective.mr_constant, objective.streaming_constant) == (8, 32)
+
+    def test_sequential_alphas_match_table1(self):
+        expected = {
+            "remote-edge": 2.0, "remote-clique": 2.0, "remote-star": 2.0,
+            "remote-bipartition": 3.0, "remote-tree": 4.0, "remote-cycle": 3.0,
+        }
+        for name, alpha in expected.items():
+            assert OBJECTIVES[name].sequential_alpha == alpha
+
+    def test_f_k_values_match_lemma7(self):
+        k = 10
+        assert OBJECTIVES["remote-clique"].f_k(k) == 45
+        assert OBJECTIVES["remote-star"].f_k(k) == 9
+        assert OBJECTIVES["remote-tree"].f_k(k) == 9
+        assert OBJECTIVES["remote-bipartition"].f_k(k) == 25
+        assert OBJECTIVES["remote-cycle"].f_k(k) == 10
+        assert OBJECTIVES["remote-edge"].f_k(k) == 1
+
+    def test_f_k_odd_bipartition(self):
+        # floor(7/2) * ceil(7/2) = 3 * 4.
+        assert OBJECTIVES["remote-bipartition"].f_k(7) == 12
+
+    def test_value_delegates_to_evaluator(self):
+        xs = np.asarray([0.0, 2.0, 5.0])
+        dist = np.abs(xs[:, None] - xs[None, :])
+        assert get_objective("remote-edge").value(dist) == pytest.approx(2.0)

@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import GLYPHS, render_chart
+
+
+class TestRenderChart:
+    def test_single_series(self):
+        chart = render_chart({"ratio": ([1, 2, 4, 8], [2.0, 1.5, 1.2, 1.1])},
+                             width=20, height=6)
+        assert "o" in chart
+        assert "o = ratio" in chart
+        assert "2" in chart and "1.1" in chart
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = render_chart({
+            "a": ([0, 1], [0.0, 1.0]),
+            "b": ([0, 1], [1.0, 0.0]),
+        }, width=12, height=5)
+        assert "o = a" in chart and "x = b" in chart
+
+    def test_title_and_labels(self):
+        chart = render_chart({"s": ([0, 1], [0, 1])}, width=10, height=4,
+                             title="Figure 9", x_label="k", y_label="r")
+        lines = chart.splitlines()
+        assert lines[0] == "Figure 9"
+        assert any(line.rstrip().endswith("k") for line in lines)
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_chart({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])},
+                             width=10, height=4)
+        assert "flat" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        """The glyph for a decreasing series appears in non-increasing rows
+        as x advances — the visual property we rely on."""
+        xs = [0, 1, 2, 3]
+        ys = [3.0, 2.0, 1.0, 0.0]
+        chart = render_chart({"d": (xs, ys)}, width=16, height=8)
+        rows_by_column = {}
+        grid_lines = [line.split("|", 1)[1] for line in chart.splitlines()
+                      if "|" in line]
+        for row, line in enumerate(grid_lines):
+            for column, char in enumerate(line):
+                if char == "o":
+                    rows_by_column[column] = row
+        columns = sorted(rows_by_column)
+        rows = [rows_by_column[c] for c in columns]
+        assert rows == sorted(rows)  # top row index grows as x advances
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart({"s": ([0], [0])}, width=2, height=2)
+
+    def test_glyph_cycle(self):
+        series = {f"s{i}": ([0, 1], [i, i + 1]) for i in range(10)}
+        chart = render_chart(series, width=12, height=6)
+        # 10 series cycle through the 8 glyphs without crashing.
+        assert f"{GLYPHS[0]} = s0" in chart
+        assert f"{GLYPHS[1]} = s9".replace(GLYPHS[1], GLYPHS[9 % len(GLYPHS)]) in chart

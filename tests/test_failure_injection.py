@@ -1,0 +1,152 @@
+"""Failure-injection and edge-case tests.
+
+Production-quality data systems must fail loudly and early on malformed
+input and degenerate configurations.  These tests feed the stack NaNs,
+dimension mismatches, zero-diameter data, single points, and hostile
+arrival orders, and assert that every failure is a typed library error (or
+a graceful degenerate result) rather than a numpy traceback from deep
+inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coresets.gmm import gmm
+from repro.coresets.smm import SMM
+from repro.coresets.smm_ext import SMMExt
+from repro.diversity.sequential import solve_sequential
+from repro.exceptions import ReproError, ValidationError
+from repro.mapreduce.algorithm import MRDiversityMaximizer
+from repro.metricspace.points import PointSet
+from repro.streaming.algorithm import StreamingDiversityMaximizer
+from repro.streaming.stream import ArrayStream
+
+
+class TestMalformedInput:
+    def test_nan_points_rejected_at_boundary(self):
+        data = np.asarray([[0.0, 1.0], [np.nan, 2.0]])
+        with pytest.raises(ValidationError):
+            PointSet(data)
+
+    def test_inf_points_rejected(self):
+        with pytest.raises(ValidationError):
+            PointSet(np.asarray([[np.inf, 0.0]]))
+
+    def test_nan_in_stream_source_rejected(self):
+        with pytest.raises(ValidationError):
+            ArrayStream(np.asarray([[0.0], [np.nan]]))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            PointSet(np.empty((0, 3)))
+
+    def test_all_errors_are_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            PointSet(np.empty((0, 3)))
+
+
+class TestDegenerateGeometry:
+    def test_all_identical_points_gmm(self):
+        points = PointSet(np.zeros((20, 3)))
+        result = gmm(points, 5)
+        assert len(result.indices) == 5
+        assert result.range == 0.0
+
+    def test_all_identical_points_streaming(self):
+        """A zero-diameter stream must terminate and return k points."""
+        algo = StreamingDiversityMaximizer(k=3, k_prime=6,
+                                           objective="remote-edge")
+        result = algo.run(ArrayStream(np.zeros((50, 2))))
+        assert result.k == 3
+        assert result.value == 0.0
+
+    def test_all_identical_points_mapreduce(self):
+        points = PointSet(np.ones((100, 2)))
+        algo = MRDiversityMaximizer(k=3, k_prime=6, objective="remote-clique",
+                                    parallelism=4, seed=0)
+        result = algo.run(points)
+        assert result.k == 3
+        assert result.value == 0.0
+
+    def test_single_point_sequential(self):
+        points = PointSet(np.asarray([[1.0, 2.0]]))
+        indices, value = solve_sequential(points, 1, "remote-edge")
+        assert list(indices) == [0]
+        assert value == 0.0
+
+    def test_two_point_stream(self):
+        sketch = SMM(k=2, k_prime=4)
+        sketch.process_many(np.asarray([[0.0], [7.0]]))
+        assert len(sketch.finalize()) == 2
+
+    def test_near_duplicate_flood(self, rng):
+        """A stream of near-duplicates (1e-12 apart) must not produce
+        thousands of phases or lose the guarantee."""
+        base = rng.random((1, 3))
+        data = np.vstack([base + 1e-12 * rng.normal(size=(200, 3)),
+                          base + 5.0])
+        sketch = SMM(k=2, k_prime=4)
+        sketch.process_many(data)
+        coreset = sketch.finalize()
+        assert len(coreset) >= 2
+        assert float(coreset.pairwise().max()) > 4.0
+
+
+class TestHostileArrivalOrders:
+    @pytest.mark.parametrize("order", ["sorted", "reverse", "interleaved"])
+    def test_streaming_guarantee_for_structured_orders(self, order, rng):
+        bulk = rng.normal(scale=0.2, size=(300, 1))
+        far = np.asarray([[50.0], [-50.0], [100.0]])
+        data = np.vstack([bulk, far])
+        if order == "sorted":
+            data = data[np.argsort(data[:, 0])]
+        elif order == "reverse":
+            data = data[np.argsort(data[:, 0])[::-1]]
+        else:
+            idx = np.argsort(data[:, 0])
+            half = len(idx) // 2
+            interleaved = np.empty_like(idx)
+            interleaved[0::2] = idx[:half + len(idx) % 2]
+            interleaved[1::2] = idx[half + len(idx) % 2:][::-1]
+            data = data[interleaved]
+        sketch = SMMExt(k=3, k_prime=12)
+        sketch.process_many(data)
+        coreset = sketch.finalize()
+        _, value = solve_sequential(coreset, 3, "remote-edge")
+        # Optimal {-50, 50, 100}: min gap 50; the guarantee allows ~4x slack.
+        assert value >= 50.0 / 4.0
+
+    def test_diverse_points_first_then_noise(self, rng):
+        """All far points arrive before any bulk point: merges must not
+        evict them without keeping delegates in range."""
+        far = 20.0 * np.asarray([[1.0, 0], [-1, 0], [0, 1], [0, -1]])
+        bulk = rng.normal(scale=0.1, size=(400, 2))
+        data = np.vstack([far, bulk])
+        sketch = SMM(k=4, k_prime=8)
+        sketch.process_many(data)
+        _, value = solve_sequential(sketch.finalize(), 4, "remote-edge")
+        assert value >= 10.0
+
+
+class TestConfigurationErrors:
+    def test_dimension_mismatch_in_stream_raises(self):
+        sketch = SMM(k=2, k_prime=4)
+        sketch.process(np.asarray([0.0, 1.0]))
+        with pytest.raises(Exception):
+            sketch.process(np.asarray([0.0, 1.0, 2.0]))
+
+    def test_k_larger_than_dataset_mapreduce(self, rng):
+        points = PointSet(rng.random((6, 2)))
+        algo = MRDiversityMaximizer(k=10, k_prime=12, objective="remote-edge",
+                                    parallelism=2, seed=0)
+        with pytest.raises(ReproError):
+            algo.run(points)
+
+    def test_parallelism_exceeding_points(self, rng):
+        points = PointSet(rng.random((3, 2)))
+        algo = MRDiversityMaximizer(k=1, k_prime=1, objective="remote-edge",
+                                    parallelism=8, seed=0)
+        with pytest.raises(ValidationError):
+            algo.run(points)

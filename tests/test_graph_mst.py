@@ -1,0 +1,75 @@
+"""Tests for Prim's MST — checked against networkx on random matrices."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.graph.mst import mst_weight, prim_mst
+
+
+def _symmetric(matrix: np.ndarray) -> np.ndarray:
+    sym = np.abs(matrix) + np.abs(matrix).T
+    np.fill_diagonal(sym, 0.0)
+    return sym
+
+
+def _networkx_mst_weight(dist: np.ndarray) -> float:
+    graph = nx.Graph()
+    n = dist.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j, weight=float(dist[i, j]))
+    if n == 1:
+        return 0.0
+    tree = nx.minimum_spanning_tree(graph)
+    return float(sum(data["weight"] for *_edge, data in tree.edges(data=True)))
+
+
+class TestPrim:
+    def test_single_vertex(self):
+        assert prim_mst(np.zeros((1, 1))) == []
+        assert mst_weight(np.zeros((1, 1))) == 0.0
+
+    def test_two_vertices(self):
+        dist = np.asarray([[0.0, 3.0], [3.0, 0.0]])
+        assert mst_weight(dist) == pytest.approx(3.0)
+
+    def test_path_graph(self):
+        # Points on a line: MST is the chain of consecutive gaps.
+        xs = np.asarray([0.0, 1.0, 3.0, 7.0])
+        dist = np.abs(xs[:, None] - xs[None, :])
+        assert mst_weight(dist) == pytest.approx(7.0)
+
+    def test_edge_count(self, rng):
+        dist = _symmetric(rng.random((10, 10)))
+        assert len(prim_mst(dist)) == 9
+
+    def test_edges_form_spanning_tree(self, rng):
+        dist = _symmetric(rng.random((12, 12)))
+        edges = prim_mst(dist)
+        graph = nx.Graph(edges)
+        assert graph.number_of_nodes() == 12
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == 11
+
+    @pytest.mark.parametrize("n", [2, 5, 9, 16])
+    def test_weight_matches_networkx(self, n, rng):
+        dist = _symmetric(rng.random((n, n)))
+        assert mst_weight(dist) == pytest.approx(_networkx_mst_weight(dist))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            mst_weight(np.zeros((2, 3)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=arrays(np.float64, (7, 7), elements=st.floats(0.01, 10.0)))
+def test_prim_matches_networkx_property(matrix):
+    dist = _symmetric(matrix)
+    assert mst_weight(dist) == pytest.approx(_networkx_mst_weight(dist), rel=1e-9)

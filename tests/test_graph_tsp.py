@@ -1,0 +1,100 @@
+"""Tests for the TSP evaluators (Held-Karp exact and MST-doubling heuristic)."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.graph.mst import mst_weight
+from repro.graph.tsp import (
+    held_karp_tsp,
+    mst_doubling_tour,
+    tour_weight,
+    tsp_weight,
+    two_opt_improve,
+)
+
+
+def _brute_force_tsp(dist: np.ndarray) -> float:
+    n = dist.shape[0]
+    best = np.inf
+    for perm in permutations(range(1, n)):
+        tour = [0, *perm]
+        best = min(best, tour_weight(dist, tour))
+    return float(best)
+
+
+def _random_metric(rng, n):
+    pts = rng.random((n, 2))
+    return np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+
+
+class TestTourWeight:
+    def test_trivial_sizes(self):
+        dist = np.asarray([[0.0, 2.0], [2.0, 0.0]])
+        assert tour_weight(dist, [0]) == 0.0
+        assert tour_weight(dist, [0, 1]) == pytest.approx(4.0)  # out and back
+
+    def test_square_cycle(self):
+        pts = np.asarray([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+        assert tour_weight(dist, [0, 1, 2, 3]) == pytest.approx(4.0)
+
+
+class TestHeldKarp:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_matches_brute_force(self, n, rng):
+        dist = _random_metric(rng, n)
+        weight, tour = held_karp_tsp(dist)
+        assert weight == pytest.approx(_brute_force_tsp(dist), rel=1e-9)
+        assert sorted(tour) == list(range(n))
+        assert tour_weight(dist, tour) == pytest.approx(weight, rel=1e-9)
+
+    def test_single_point(self):
+        weight, tour = held_karp_tsp(np.zeros((1, 1)))
+        assert weight == 0.0 and tour == [0]
+
+
+class TestHeuristicTour:
+    def test_visits_every_point_once(self, rng):
+        dist = _random_metric(rng, 20)
+        tour = mst_doubling_tour(dist)
+        assert sorted(tour) == list(range(20))
+
+    def test_two_approximation_bound(self, rng):
+        """MST-doubling tour weight is at most twice the MST weight... and
+        the optimum is at least the MST weight, giving the classical 2x."""
+        dist = _random_metric(rng, 15)
+        tour = mst_doubling_tour(dist)
+        assert tour_weight(dist, tour) <= 2.0 * mst_weight(dist) + 1e-9
+
+    def test_two_opt_never_worse(self, rng):
+        dist = _random_metric(rng, 15)
+        tour = mst_doubling_tour(dist)
+        improved = two_opt_improve(dist, tour)
+        assert tour_weight(dist, improved) <= tour_weight(dist, tour) + 1e-9
+        assert sorted(improved) == list(range(15))
+
+    def test_two_opt_small_tours_unchanged(self):
+        dist = np.ones((3, 3)) - np.eye(3)
+        assert two_opt_improve(dist, [0, 1, 2]) == [0, 1, 2]
+
+
+class TestTspWeight:
+    def test_exact_for_small(self, rng):
+        dist = _random_metric(rng, 8)
+        assert tsp_weight(dist) == pytest.approx(_brute_force_tsp(dist), rel=1e-9)
+
+    def test_heuristic_upper_bounds_optimum(self, rng):
+        dist = _random_metric(rng, 11)
+        exact = tsp_weight(dist, exact_limit=13)
+        heuristic = tsp_weight(dist, exact_limit=4)
+        assert heuristic >= exact - 1e-9
+        assert heuristic <= 2.0 * exact + 1e-9
+
+    def test_triangle(self):
+        pts = np.asarray([[0, 0], [1, 0], [0, 1]], dtype=float)
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+        assert tsp_weight(dist) == pytest.approx(2.0 + np.sqrt(2.0))

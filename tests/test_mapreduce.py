@@ -1,0 +1,225 @@
+"""Tests for the MapReduce engine, partitioners, and end-to-end algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import sphere_shell
+from repro.exceptions import MemoryBudgetExceededError, ValidationError
+from repro.experiments.reference import reference_value
+from repro.mapreduce.algorithm import MRDiversityMaximizer, randomized_delegate_cap
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.partition import (
+    adversarial_partition,
+    chunk_partition,
+    partition_points,
+    random_partition,
+)
+from repro.metricspace.points import PointSet
+
+
+class TestEngine:
+    def test_round_applies_reducer(self):
+        engine = MapReduceEngine()
+        outputs = engine.run_round([[1, 2], [3, 4, 5]], lambda xs: [sum(xs)])
+        assert outputs == [[3], [12]]
+
+    def test_stats_recorded(self):
+        engine = MapReduceEngine()
+        engine.run_round([[1, 2], [3, 4, 5]], lambda xs: xs[:1])
+        stats = engine.stats.rounds[0]
+        assert stats.num_reducers == 2
+        assert stats.total_memory_points == 5
+        assert stats.local_memory_points == 4  # input 3 + output 1
+        assert engine.stats.num_rounds == 1
+
+    def test_local_memory_limit_enforced(self):
+        engine = MapReduceEngine(local_memory_limit=3)
+        with pytest.raises(MemoryBudgetExceededError):
+            engine.run_round([[1, 2, 3, 4]], lambda xs: xs)
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ValidationError):
+            MapReduceEngine().run_round([], lambda xs: xs)
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValidationError):
+            MapReduceEngine(executor="threads")
+
+    def test_bad_parallelism_rejected(self):
+        with pytest.raises(ValidationError):
+            MapReduceEngine(parallelism=0)
+
+
+class TestPartitioners:
+    def test_chunk_covers_everything(self, medium_points):
+        parts = chunk_partition(medium_points, 4)
+        assert sum(len(p) for p in parts) == len(medium_points)
+
+    def test_random_is_a_partition(self, medium_points):
+        parts = random_partition(medium_points, 5, seed=0)
+        assert sum(len(p) for p in parts) == len(medium_points)
+        stacked = np.vstack([p.points for p in parts])
+        assert np.array_equal(
+            np.sort(stacked, axis=0), np.sort(medium_points.points, axis=0)
+        )
+
+    def test_random_is_seed_deterministic(self, medium_points):
+        a = random_partition(medium_points, 3, seed=7)
+        b = random_partition(medium_points, 3, seed=7)
+        assert all(np.array_equal(x.points, y.points) for x, y in zip(a, b))
+
+    def test_adversarial_slices_by_principal_axis(self, rng):
+        # Elongated cloud along x: slabs should have disjoint x-ranges.
+        data = np.column_stack([np.linspace(0, 100, 60), rng.random(60)])
+        parts = adversarial_partition(PointSet(data[rng.permutation(60)]), 3)
+        ranges = sorted((p.points[:, 0].min(), p.points[:, 0].max()) for p in parts)
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 <= lo2 + 1e-9
+
+    def test_strategy_dispatch(self, medium_points):
+        for strategy in ("random", "chunk", "adversarial"):
+            parts = partition_points(medium_points, 4, strategy=strategy, seed=0)
+            assert len(parts) == 4
+        with pytest.raises(ValidationError):
+            partition_points(medium_points, 4, strategy="zigzag")
+
+    def test_too_many_parts_rejected(self, small_points):
+        with pytest.raises(ValidationError):
+            chunk_partition(small_points, len(small_points) + 1)
+
+
+class TestTwoRound:
+    @pytest.mark.parametrize("objective", [
+        "remote-edge", "remote-clique", "remote-star",
+        "remote-bipartition", "remote-tree", "remote-cycle",
+    ])
+    def test_all_objectives(self, objective):
+        pts = sphere_shell(400, 4, dim=3, seed=11)
+        algo = MRDiversityMaximizer(k=4, k_prime=8, objective=objective,
+                                    parallelism=4, seed=0)
+        result = algo.run(pts)
+        assert result.k == 4
+        assert result.rounds == 2
+        assert result.value > 0.0
+        assert result.stats.num_rounds == 2
+
+    def test_quality_close_to_reference(self):
+        pts = sphere_shell(3000, 8, dim=3, seed=13)
+        algo = MRDiversityMaximizer(k=8, k_prime=64, objective="remote-edge",
+                                    parallelism=4, seed=0)
+        result = algo.run(pts)
+        reference = reference_value(pts, 8, "remote-edge")
+        assert reference / result.value <= 1.3
+
+    def test_local_memory_sublinear(self):
+        """M_L is far below n for the 2-round algorithm (Theorem 6)."""
+        pts = sphere_shell(4000, 8, dim=3, seed=17)
+        algo = MRDiversityMaximizer(k=8, k_prime=16, objective="remote-edge",
+                                    parallelism=8, seed=0)
+        result = algo.run(pts)
+        assert result.stats.max_local_memory_points < len(pts)
+        # Round 1 local memory ~ n/l + k'.
+        round1 = result.stats.rounds[0]
+        assert round1.local_memory_points <= len(pts) // 8 + 16 + 1
+
+    def test_randomized_mode_caps_delegates(self):
+        pts = sphere_shell(1000, 8, dim=3, seed=19)
+        algo = MRDiversityMaximizer(k=8, k_prime=16, objective="remote-clique",
+                                    parallelism=4, seed=0)
+        plain = algo.run(pts)
+        randomized = algo.run(pts, randomized=True)
+        cap = randomized.extra["delegate_cap"]
+        assert cap is not None and cap <= 8
+        assert randomized.coreset_size <= plain.coreset_size
+        assert randomized.value >= plain.value / 1.5
+
+    def test_coreset_size_bound(self):
+        pts = sphere_shell(500, 4, dim=3, seed=23)
+        algo = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                    parallelism=4, seed=0)
+        result = algo.run(pts)
+        assert result.coreset_size <= 4 * 8  # l * k'
+
+    def test_k_prime_lt_k_rejected(self):
+        with pytest.raises(ValidationError):
+            MRDiversityMaximizer(k=8, k_prime=4, objective="remote-edge")
+
+
+class TestThreeRound:
+    def test_runs_and_reports_three_rounds(self):
+        pts = sphere_shell(800, 4, dim=3, seed=29)
+        algo = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-clique",
+                                    parallelism=4, seed=0)
+        result = algo.run_three_round(pts)
+        assert result.rounds == 3
+        assert result.k == 4
+        assert result.stats.num_rounds == 3
+
+    def test_memory_saving_vs_two_round(self):
+        """The aggregated generalized core-set is ~k times smaller."""
+        pts = sphere_shell(2000, 8, dim=3, seed=31)
+        algo = MRDiversityMaximizer(k=8, k_prime=16, objective="remote-clique",
+                                    parallelism=4, seed=0)
+        two = algo.run(pts)
+        three = algo.run_three_round(pts)
+        assert three.coreset_size < two.coreset_size
+        assert three.value >= two.value / 2.0
+
+    def test_rejects_non_injective(self):
+        algo = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                    parallelism=2)
+        with pytest.raises(ValidationError):
+            algo.run_three_round(sphere_shell(100, 4, seed=0))
+
+
+class TestMultiRound:
+    def test_shrinks_to_memory_target(self):
+        pts = sphere_shell(4000, 4, dim=3, seed=37)
+        algo = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                    parallelism=4, seed=0)
+        result = algo.run_multi_round(pts, memory_target=100)
+        assert result.extra["levels"] >= 2
+        assert result.coreset_size <= 100
+        assert result.k == 4
+
+    def test_quality_survives_recursion(self):
+        pts = sphere_shell(4000, 8, dim=3, seed=41)
+        algo = MRDiversityMaximizer(k=8, k_prime=32, objective="remote-edge",
+                                    parallelism=4, seed=0)
+        result = algo.run_multi_round(pts, memory_target=400)
+        reference = reference_value(pts, 8, "remote-edge")
+        assert reference / result.value <= 1.5
+
+    def test_memory_target_too_small_rejected(self):
+        pts = sphere_shell(100, 4, seed=0)
+        algo = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge")
+        with pytest.raises(ValidationError):
+            algo.run_multi_round(pts, memory_target=4)
+
+
+class TestProcessExecutor:
+    def test_process_pool_matches_serial_quality(self):
+        pts = sphere_shell(600, 4, dim=3, seed=43)
+        serial = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                      parallelism=2, seed=5, executor="serial")
+        parallel = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                        parallelism=2, seed=5,
+                                        executor="process")
+        r_serial = serial.run(pts)
+        r_parallel = parallel.run(pts)
+        # Same seed -> same partitions -> identical deterministic core-sets.
+        assert r_parallel.value == pytest.approx(r_serial.value)
+
+
+class TestRandomizedCap:
+    def test_cap_bounds(self):
+        assert randomized_delegate_cap(10**6, 128, 16) <= 128
+        assert randomized_delegate_cap(100, 4, 2) >= 1
+        assert randomized_delegate_cap(1, 4, 2) == 1
+
+    def test_cap_grows_with_k_over_l(self):
+        small = randomized_delegate_cap(10**6, 64, 64)
+        large = randomized_delegate_cap(10**6, 4096, 4)
+        assert large >= small

@@ -1,0 +1,102 @@
+"""White-box tests for the 3-round MapReduce algorithm's plumbing.
+
+The 3-round path (Theorem 10) carries kernel *provenance* across rounds:
+round 2's coherent subset must be routed back to the partitions that own
+each kernel point so round 3 can materialize delegates locally.  These
+tests pin that routing and the instantiation reducer on constructed
+instances where the correct answer is known exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.exceptions import ValidationError
+from repro.mapreduce.algorithm import (
+    MRDiversityMaximizer,
+    _instantiation_reducer,
+    _match_kernel_rows,
+)
+from repro.metricspace.distance import EuclideanMetric
+from repro.metricspace.points import PointSet
+
+
+def _gcore(points, mult):
+    return GeneralizedCoreset(points=np.asarray(points, dtype=float),
+                              multiplicities=np.asarray(mult),
+                              metric=EuclideanMetric())
+
+
+class TestMatchKernelRows:
+    def test_identity_subset(self):
+        union = _gcore([[0.0], [1.0], [2.0]], [2, 2, 2])
+        subset = _gcore([[0.0], [1.0], [2.0]], [1, 1, 1])
+        assert _match_kernel_rows(union, subset) == {0: 1, 1: 1, 2: 1}
+
+    def test_sparse_subset_preserves_order(self):
+        union = _gcore([[0.0], [1.0], [2.0], [3.0]], [2, 2, 2, 2])
+        subset = _gcore([[1.0], [3.0]], [2, 1])
+        assert _match_kernel_rows(union, subset) == {1: 2, 3: 1}
+
+    def test_duplicate_kernel_coordinates_resolve_forward(self):
+        # Two partitions may contribute the same coordinates; the forward
+        # scan maps each subset row to the earliest unconsumed union row.
+        union = _gcore([[5.0], [5.0], [9.0]], [1, 1, 1])
+        subset = _gcore([[5.0], [9.0]], [1, 1])
+        assert _match_kernel_rows(union, subset) == {0: 1, 2: 1}
+
+    def test_missing_point_raises(self):
+        union = _gcore([[0.0], [1.0]], [1, 1])
+        subset = _gcore([[7.0]], [1])
+        with pytest.raises(ValidationError):
+            _match_kernel_rows(union, subset)
+
+
+class TestInstantiationReducer:
+    def test_materializes_requested_counts(self):
+        partition = PointSet([[0.0], [0.1], [0.2], [9.0], [9.1]])
+        local = _gcore([[0.0], [9.0]], [2, 1])
+        delegates = _instantiation_reducer((partition, local))
+        assert delegates.shape == (3, 1)
+        values = sorted(delegates.ravel().tolist())
+        assert values[:2] == [0.0, 0.1]
+        assert values[2] in (9.0,)
+
+    def test_none_subset_yields_empty(self):
+        partition = PointSet([[0.0, 1.0]])
+        delegates = _instantiation_reducer((partition, None))
+        assert delegates.shape == (0, 2)
+
+
+class TestThreeRoundEndToEnd:
+    def test_delegates_come_from_owning_partitions(self):
+        """Construct two well-separated partitions (chunk strategy keeps
+        them intact) and check every returned delegate belongs to the
+        partition that owns its kernel point."""
+        rng = np.random.default_rng(0)
+        left = rng.normal(loc=0.0, scale=0.2, size=(100, 2))
+        right = rng.normal(loc=50.0, scale=0.2, size=(100, 2))
+        points = PointSet(np.vstack([left, right]))
+        algo = MRDiversityMaximizer(k=4, k_prime=4, objective="remote-clique",
+                                    parallelism=2, seed=0,
+                                    partition_strategy="chunk")
+        result = algo.run_three_round(points)
+        assert result.k == 4
+        solution = result.solution.points
+        # Every delegate is near one of the two partition centers.
+        near_left = np.linalg.norm(solution - 0.0, axis=1) < 5.0
+        near_right = np.linalg.norm(solution - 50.0, axis=1) < 5.0
+        assert np.all(near_left | near_right)
+        # Both far clusters must be represented (clique wants both sides).
+        assert near_left.any() and near_right.any()
+
+    def test_expanded_size_reported(self):
+        rng = np.random.default_rng(1)
+        points = PointSet(rng.random((300, 2)))
+        algo = MRDiversityMaximizer(k=3, k_prime=6, objective="remote-tree",
+                                    parallelism=3, seed=0)
+        result = algo.run_three_round(points)
+        assert result.extra["expanded_size"] >= result.coreset_size
+        assert result.coreset_size <= 3 * 6  # l * k' kernel points

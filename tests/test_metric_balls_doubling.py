@@ -1,0 +1,77 @@
+"""Tests for ball covers, epsilon-nets, and doubling-dimension estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metricspace.balls import (
+    ball_members,
+    covering_number,
+    epsilon_net,
+    greedy_ball_cover,
+)
+from repro.metricspace.doubling import estimate_doubling_dimension
+from repro.metricspace.points import PointSet
+
+
+class TestGreedyBallCover:
+    def test_zero_radius_covers_each_distinct_point(self):
+        ps = PointSet([[0.0], [1.0], [2.0]])
+        assert len(greedy_ball_cover(ps, 0.0)) == 3
+
+    def test_huge_radius_needs_one_ball(self, medium_points):
+        centers = greedy_ball_cover(medium_points, medium_points.diameter())
+        assert len(centers) == 1
+
+    def test_cover_property(self, medium_points):
+        radius = 0.5
+        centers = greedy_ball_cover(medium_points, radius)
+        dist = medium_points.cross(medium_points.subset(centers))
+        assert float(dist.min(axis=1).max()) <= radius + 1e-12
+
+    def test_centers_are_separated(self, medium_points):
+        """The greedy cover is an epsilon-net: centers pairwise > radius."""
+        radius = 0.5
+        centers = epsilon_net(medium_points, radius)
+        if len(centers) >= 2:
+            sub = medium_points.subset(centers)
+            mat = sub.pairwise()
+            iu, ju = np.triu_indices(len(centers), k=1)
+            assert float(mat[iu, ju].min()) > radius
+
+    def test_negative_radius_rejected(self, small_points):
+        with pytest.raises(ValueError):
+            greedy_ball_cover(small_points, -0.1)
+
+    def test_covering_number_monotone_in_radius(self, medium_points):
+        small = covering_number(medium_points, 0.2)
+        large = covering_number(medium_points, 1.0)
+        assert small >= large
+
+
+class TestBallMembers:
+    def test_members_within_radius(self, line_points):
+        members = ball_members(line_points, 0, 2.5)  # center 0.0
+        assert set(members.tolist()) == {0, 1, 2}
+
+
+class TestDoublingDimension:
+    def test_line_has_low_dimension(self, rng):
+        points = PointSet(np.linspace(0, 1, 200).reshape(-1, 1))
+        estimate = estimate_doubling_dimension(points, seed=0)
+        assert 0.0 < estimate <= 2.5
+
+    def test_higher_dimension_for_cube(self, rng):
+        line = PointSet(np.linspace(0, 1, 300).reshape(-1, 1))
+        cube = PointSet(rng.random((300, 3)))
+        d_line = estimate_doubling_dimension(line, seed=0, quantile=0.9)
+        d_cube = estimate_doubling_dimension(cube, seed=0, quantile=0.9)
+        assert d_cube > d_line
+
+    def test_single_point(self):
+        assert estimate_doubling_dimension(PointSet([[0.0]])) == 0.0
+
+    def test_identical_points(self):
+        ps = PointSet(np.zeros((10, 2)))
+        assert estimate_doubling_dimension(ps, seed=0) == 0.0

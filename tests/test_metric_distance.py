@@ -1,0 +1,195 @@
+"""Tests for the distance kernels, including metric-axiom property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.metricspace.distance import (
+    ChebyshevMetric,
+    CosineDistance,
+    EuclideanMetric,
+    HammingDistance,
+    JaccardDistance,
+    ManhattanMetric,
+    cross_chunked,
+    get_metric,
+)
+
+ALL_METRICS = [
+    EuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    CosineDistance(),
+    JaccardDistance(),
+    HammingDistance(),
+]
+
+
+def _valid_points(metric, rng, n=8, d=3):
+    """Random points in the metric's domain."""
+    raw = rng.normal(size=(n, d))
+    if metric.name == "cosine":
+        return raw + np.sign(raw) * 0.1 + 1e-9  # keep away from zero vector
+    if metric.name == "jaccard":
+        return np.abs(raw)
+    if metric.name == "hamming":
+        return (raw > 0).astype(float)
+    return raw
+
+
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+class TestMetricContract:
+    def test_pairwise_shape_and_zero_diagonal(self, metric, rng):
+        pts = _valid_points(metric, rng)
+        mat = metric.pairwise(pts)
+        assert mat.shape == (8, 8)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_symmetry(self, metric, rng):
+        pts = _valid_points(metric, rng)
+        mat = metric.pairwise(pts)
+        assert np.allclose(mat, mat.T, atol=1e-9)
+
+    def test_non_negative(self, metric, rng):
+        pts = _valid_points(metric, rng)
+        assert np.all(metric.pairwise(pts) >= 0.0)
+
+    def test_triangle_inequality(self, metric, rng):
+        pts = _valid_points(metric, rng, n=10)
+        mat = metric.pairwise(pts)
+        n = mat.shape[0]
+        lhs = mat[:, :, None]
+        rhs = mat[:, None, :] + mat[None, :, :]
+        assert np.all(lhs <= rhs + 1e-9), f"{metric.name} violates triangle inequality"
+
+    def test_cross_matches_pairwise(self, metric, rng):
+        pts = _valid_points(metric, rng)
+        cross = metric.cross(pts, pts)
+        pair = metric.pairwise(pts)
+        off_diag = ~np.eye(len(pts), dtype=bool)
+        assert np.allclose(cross[off_diag], pair[off_diag], atol=1e-9)
+
+    def test_scalar_distance(self, metric, rng):
+        pts = _valid_points(metric, rng, n=2)
+        expected = metric.pairwise(pts)[0, 1]
+        assert metric.distance(pts[0], pts[1]) == pytest.approx(expected, abs=1e-9)
+
+    def test_point_to_set(self, metric, rng):
+        pts = _valid_points(metric, rng)
+        dist = metric.point_to_set(pts[0], pts)
+        assert dist.shape == (8,)
+        assert dist[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_chunked_matches_direct(self, metric, rng):
+        left = _valid_points(metric, rng, n=9)
+        right = _valid_points(metric, rng, n=5)
+        direct = metric.cross(left, right)
+        chunked = cross_chunked(metric, left, right, chunk_rows=2)
+        assert np.allclose(direct, chunked, atol=1e-12)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert EuclideanMetric().distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_matches_numpy_norm(self, rng):
+        pts = rng.normal(size=(6, 4))
+        mat = EuclideanMetric().pairwise(pts)
+        for i in range(6):
+            for j in range(6):
+                assert mat[i, j] == pytest.approx(np.linalg.norm(pts[i] - pts[j]), abs=1e-9)
+
+
+class TestManhattanChebyshev:
+    def test_known_values(self):
+        assert ManhattanMetric().distance([0.0, 0.0], [1.0, 2.0]) == pytest.approx(3.0)
+        assert ChebyshevMetric().distance([0.0, 0.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_chebyshev_le_manhattan(self, rng):
+        pts = rng.normal(size=(7, 3))
+        assert np.all(ChebyshevMetric().pairwise(pts) <= ManhattanMetric().pairwise(pts) + 1e-12)
+
+
+class TestCosine:
+    def test_orthogonal_vectors(self):
+        metric = CosineDistance()
+        assert metric.distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(np.pi / 2)
+
+    def test_opposite_vectors(self):
+        metric = CosineDistance()
+        assert metric.distance([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(np.pi)
+
+    def test_scale_invariance(self):
+        metric = CosineDistance()
+        assert metric.distance([1.0, 2.0], [3.0, 6.0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            CosineDistance().distance([0.0, 0.0], [1.0, 0.0])
+
+
+class TestJaccard:
+    def test_binary_sets(self):
+        # {a, b} vs {b, c}: |intersection|=1, |union|=3.
+        metric = JaccardDistance()
+        assert metric.distance([1.0, 1.0, 0.0], [0.0, 1.0, 1.0]) == pytest.approx(2.0 / 3.0)
+
+    def test_identical_is_zero(self):
+        assert JaccardDistance().distance([2.0, 3.0], [2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_disjoint_supports_are_at_distance_one(self):
+        assert JaccardDistance().distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_two_zero_vectors_are_identical(self):
+        # The undefined 0/0 case takes the identity convention: two empty
+        # sets are the same set, so their distance is zero.
+        left = np.asarray([[0.0, 0.0]])
+        assert JaccardDistance().cross(left, left)[0, 0] == pytest.approx(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            JaccardDistance().distance([-1.0], [1.0])
+
+
+class TestHamming:
+    def test_known_value(self):
+        assert HammingDistance().distance([0.0, 1.0, 1.0], [1.0, 1.0, 0.0]) == pytest.approx(2.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["euclidean", "manhattan", "chebyshev",
+                                      "cosine", "jaccard", "hamming"])
+    def test_lookup(self, name):
+        assert get_metric(name).name == name
+
+    def test_instance_passthrough(self):
+        metric = EuclideanMetric()
+        assert get_metric(metric) is metric
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            get_metric("taxicab")
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=arrays(np.float64, (5, 3),
+                     elements=st.floats(-100, 100, allow_nan=False)))
+def test_euclidean_triangle_inequality_property(points):
+    mat = EuclideanMetric().pairwise(points)
+    lhs = mat[:, :, None]
+    rhs = mat[:, None, :] + mat[None, :, :]
+    assert np.all(lhs <= rhs + 1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=arrays(np.float64, (5, 3), elements=st.floats(0, 50, allow_nan=False)))
+def test_jaccard_triangle_inequality_property(points):
+    mat = JaccardDistance().pairwise(points)
+    lhs = mat[:, :, None]
+    rhs = mat[:, None, :] + mat[None, :, :]
+    assert np.all(lhs <= rhs + 1e-9)

@@ -1,0 +1,79 @@
+"""Tests for the PointSet container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+
+
+class TestConstruction:
+    def test_basic(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        assert len(ps) == 2
+        assert ps.dim == 2
+        assert ps.metric.name == "euclidean"
+
+    def test_1d_input_becomes_column(self):
+        ps = PointSet([1.0, 2.0, 3.0])
+        assert (len(ps), ps.dim) == (3, 1)
+
+    def test_metric_by_name(self):
+        assert PointSet([[1.0, 0.0]], metric="cosine").metric.name == "cosine"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            PointSet(np.empty((0, 2)))
+
+    def test_iteration_and_indexing(self):
+        ps = PointSet([[0.0], [1.0]])
+        rows = list(ps)
+        assert len(rows) == 2
+        assert np.array_equal(ps[1], np.asarray([1.0]))
+
+
+class TestDerivedSets:
+    def test_subset(self, small_points):
+        sub = small_points.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert np.array_equal(sub.points[1], small_points.points[2])
+
+    def test_subset_preserves_metric(self):
+        ps = PointSet([[1.0, 0.0], [0.0, 1.0]], metric="cosine")
+        assert ps.subset([0]).metric.name == "cosine"
+
+    def test_concat(self, small_points):
+        joined = small_points.concat(small_points)
+        assert len(joined) == 2 * len(small_points)
+
+    def test_concat_metric_mismatch(self):
+        a = PointSet([[1.0, 0.0]], metric="euclidean")
+        b = PointSet([[1.0, 0.0]], metric="cosine")
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_split_covers_everything(self, medium_points):
+        parts = medium_points.split(7)
+        assert sum(len(p) for p in parts) == len(medium_points)
+        assert len(parts) == 7
+
+
+class TestDistances:
+    def test_pairwise_diagonal(self, small_points):
+        mat = small_points.pairwise()
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_cross_shape(self, small_points):
+        sub = small_points.subset([0, 1])
+        assert small_points.cross(sub).shape == (len(small_points), 2)
+
+    def test_distance_to_set(self, line_points):
+        assert line_points.distance_to_set(np.asarray([3.0])) == pytest.approx(1.0)
+
+    def test_nearest_index(self, line_points):
+        assert line_points.nearest_index(np.asarray([7.5])) == 4  # point 8.0
+
+    def test_diameter(self, line_points):
+        assert line_points.diameter() == pytest.approx(16.0)

@@ -1,0 +1,122 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check the paper's structural invariants on randomized instances:
+core-set containment, composability under arbitrary partitions, streaming
+order-insensitivity of guarantees, and the Lemma 1/2 proxy conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coresets.characterization import (
+    coreset_range,
+    proxy_distance_bound,
+)
+from repro.coresets.composable import build_composable_coreset, union_coresets
+from repro.coresets.gmm import gmm
+from repro.coresets.smm import SMM
+from repro.diversity.exact import divk_exact
+from repro.diversity.objectives import get_objective
+from repro.diversity.sequential import solve_sequential
+from repro.metricspace.points import PointSet
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def point_clouds(draw, min_n=8, max_n=24, dim=2):
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    return PointSet(rng.random((n, dim)) * 10.0)
+
+
+@SETTINGS
+@given(points=point_clouds(), k=st.integers(2, 4))
+def test_gmm_coreset_contains_near_optimal_edge_solution(points, k):
+    """div_k(GMM core-set) >= div_k(S)/2 even with modest k' (remote-edge)."""
+    k_prime = min(len(points), 4 * k)
+    coreset = points.subset(gmm(points, k_prime).indices)
+    full = divk_exact(points, k, "remote-edge")
+    reduced = divk_exact(coreset, k, "remote-edge")
+    assert reduced >= full / 2.0 - 1e-9
+
+
+@SETTINGS
+@given(points=point_clouds(min_n=12), parts=st.integers(2, 4))
+def test_composability_under_arbitrary_partition(points, parts):
+    """Definition 2: for ANY partition, the union of partition core-sets
+    preserves a constant fraction of div_k (remote-edge, k=2)."""
+    k, k_prime = 2, 6
+    order = np.arange(len(points))
+    chunks = np.array_split(order, parts)
+    coresets = [
+        build_composable_coreset(points.subset(chunk), k, k_prime, "remote-edge")
+        for chunk in chunks if len(chunk) > 0
+    ]
+    union = union_coresets(coresets)
+    full = divk_exact(points, k, "remote-edge")
+    reduced = divk_exact(union, k, "remote-edge")
+    assert reduced >= full / 2.0 - 1e-9
+
+
+@SETTINGS
+@given(points=point_clouds(min_n=10), k=st.integers(2, 3))
+def test_proxy_distance_bounded_by_gmm_range(points, k):
+    """Lemma 5's mechanism: every point (hence every optimal solution)
+    has a proxy within the GMM core-set's range."""
+    k_prime = min(len(points), 4 * k)
+    result = gmm(points, k_prime)
+    coreset = points.subset(result.indices)
+    _, optimum_subset = _exact_subset(points, k)
+    bound = proxy_distance_bound(points, coreset, optimum_subset)
+    assert bound <= coreset_range(points, result.indices) + 1e-9
+
+
+def _exact_subset(points, k):
+    from repro.diversity.exact import divk_exact_subset
+    value, subset = divk_exact_subset(points, k, "remote-edge")
+    return value, np.asarray(subset)
+
+
+@SETTINGS
+@given(points=point_clouds(min_n=16), k=st.integers(2, 3),
+       order_seed=st.integers(0, 100))
+def test_smm_guarantee_is_order_insensitive(points, k, order_seed):
+    """The streaming guarantee must hold for EVERY arrival order."""
+    order = np.random.default_rng(order_seed).permutation(len(points))
+    sketch = SMM(k=k, k_prime=min(4 * k, len(points) - 1))
+    for row in points.points[order]:
+        sketch.process(row)
+    coreset = sketch.finalize()
+    full = divk_exact(points, k, "remote-edge")
+    _, achieved = solve_sequential(coreset, k, "remote-edge")
+    # SMM range bound (8-approx doubling) + GMM final solve: on these tiny
+    # instances the compounded factor stays within ~4.
+    assert achieved >= full / 4.0 - 1e-9
+
+
+@SETTINGS
+@given(points=point_clouds(min_n=10, max_n=16), k=st.integers(2, 3))
+def test_sequential_solution_value_consistency(points, k):
+    """solve_sequential's reported value equals re-evaluating its subset."""
+    for objective_name in ("remote-edge", "remote-clique", "remote-tree"):
+        objective = get_objective(objective_name)
+        indices, value = solve_sequential(points, k, objective)
+        dist = points.pairwise()
+        recomputed = objective.value(dist[np.ix_(indices, indices)])
+        assert value == pytest.approx(recomputed, rel=1e-9)
+
+
+@SETTINGS
+@given(points=point_clouds(min_n=10, max_n=18))
+def test_diversity_monotone_under_superset_optimum(points):
+    """div_k over a superset ground set can only be larger (k=2, edge)."""
+    half = points.subset(range(len(points) // 2))
+    assert divk_exact(points, 2, "remote-edge") >= \
+        divk_exact(half, 2, "remote-edge") - 1e-12

@@ -1,0 +1,131 @@
+"""White-box tests of the SMM doubling schedule on hand-built streams.
+
+Random-data tests verify the invariants statistically; these tests pin the
+exact mechanics — initialization threshold, merge survivors, delegate
+transfers, count transfers — on streams constructed so every step is
+predictable by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coresets.smm import SMM
+from repro.coresets.smm_ext import SMMExt
+from repro.coresets.smm_gen import SMMGen
+
+
+class TestInitialization:
+    def test_threshold_is_min_pairwise_of_prefix(self):
+        # k'+1 = 3 initial points at 0, 10, 14: d1 = 4.
+        sketch = SMM(k=2, k_prime=2)
+        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        assert sketch.threshold == pytest.approx(4.0)
+        assert sketch.phases == 1  # the first merge ran immediately
+
+    def test_first_merge_removes_covered_centers(self):
+        # Merge threshold 2*d1 = 8: 14 is within 8 of 10 -> removed.
+        sketch = SMM(k=2, k_prime=2)
+        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        survivors = sorted(sketch.centers().ravel().tolist())
+        assert survivors == [0.0, 10.0]
+        assert len(sketch._removed) == 1
+        assert sketch._removed[0][0] == pytest.approx(14.0)
+
+    def test_update_threshold_is_4d(self):
+        sketch = SMM(k=2, k_prime=2)
+        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        # d = 4, so points within 16 of a center are absorbed.
+        sketch.process(np.asarray([25.9]))  # d(25.9, 10) = 15.9 <= 16
+        assert sketch.num_centers == 2
+        phases_before = sketch.phases
+        sketch.process(np.asarray([26.1]))  # 16.1 > 16 -> new center...
+        # ...which fills T to capacity (k'+1 = 3) and triggers the next
+        # phase: threshold doubles to 8 and the merge (limit 16) folds 26.1
+        # back into 10's cluster.
+        assert sketch.phases == phases_before + 1
+        assert sketch.threshold == pytest.approx(8.0)
+        assert sketch.num_centers <= 2
+        # Coverage invariant: 26.1 is within 4d of a surviving center.
+        dist = np.abs(sketch.centers().ravel() - 26.1)
+        assert dist.min() <= 4.0 * sketch.threshold
+
+    def test_repeated_doubling_when_all_far(self):
+        # Initial points hugely separated: one merge pass keeps all three,
+        # so the phase loop must double until the capacity constraint frees
+        # a slot (|T| <= k').
+        sketch = SMM(k=2, k_prime=2)
+        sketch.process_many(np.asarray([[0.0], [1000.0], [4000.0]]))
+        assert sketch.num_centers <= 2
+        assert sketch.threshold >= 1000.0 / 2.0
+
+
+class TestExtTransfers:
+    def test_absorbed_point_joins_nearest_delegate_set(self):
+        sketch = SMMExt(k=2, k_prime=2)
+        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        # After init merge: centers {0, 10}; E_10 inherited 14.
+        sizes = dict(zip(sorted(c[0] for c in sketch.centers()),
+                         [None, None]))
+        assert sorted(sketch.delegate_sizes()) == [1, 2]
+        # Absorb 9.0 -> nearest center 10, whose set is full (k=2): dropped.
+        sketch.process(np.asarray([9.0]))
+        assert sorted(sketch.delegate_sizes()) == [1, 2]
+        # Absorb 1.0 -> nearest center 0, set has room.
+        sketch.process(np.asarray([1.0]))
+        assert sorted(sketch.delegate_sizes()) == [2, 2]
+
+    def test_merge_transfer_caps_at_k(self):
+        # k = 2: the survivor keeps at most 2 delegates even when the
+        # removed center carries more candidates.
+        sketch = SMMExt(k=2, k_prime=3)
+        sketch.process_many(np.asarray([[0.0], [100.0], [101.0], [102.0]]))
+        assert all(size <= 2 for size in sketch.delegate_sizes())
+        total = sum(sketch.delegate_sizes())
+        assert total >= 2  # at least k payload points survive
+
+    def test_finalize_contains_all_delegates(self):
+        sketch = SMMExt(k=2, k_prime=2)
+        data = np.asarray([[0.0], [10.0], [14.0], [1.0]])
+        sketch.process_many(data)
+        out = sorted(sketch.finalize().points.ravel().tolist())
+        assert 0.0 in out and 10.0 in out
+        assert 1.0 in out or 14.0 in out
+
+
+class TestGenCounts:
+    def test_counts_track_delegate_sizes_exactly(self):
+        data = np.asarray([[0.0], [10.0], [14.0], [1.0], [9.0], [0.5]])
+        ext = SMMExt(k=2, k_prime=2)
+        gen = SMMGen(k=2, k_prime=2)
+        ext.process_many(data)
+        gen.process_many(data)
+        assert sorted(gen._counts) == sorted(ext.delegate_sizes())
+
+    def test_radius_bound_is_4d(self):
+        gen = SMMGen(k=2, k_prime=2)
+        gen.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        assert gen.radius_bound() == pytest.approx(4.0 * gen.threshold)
+
+    def test_uninitialized_radius_is_zero(self):
+        gen = SMMGen(k=2, k_prime=4)
+        gen.process(np.asarray([0.0]))
+        assert gen.radius_bound() == 0.0
+
+
+class TestPaddingPaths:
+    def test_padding_from_merge_leftovers(self):
+        # After the init merge only 2 centers remain but k = 3: finalize
+        # must pull the removed 14.0 back in.
+        sketch = SMM(k=3, k_prime=3)
+        sketch.process_many(np.asarray([[0.0], [10.0], [14.0], [13.0]]))
+        out = sketch.finalize()
+        assert len(out) >= 3
+
+    def test_padding_by_replication_for_duplicate_streams(self):
+        sketch = SMM(k=4, k_prime=4)
+        sketch.process_many(np.zeros((10, 2)))
+        out = sketch.finalize()
+        assert len(out) == 4
+        assert np.allclose(out.points, 0.0)

@@ -1,0 +1,169 @@
+"""Tests for the streaming substrate and end-to-end streaming algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coresets.smm import SMM
+from repro.coresets.smm_ext import SMMExt
+from repro.datasets.synthetic import sphere_shell
+from repro.exceptions import MemoryBudgetExceededError, StreamExhaustedError
+from repro.experiments.reference import reference_value
+from repro.streaming.algorithm import (
+    StreamingDiversityMaximizer,
+    TwoPassStreamingDiversityMaximizer,
+)
+from repro.streaming.memory import audit_memory, theoretical_memory_points
+from repro.streaming.stream import ArrayStream, IteratorStream, ShuffledStream
+from repro.streaming.throughput import measure_throughput
+
+
+class TestStreams:
+    def test_array_stream_replayable(self, rng):
+        stream = ArrayStream(rng.random((10, 2)))
+        assert len(list(stream)) == 10
+        assert len(list(stream.replay())) == 10
+        assert len(stream) == 10
+
+    def test_shuffled_stream_is_permutation(self, rng):
+        data = np.arange(20, dtype=float).reshape(-1, 1)
+        stream = ShuffledStream(data, seed=0)
+        seen = sorted(float(p[0]) for p in stream)
+        assert seen == [float(i) for i in range(20)]
+
+    def test_shuffled_stream_replay_same_order(self, rng):
+        stream = ShuffledStream(rng.random((15, 2)), seed=1)
+        first = np.vstack(list(stream))
+        second = np.vstack(list(stream.replay()))
+        assert np.array_equal(first, second)
+
+    def test_iterator_stream_one_shot(self):
+        stream = IteratorStream([np.asarray([1.0]), np.asarray([2.0])])
+        assert len(list(stream)) == 2
+        with pytest.raises(StreamExhaustedError):
+            list(stream)
+        with pytest.raises(StreamExhaustedError):
+            stream.replay()
+
+    def test_iterator_stream_has_no_length(self):
+        with pytest.raises(TypeError):
+            len(IteratorStream([np.asarray([1.0])]))
+
+
+class TestOnePassAlgorithm:
+    @pytest.mark.parametrize("objective", [
+        "remote-edge", "remote-clique", "remote-star",
+        "remote-bipartition", "remote-tree", "remote-cycle",
+    ])
+    def test_runs_for_every_objective(self, objective):
+        pts = sphere_shell(300, 4, dim=3, seed=7)
+        algo = StreamingDiversityMaximizer(k=4, k_prime=8, objective=objective)
+        result = algo.run(ArrayStream(pts.points))
+        assert result.k == 4
+        assert result.value > 0.0
+        assert result.passes == 1
+        assert result.points_processed == 300
+
+    def test_sketch_choice_matches_objective(self):
+        edge = StreamingDiversityMaximizer(k=2, k_prime=4, objective="remote-edge")
+        clique = StreamingDiversityMaximizer(k=2, k_prime=4, objective="remote-clique")
+        assert type(edge.make_sketch()) is SMM
+        assert type(clique.make_sketch()) is SMMExt
+
+    def test_quality_on_planted_instance(self):
+        pts = sphere_shell(2000, 8, dim=3, seed=3)
+        algo = StreamingDiversityMaximizer(k=8, k_prime=64, objective="remote-edge")
+        result = algo.run(ArrayStream(pts.points))
+        reference = reference_value(pts, 8, "remote-edge")
+        assert reference / result.value <= 2.0  # streaming guarantee is ~2+eps
+
+    def test_memory_independent_of_stream_length(self):
+        peaks = []
+        for n in (500, 5000):
+            pts = sphere_shell(n, 8, dim=3, seed=1)
+            algo = StreamingDiversityMaximizer(k=8, k_prime=16,
+                                               objective="remote-edge")
+            result = algo.run(ArrayStream(pts.points))
+            peaks.append(result.peak_memory_points)
+        bound = theoretical_memory_points("remote-edge", 8, 16)
+        assert max(peaks) <= bound
+
+    def test_throughput_reported(self):
+        pts = sphere_shell(300, 4, dim=3, seed=0)
+        algo = StreamingDiversityMaximizer(k=4, k_prime=8, objective="remote-edge")
+        result = algo.run(ArrayStream(pts.points))
+        assert result.kernel_throughput > 0
+        assert result.kernel_seconds > 0
+
+    def test_works_on_iterator_stream(self):
+        pts = sphere_shell(200, 4, dim=3, seed=0)
+        algo = StreamingDiversityMaximizer(k=4, k_prime=8, objective="remote-edge")
+        result = algo.run(IteratorStream(iter(pts.points)))
+        assert result.k == 4
+
+
+class TestTwoPassAlgorithm:
+    def test_memory_saving_vs_one_pass(self):
+        pts = sphere_shell(1500, 8, dim=3, seed=5)
+        one_pass = StreamingDiversityMaximizer(k=8, k_prime=32,
+                                               objective="remote-clique")
+        two_pass = TwoPassStreamingDiversityMaximizer(k=8, k_prime=32,
+                                                      objective="remote-clique")
+        r1 = one_pass.run(ArrayStream(pts.points))
+        r2 = two_pass.run(ArrayStream(pts.points))
+        assert r2.peak_memory_points < r1.peak_memory_points
+        assert r2.passes == 2
+        # Quality within a factor ~2 of the one-pass answer.
+        assert r2.value >= r1.value / 2.5
+
+    def test_solution_has_k_points(self):
+        pts = sphere_shell(500, 4, dim=3, seed=2)
+        algo = TwoPassStreamingDiversityMaximizer(k=4, k_prime=16,
+                                                  objective="remote-tree")
+        result = algo.run(ArrayStream(pts.points))
+        assert result.k == 4
+
+    def test_rejects_non_injective_objective(self):
+        with pytest.raises(ValueError):
+            TwoPassStreamingDiversityMaximizer(k=4, k_prime=8,
+                                               objective="remote-edge")
+
+    def test_rejects_one_shot_stream(self):
+        pts = sphere_shell(300, 4, dim=3, seed=2)
+        algo = TwoPassStreamingDiversityMaximizer(k=4, k_prime=8,
+                                                  objective="remote-clique")
+        with pytest.raises(StreamExhaustedError):
+            algo.run(IteratorStream(iter(pts.points)))
+
+
+class TestMemoryAudit:
+    def test_audit_passes_for_honest_sketch(self, rng):
+        sketch = SMM(k=4, k_prime=8)
+        sketch.process_many(rng.random((300, 2)))
+        observed = audit_memory(sketch, "remote-edge", 4, 8)
+        assert observed <= theoretical_memory_points("remote-edge", 4, 8)
+
+    def test_audit_raises_on_violation(self, rng):
+        sketch = SMM(k=4, k_prime=8)
+        sketch.process_many(rng.random((300, 2)))
+        sketch._peak_memory = 10**6  # simulate a violation
+        with pytest.raises(MemoryBudgetExceededError):
+            audit_memory(sketch, "remote-edge", 4, 8)
+
+    def test_theoretical_bounds_ordering(self):
+        """EXT needs ~k times the memory of plain/generalized sketches."""
+        plain = theoretical_memory_points("remote-edge", 8, 32)
+        ext = theoretical_memory_points("remote-clique", 8, 32)
+        gen = theoretical_memory_points("remote-clique", 8, 32, generalized=True)
+        assert gen == plain
+        assert ext > 3 * plain
+
+
+class TestThroughput:
+    def test_reports_counts_and_rates(self, rng):
+        sketch = SMM(k=4, k_prime=8)
+        report = measure_throughput(sketch, ArrayStream(rng.random((200, 2))))
+        assert report.points == 200
+        assert report.kernel_points_per_second > 0
+        assert report.wall_points_per_second <= report.kernel_points_per_second

@@ -1,0 +1,70 @@
+"""Tests for the k' auto-tuning module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import sphere_shell, uniform_cube
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+from repro.streaming.memory import theoretical_memory_points
+from repro.tuning import recommend_k_prime
+
+
+class TestRecommendation:
+    def test_returns_sane_band(self):
+        points = uniform_cube(2000, dim=3, seed=0)
+        advice = recommend_k_prime(points, k=8, seed=0)
+        assert 8 <= advice.k_prime <= 16 * 8
+        assert advice.estimated_dimension > 0
+        assert advice.theoretical_k_prime >= advice.k_prime
+
+    def test_higher_dimension_recommends_more(self):
+        line = PointSet(np.linspace(0, 1, 1500).reshape(-1, 1))
+        cube = uniform_cube(1500, dim=5, seed=1)
+        low = recommend_k_prime(line, k=8, seed=0)
+        high = recommend_k_prime(cube, k=8, seed=0)
+        assert high.estimated_dimension > low.estimated_dimension
+        assert high.k_prime >= low.k_prime
+
+    def test_memory_budget_respected(self):
+        points = uniform_cube(2000, dim=3, seed=2)
+        budget = 200
+        advice = recommend_k_prime(points, k=8, objective="remote-clique",
+                                   memory_budget_points=budget, seed=0)
+        assert advice.memory_points <= budget or advice.k_prime == 8
+        assert advice.memory_points == theoretical_memory_points(
+            "remote-clique", 8, advice.k_prime)
+
+    def test_never_below_k(self):
+        points = uniform_cube(500, dim=2, seed=3)
+        advice = recommend_k_prime(points, k=16,
+                                   memory_budget_points=10, seed=0)
+        assert advice.k_prime >= 16
+
+    def test_deterministic_for_seed(self):
+        points = sphere_shell(1000, 8, seed=4)
+        a = recommend_k_prime(points, k=8, seed=9)
+        b = recommend_k_prime(points, k=8, seed=9)
+        assert a == b
+
+    def test_bad_epsilon(self):
+        points = uniform_cube(100, seed=5)
+        with pytest.raises(ValidationError):
+            recommend_k_prime(points, k=4, epsilon=0.0)
+
+    def test_recommendation_actually_performs(self):
+        """End-to-end: the recommended k' achieves a good ratio."""
+        from repro.experiments.harness import approximation_ratio
+        from repro.experiments.reference import reference_value
+        from repro.streaming.algorithm import StreamingDiversityMaximizer
+        from repro.streaming.stream import ArrayStream
+
+        points = sphere_shell(5000, 8, dim=3, seed=6)
+        advice = recommend_k_prime(points, k=8, seed=0)
+        algo = StreamingDiversityMaximizer(k=8, k_prime=advice.k_prime,
+                                           objective="remote-edge")
+        result = algo.run(ArrayStream(points.points))
+        reference = reference_value(points, 8, "remote-edge")
+        assert approximation_ratio(reference, result.value) <= 1.8

@@ -1,0 +1,148 @@
+"""Tests for repro.utils (rng, validation, timing) and the exception types."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InsufficientPointsError,
+    MemoryBudgetExceededError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_in_range,
+    check_k_le_n,
+    check_points_array,
+    check_positive_int,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=8)
+        b = children[1].integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_same_seed(self):
+        a = spawn_rngs(3, 3)[1].integers(0, 10**9, size=4)
+        b = spawn_rngs(3, 3)[1].integers(0, 10**9, size=4)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_generator_master_seed(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(children) == 2
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+    def test_positive_int_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_in_range_bounds(self):
+        assert check_in_range(0.5, "eps", 0.0, 1.0) == 0.5
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "eps", 0.0, 1.0)  # exclusive low by default
+        assert check_in_range(1.0, "eps", 0.0, 1.0) == 1.0  # inclusive high
+
+    def test_points_array_reshapes_1d(self):
+        arr = check_points_array(np.asarray([1.0, 2.0]))
+        assert arr.shape == (2, 1)
+
+    def test_points_array_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_points_array(np.empty((0, 3)))
+
+    def test_points_array_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_points_array(np.asarray([[np.nan, 1.0]]))
+
+    def test_points_array_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_points_array(np.zeros((2, 2, 2)))
+
+    def test_k_le_n(self):
+        assert check_k_le_n(3, 5) == 3
+        with pytest.raises(InsufficientPointsError):
+            check_k_le_n(6, 5)
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            time.sleep(0.001)
+        with watch.lap("a"):
+            time.sleep(0.001)
+        assert watch.total("a") >= 0.002
+        assert watch.counts["a"] == 2
+
+    def test_mean(self):
+        watch = Stopwatch()
+        watch.add("x", 2.0)
+        watch.add("x", 4.0)
+        assert watch.mean("x") == pytest.approx(3.0)
+
+    def test_unknown_lap_is_zero(self):
+        assert Stopwatch().total("nope") == 0.0
+        assert Stopwatch().mean("nope") == 0.0
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(InsufficientPointsError, ValidationError)
+
+    def test_insufficient_points_message(self):
+        err = InsufficientPointsError(5, 3)
+        assert "5" in str(err) and "3" in str(err)
+
+    def test_memory_budget_message(self):
+        err = MemoryBudgetExceededError(10, 5, context="test")
+        assert "10" in str(err) and "test" in str(err)
