@@ -8,12 +8,19 @@ variant is faster (78k - 850k points/s) because distances are cheaper.
 
 Scaled reproduction: same sweep shape at k in {8, 16, 32} on 1,500 docs
 (vocab 400); absolute numbers depend on hardware, the monotone shape and
-the text-slower-than-synthetic ordering are asserted.
+the text-slower-than-synthetic ordering are asserted.  Every cell is also
+measured through the batched ``process_batch`` ingestion path, which must
+produce the same sketch while running far faster; the dedicated speedup
+test pins that ratio at >= 5x on a >= 50k-point synthetic stream (the CI
+smoke input; raise it with REPRO_FIG3_SPEEDUP_N).  Machine-readable
+results land in benchmarks/results/BENCH_fig3_*.json for the CI artifact.
 """
 
 from __future__ import annotations
 
-from common import emit, run_once
+import os
+
+from common import emit, emit_json, run_once
 from repro.coresets.smm import SMM
 from repro.datasets.synthetic import sphere_shell
 from repro.datasets.text import zipf_bag_of_words
@@ -23,6 +30,7 @@ from repro.streaming.throughput import measure_throughput
 
 KS = (8, 16, 32)
 MULTIPLIERS = (1, 2, 4, 8)
+BATCH_SIZE = 1024
 
 
 def _sweep():
@@ -33,24 +41,42 @@ def _sweep():
     measure_throughput(warmup, ArrayStream(docs.points[:300]))
     rows = []
     throughputs = {}
+    batched_throughputs = {}
     for dataset_name, data in (("text", docs), ("synthetic", synth)):
         for k in KS:
             for multiplier in MULTIPLIERS:
                 sketch = SMM(k=k, k_prime=multiplier * k, metric=data.metric)
                 report = measure_throughput(sketch, ArrayStream(data.points))
                 rate = report.kernel_points_per_second
+                batched_sketch = SMM(k=k, k_prime=multiplier * k,
+                                     metric=data.metric)
+                batched_report = measure_throughput(
+                    batched_sketch, ArrayStream(data.points),
+                    batch_size=BATCH_SIZE)
+                batched_rate = batched_report.kernel_points_per_second
                 throughputs[(dataset_name, k, multiplier)] = rate
-                rows.append([dataset_name, k, f"{multiplier}k",
-                             int(rate)])
-    return rows, throughputs
+                batched_throughputs[(dataset_name, k, multiplier)] = batched_rate
+                rows.append([dataset_name, k, f"{multiplier}k", int(rate),
+                             int(batched_rate), f"{batched_rate / rate:.1f}x"])
+    return rows, throughputs, batched_throughputs
 
 
 def test_fig3_throughput(benchmark):
-    rows, throughputs = run_once(benchmark, _sweep)
+    rows, throughputs, batched_throughputs = run_once(benchmark, _sweep)
     emit("fig3_throughput", format_table(
-        ["dataset", "k", "k'", "points/s (kernel)"], rows,
+        ["dataset", "k", "k'", "points/s (kernel)", "points/s (batched)",
+         "speedup"], rows,
         title="Figure 3 (scaled): streaming kernel throughput",
     ))
+    emit_json("fig3_throughput", {
+        "batch_size": BATCH_SIZE,
+        "cells": [
+            {"dataset": dataset, "k": k, "k_prime_multiplier": multiplier,
+             "per_point_pps": throughputs[(dataset, k, multiplier)],
+             "batched_pps": batched_throughputs[(dataset, k, multiplier)]}
+            for (dataset, k, multiplier) in sorted(throughputs)
+        ],
+    })
     # Shape 1: throughput decreases as k' grows wherever the distance
     # kernel dominates — the text workload at every k, and the synthetic
     # workload at the largest k.  (At tiny k on 3-d data the per-point
@@ -64,3 +90,45 @@ def test_fig3_throughput(benchmark):
     # Shape 2: the synthetic (cheap-distance) workload is faster than text
     # at the heaviest setting, as in the paper.
     assert throughputs[("synthetic", 32, 8)] > throughputs[("text", 32, 8)]
+    # Shape 3: batching never hurts the kernel rate at the heavy settings
+    # where the per-point Python dispatch is the bottleneck.
+    assert batched_throughputs[("text", 32, 8)] > throughputs[("text", 32, 8)]
+
+
+def _speedup_run():
+    n = int(os.environ.get("REPRO_FIG3_SPEEDUP_N", "50000"))
+    data = sphere_shell(n, 32, dim=3, seed=7)
+    warmup = SMM(k=8, k_prime=32)
+    measure_throughput(warmup, ArrayStream(data.points[:2000]),
+                       batch_size=BATCH_SIZE)
+    per_point = measure_throughput(SMM(k=8, k_prime=32),
+                                   ArrayStream(data.points))
+    batched = measure_throughput(SMM(k=8, k_prime=32),
+                                 ArrayStream(data.points),
+                                 batch_size=BATCH_SIZE)
+    return n, per_point, batched
+
+
+def test_fig3_batched_speedup(benchmark):
+    """The batched ingestion path is the order-of-magnitude claim of the
+    batching refactor: >= 5x the per-point kernel rate on a >= 50k-point
+    synthetic stream (in practice it lands far higher)."""
+    n, per_point, batched = run_once(benchmark, _speedup_run)
+    speedup = (batched.kernel_points_per_second
+               / per_point.kernel_points_per_second)
+    emit("fig3_batched_speedup", format_table(
+        ["ingestion", "batch size", "points/s (kernel)"],
+        [["per-point", 1, int(per_point.kernel_points_per_second)],
+         ["batched", BATCH_SIZE, int(batched.kernel_points_per_second)],
+         ["speedup", "", f"{speedup:.1f}x"]],
+        title=f"Batched vs per-point kernel ingestion (synthetic, n={n})",
+    ))
+    emit_json("fig3_batched_speedup", {
+        "n": n,
+        "batch_size": BATCH_SIZE,
+        "per_point_pps": per_point.kernel_points_per_second,
+        "batched_pps": batched.kernel_points_per_second,
+        "speedup": speedup,
+    })
+    assert per_point.points == batched.points == n
+    assert speedup >= 5.0, f"batched speedup only {speedup:.2f}x"

@@ -16,6 +16,7 @@ section 4).  Conventions:
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -26,6 +27,19 @@ def emit(experiment: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def emit_json(experiment: str, payload: dict) -> None:
+    """Persist machine-readable results as benchmarks/results/BENCH_<name>.json.
+
+    These files are the perf trajectory: CI's benchmark smoke job uploads
+    them as artifacts on every run, so regressions show up as a diffable
+    number rather than a feeling.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -23,11 +23,21 @@ if needed.
 
 Implementation notes
 --------------------
-* Points are processed strictly one at a time through :meth:`process`; the
-  only state is ``O(k')`` points, so the class honestly simulates the
-  streaming model (``repro.streaming.memory`` audits this).
+* Points can be processed one at a time through :meth:`process` or in
+  blocks through :meth:`process_batch`; either way the only state is
+  ``O(k')`` points, so the class honestly simulates the streaming model
+  (``repro.streaming.memory`` audits this).
 * Centers live in a preallocated ``(k'+1, dim)`` buffer so the per-point
   distance kernel is a single vectorized call with no re-stacking.
+* :meth:`process_batch` is the hot path: it classifies a whole block
+  against the current centers with **one** ``Metric.cross`` call, absorbs
+  every covered run in bulk, and touches Python-level control flow only
+  for the rare survivors that become centers (the *covered-filter*
+  invariant: absorbing a covered point never changes the center set, the
+  threshold, or the coverage status of later points, so covered runs can
+  be retired wholesale without replaying them).  Its results — centers,
+  threshold, phase count, subclass payloads, and peak-memory accounting —
+  are identical to sequential ingestion.
 * Exact duplicate points are discarded during initialization (they can
   never increase any diversity measure beyond one copy; subclasses absorb
   them as delegates instead).
@@ -35,12 +45,14 @@ Implementation notes
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.points import PointSet
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_points_array, check_positive_int
 
 
 class SMM:
@@ -128,6 +140,17 @@ class SMM:
     def _on_absorb(self, point: np.ndarray, center_position: int) -> None:
         """Called when *point* is covered by the center at *center_position*."""
 
+    def _on_absorb_batch(self, points: np.ndarray, center_positions: np.ndarray) -> None:
+        """Called when a block of covered *points* (rows, in stream order) is
+        absorbed at once; ``center_positions[i]`` is the nearest center of
+        row ``i``.  Subclasses with per-absorb state override this with a
+        vectorized update; the default replays the per-point hook so
+        subclasses that only override :meth:`_on_absorb` stay correct."""
+        if type(self)._on_absorb is SMM._on_absorb:
+            return  # the per-point hook is the base no-op; nothing to replay
+        for row, position in zip(points, center_positions):
+            self._on_absorb(row, int(position))
+
     def _on_merge_keep(self, old_positions: list[int]) -> None:
         """Called after a merge with the surviving old positions, in order."""
 
@@ -152,14 +175,61 @@ class SMM:
             self._process_initial(point)
         else:
             self._process_update(point)
-        memory = self.memory_in_points() + self._extra_memory_points()
-        if memory > self._peak_memory:
-            self._peak_memory = memory
+        self._record_peak()
+
+    def process_batch(self, points: np.ndarray) -> None:
+        """Feed a block of stream points at once (the vectorized hot path).
+
+        Equivalent to calling :meth:`process` on every row in order — the
+        resulting centers, threshold, phases, subclass payloads, and peak
+        memory are identical — but covered points are classified with one
+        ``Metric.cross`` call per block instead of one kernel call per
+        point, and absorbed in bulk through :meth:`_on_absorb_batch`.
+
+        Accepts any ``(n, dim)`` array-like; a 1-d array of length ``n``
+        is treated as ``n`` one-dimensional points, matching the row-wise
+        reading of the per-point interface.  Empty blocks are no-ops.
+        Unlike :meth:`process`, non-finite values are rejected eagerly.
+        """
+        if self._finalized:
+            raise NotFittedError("cannot process points after finalize()")
+        batch = np.asarray(points, dtype=np.float64)
+        if batch.size == 0:
+            return
+        batch = check_points_array(batch, "points")
+        if self._buffer is None:
+            self._buffer = np.empty((self._capacity, batch.shape[1]))
+        elif batch.shape[1] != self._buffer.shape[1]:
+            raise ValidationError(
+                f"points have dimension {batch.shape[1]}, "
+                f"sketch expects {self._buffer.shape[1]}")
+        index = 0
+        total = batch.shape[0]
+        # Initialization absorbs only exact duplicates and appends everything
+        # else, so each row changes the center set; run it point-wise.
+        while index < total and not self._initialized:
+            self._points_seen += 1
+            self._process_initial(batch[index])
+            self._record_peak()
+            index += 1
+        while index < total:
+            index = self._process_update_block(batch, index)
 
     def process_many(self, points: np.ndarray) -> None:
-        """Feed a batch of points (row by row) — convenience for arrays."""
-        for row in np.asarray(points, dtype=np.float64):
-            self.process(row)
+        """Deprecated alias for :meth:`process_batch`.
+
+        .. deprecated::
+            The historical implementation looped :meth:`process` row by
+            row, re-validating and reshaping every point; use
+            :meth:`process_batch`, which ingests the block vectorized with
+            identical semantics.
+        """
+        warnings.warn(
+            "SMM.process_many is deprecated; use process_batch, which "
+            "ingests the block vectorized with identical semantics",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.process_batch(points)
 
     def finalize(self) -> PointSet:
         """Close the stream and return the core-set (``>= k`` points)."""
@@ -183,6 +253,11 @@ class SMM:
         return PointSet(np.vstack(selected), self.metric)
 
     # -- internals ---------------------------------------------------------------
+    def _record_peak(self) -> None:
+        memory = self.memory_in_points() + self._extra_memory_points()
+        if memory > self._peak_memory:
+            self._peak_memory = memory
+
     def _distances_to_centers(self, point: np.ndarray) -> np.ndarray:
         return self.metric.point_to_set(point, self._buffer[:self._count])
 
@@ -194,10 +269,16 @@ class SMM:
     def _process_initial(self, point: np.ndarray) -> None:
         if self._count:
             dist = self._distances_to_centers(point)
-            if float(dist.min()) == 0.0:
-                # Exact duplicate: absorb instead of keeping a zero-distance
-                # center, which would wedge the doubling schedule at d = 0.
-                self._on_absorb(point, int(dist.argmin()))
+            nearest = int(dist.argmin())
+            # Exact duplicate: absorb instead of keeping a zero-distance
+            # center, which would wedge the doubling schedule at d = 0.
+            # The Gram-expansion kernel can report a tiny *nonzero*
+            # distance for bitwise-identical rows (while the pairwise
+            # matrix used for the threshold reports exactly 0), so the
+            # distance test alone is not enough — compare the rows too.
+            if (float(dist[nearest]) == 0.0
+                    or np.array_equal(point, self._buffer[nearest])):
+                self._on_absorb(point, nearest)
                 return
         self._append_center(point)
         if self._count == self._capacity:
@@ -218,13 +299,75 @@ class SMM:
         else:
             self._on_absorb(point, nearest)
 
+    def _process_update_block(self, batch: np.ndarray, start: int) -> int:
+        """Ingest ``batch[start:]`` until the block ends or a merge rescales.
+
+        Covered runs are absorbed wholesale; each uncovered survivor becomes
+        a center and only its distances to the *remaining* rows are
+        computed, folding into the tracked nearest-center state.  Ties keep
+        the earlier center, exactly like ``argmin`` over a fresh distance
+        vector, because survivors take over only when strictly closer.  A
+        merge changes both the threshold and the center set, so the caller
+        must re-classify the remainder; returns the first unprocessed index.
+        """
+        block = batch[start:]
+        distances = self.metric.cross(block, self._buffer[:self._count])
+        nearest = distances.argmin(axis=1)
+        nearest_dist = distances[np.arange(block.shape[0]), nearest]
+        limit = 4.0 * self._threshold
+        covered = nearest_dist <= limit
+        row = 0
+        rows = block.shape[0]
+        while row < rows:
+            uncovered_ahead = np.flatnonzero(~covered[row:])
+            stop = row + int(uncovered_ahead[0]) if uncovered_ahead.size else rows
+            if stop > row:
+                # Absorbing covered points never shrinks memory, so the peak
+                # over the run equals the state after its last point.
+                self._points_seen += stop - row
+                self._on_absorb_batch(block[row:stop], nearest[row:stop])
+                self._record_peak()
+                row = stop
+                if row >= rows:
+                    break
+            self._points_seen += 1
+            self._append_center(block[row])
+            row += 1
+            if self._count == self._capacity:
+                self._threshold *= 2.0
+                self._start_phase()
+                self._record_peak()
+                return start + row
+            self._record_peak()
+            if row < rows:
+                survivor = self._buffer[self._count - 1:self._count]
+                extra = self.metric.cross(block[row:], survivor)[:, 0]
+                closer = extra < nearest_dist[row:]
+                tail_dist = nearest_dist[row:]
+                tail_dist[closer] = extra[closer]
+                nearest[row:][closer] = self._count - 1
+                covered[row:][closer] = tail_dist[closer] <= limit
+        return start + rows
+
     def _start_phase(self) -> None:
         """Run merge steps (doubling further if needed) until ``|T| <= k'``."""
         self._merge()
         while self._count == self._capacity:
             # The independent set can be the whole of T when all centers are
             # farther than 2d apart; double and merge again.
-            self._threshold *= 2.0
+            if self._threshold > 0.0:
+                self._threshold *= 2.0
+            else:
+                # d wedged at exactly 0 (cancellation in the distance
+                # kernel can report zero separation for distinct
+                # near-identical centers, making the initial threshold 0
+                # while doubling is a no-op): restart the schedule from
+                # the smallest positive separation.  One exists, or the
+                # zero-limit merge above would have shrunk T.
+                pair_dist = self.metric.pairwise(self._buffer[:self._count])
+                iu, ju = np.triu_indices(self._count, k=1)
+                gaps = pair_dist[iu, ju]
+                self._threshold = float(gaps[gaps > 0.0].min())
             self._merge()
         self._phases += 1
 

@@ -36,7 +36,7 @@ class SMMExt(SMM):
     Example
     -------
     >>> sketch = SMMExt(k=2, k_prime=3)
-    >>> sketch.process_many([[0.0], [1.0], [5.0], [9.0], [10.0]])
+    >>> sketch.process_batch([[0.0], [1.0], [5.0], [9.0], [10.0]])
     >>> len(sketch.finalize()) >= 2
     True
     """
@@ -49,13 +49,28 @@ class SMMExt(SMM):
         self._old_delegates: list[list[np.ndarray]] = []
 
     # -- SMM hooks --------------------------------------------------------------
+    # Stored delegates are copies: the hooks receive row views into the
+    # caller's (possibly large) stream block, and retaining a view would
+    # pin the whole block in memory, breaking the O(k' k)-points model.
     def _on_new_center(self, point: np.ndarray) -> None:
-        self._delegates.append([point])
+        self._delegates.append([point.copy()])
 
     def _on_absorb(self, point: np.ndarray, center_position: int) -> None:
         bucket = self._delegates[center_position]
         if len(bucket) < self.k:
-            bucket.append(point)
+            bucket.append(point.copy())
+
+    def _on_absorb_batch(self, points: np.ndarray, center_positions: np.ndarray) -> None:
+        # Per center, the earliest rows of the block fill the remaining
+        # room — the same points the per-point hook would have kept, since
+        # absorbs never reorder and buckets only grow.
+        for position in np.unique(center_positions):
+            bucket = self._delegates[int(position)]
+            room = self.k - len(bucket)
+            if room <= 0:
+                continue
+            chosen = np.flatnonzero(center_positions == position)[:room]
+            bucket.extend(points[row].copy() for row in chosen)
 
     def _on_merge_keep(self, old_positions: list[int]) -> None:
         self._old_delegates = self._delegates

@@ -40,6 +40,14 @@ class SMMGen(SMM):
         if self._counts[center_position] < self.k:
             self._counts[center_position] += 1
 
+    def _on_absorb_batch(self, points: np.ndarray, center_positions: np.ndarray) -> None:
+        # Capped increments commute, so a histogram of the block followed by
+        # clamping at k matches the per-point hook exactly.
+        absorbed = np.bincount(center_positions, minlength=len(self._counts))
+        for position in np.flatnonzero(absorbed):
+            self._counts[position] = min(
+                self.k, self._counts[position] + int(absorbed[position]))
+
     def _on_merge_keep(self, old_positions: list[int]) -> None:
         self._old_counts = self._counts
         self._counts = [self._old_counts[i] for i in old_positions]

@@ -29,6 +29,7 @@ from repro.diversity.sequential.registry import solve_sequential
 from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.points import PointSet
 from repro.streaming.stream import Stream
+from repro.streaming.throughput import measure_throughput
 from repro.utils.validation import check_positive_int
 
 
@@ -92,6 +93,14 @@ class StreamingDiversityMaximizer:
         One of the six diversity objectives (name or instance).
     metric:
         Metric of the point space.
+    batch_size:
+        If set, ingest the stream in blocks of this many points through
+        the sketch's vectorized ``process_batch`` path.  For any finite
+        stream the result is identical to point-wise ingestion (same
+        solution, memory, and core-set); only the kernel throughput
+        changes.  (Non-finite points are rejected eagerly on the batched
+        path; replayable array streams reject them at construction
+        either way.)
 
     Example
     -------
@@ -105,11 +114,14 @@ class StreamingDiversityMaximizer:
     """
 
     def __init__(self, k: int, k_prime: int, objective: str | Objective,
-                 metric: str | Metric = "euclidean"):
+                 metric: str | Metric = "euclidean",
+                 batch_size: int | None = None):
         self.k = check_positive_int(k, "k")
         self.k_prime = check_positive_int(k_prime, "k_prime")
         self.objective = get_objective(objective)
         self.metric = get_metric(metric)
+        self.batch_size = (None if batch_size is None
+                           else check_positive_int(batch_size, "batch_size"))
 
     def make_sketch(self) -> SMM:
         """The sketch matching the objective (SMM or SMM-EXT)."""
@@ -120,11 +132,8 @@ class StreamingDiversityMaximizer:
     def run(self, stream: Stream) -> StreamingResult:
         """Consume *stream* in one pass and return the solution."""
         sketch = self.make_sketch()
-        kernel_seconds = 0.0
-        for point in stream:
-            start = time.perf_counter()
-            sketch.process(point)
-            kernel_seconds += time.perf_counter() - start
+        kernel_seconds = measure_throughput(
+            sketch, stream, batch_size=self.batch_size).kernel_seconds
         coreset = sketch.finalize()
         indices, value = solve_sequential(coreset, self.k, self.objective)
         return StreamingResult(
@@ -135,7 +144,8 @@ class StreamingDiversityMaximizer:
             points_processed=sketch.points_seen,
             passes=1,
             kernel_seconds=kernel_seconds,
-            extra={"phases": sketch.phases, "final_threshold": sketch.threshold},
+            extra={"phases": sketch.phases, "final_threshold": sketch.threshold,
+                   "batch_size": self.batch_size},
         )
 
 
@@ -147,7 +157,8 @@ class TwoPassStreamingDiversityMaximizer:
     """
 
     def __init__(self, k: int, k_prime: int, objective: str | Objective,
-                 metric: str | Metric = "euclidean"):
+                 metric: str | Metric = "euclidean",
+                 batch_size: int | None = None):
         self.k = check_positive_int(k, "k")
         self.k_prime = check_positive_int(k_prime, "k_prime")
         self.objective = get_objective(objective)
@@ -157,40 +168,57 @@ class TwoPassStreamingDiversityMaximizer:
                 "use StreamingDiversityMaximizer"
             )
         self.metric = get_metric(metric)
+        self.batch_size = (None if batch_size is None
+                           else check_positive_int(batch_size, "batch_size"))
+
+    def _blocks(self, stream: Stream):
+        """The pass-2 reading grain: batches if batching, else single rows."""
+        if self.batch_size:
+            yield from stream.batches(self.batch_size)
+        else:
+            for point in stream:
+                yield np.atleast_2d(np.asarray(point, dtype=np.float64))
 
     def run(self, stream: Stream) -> StreamingResult:
         """Two passes: SMM-GEN sketch, then delegate instantiation."""
         # Pass 1: generalized core-set of counts.
         sketch = SMMGen(self.k, self.k_prime, self.metric)
-        kernel_seconds = 0.0
-        for point in stream:
-            start = time.perf_counter()
-            sketch.process(point)
-            kernel_seconds += time.perf_counter() - start
+        kernel_seconds = measure_throughput(
+            sketch, stream, batch_size=self.batch_size).kernel_seconds
         coreset = sketch.finalize_generalized()
         radius = sketch.radius_bound()
         subset = solve_generalized(coreset, self.k, self.objective)
 
         # Pass 2: materialize m_p distinct delegates within `radius` of
-        # each chosen kernel point, streaming again.
+        # each chosen kernel point, streaming again.  Distances are computed
+        # one block at a time, but delegates are served strictly in stream
+        # order (the serve order determines which points materialize), so
+        # the batched pass selects exactly the point-wise delegates.
         needs = subset.multiplicities.copy()
         kernel_points = subset.points
         delegates: list[np.ndarray] = []
         second_pass_points = 0
+        exhausted = False
         start = time.perf_counter()
-        for point in stream.replay():
-            second_pass_points += 1
-            if not needs.any():
+        for block in self._blocks(stream.replay()):
+            block_dist: np.ndarray | None = None
+            for offset in range(block.shape[0]):
+                second_pass_points += 1
+                if not needs.any():
+                    exhausted = True
+                    break
+                if block_dist is None:
+                    block_dist = self.metric.cross(block, kernel_points)
+                dist = block_dist[offset]
+                # Serve the nearest kernel point that still needs delegates.
+                candidates = np.flatnonzero((needs > 0) & (dist <= radius))
+                if candidates.size == 0:
+                    continue
+                chosen = int(candidates[int(dist[candidates].argmin())])
+                needs[chosen] -= 1
+                delegates.append(np.asarray(block[offset], dtype=np.float64))
+            if exhausted:
                 break
-            dist = self.metric.point_to_set(np.asarray(point, dtype=np.float64),
-                                            kernel_points)
-            # Serve the nearest kernel point that still needs delegates.
-            candidates = np.flatnonzero((needs > 0) & (dist <= radius))
-            if candidates.size == 0:
-                continue
-            chosen = int(candidates[int(dist[candidates].argmin())])
-            needs[chosen] -= 1
-            delegates.append(np.asarray(point, dtype=np.float64).reshape(-1))
         kernel_seconds += time.perf_counter() - start
 
         # Radius shortfalls can only arise from the greedy serve order;
@@ -214,5 +242,6 @@ class TwoPassStreamingDiversityMaximizer:
                 "phases": sketch.phases,
                 "instantiation_radius": radius,
                 "instantiation_shortfall": shortfall,
+                "batch_size": self.batch_size,
             },
         )

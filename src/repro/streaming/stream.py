@@ -1,8 +1,10 @@
 """Stream sources.
 
-A :class:`Stream` yields points (1-d numpy rows) one at a time.  Multi-pass
-algorithms call :meth:`Stream.replay` to start a second pass; sources that
-cannot be replayed (true one-shot iterators) raise
+A :class:`Stream` yields points (1-d numpy rows) one at a time, or in
+``(<= batch_size, dim)`` blocks through :meth:`Stream.batches` for
+consumers with a vectorized ingestion path.  Multi-pass algorithms call
+:meth:`Stream.replay` to start a second pass; sources that cannot be
+replayed (true one-shot iterators) raise
 :class:`~repro.exceptions.StreamExhaustedError`, which keeps the pass
 discipline of the model explicit in the type system rather than implicit in
 the caller's behaviour.
@@ -17,7 +19,7 @@ import numpy as np
 
 from repro.exceptions import StreamExhaustedError
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_points_array
+from repro.utils.validation import check_points_array, check_positive_int
 
 
 class Stream(ABC):
@@ -30,6 +32,24 @@ class Stream(ABC):
     @abstractmethod
     def replay(self) -> "Stream":
         """Return a stream for one more pass over the same data."""
+
+    def batches(self, batch_size: int) -> Iterator[np.ndarray]:
+        """Yield consecutive ``(<= batch_size, dim)`` blocks of this pass.
+
+        Consuming :meth:`batches` consumes the same pass as ``__iter__``
+        and preserves point order, so batched and point-wise readers see
+        identical streams.  This default buffers the point iterator;
+        array-backed sources override it with zero-copy slicing.
+        """
+        batch_size = check_positive_int(batch_size, "batch_size")
+        block: list[np.ndarray] = []
+        for point in self:
+            block.append(point)
+            if len(block) == batch_size:
+                yield np.vstack(block)
+                block = []
+        if block:
+            yield np.vstack(block)
 
     def __len__(self) -> int:
         """Number of points per pass, if known (else raises TypeError)."""
@@ -50,6 +70,12 @@ class ArrayStream(Stream):
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self._points)
 
+    def batches(self, batch_size: int) -> Iterator[np.ndarray]:
+        """Zero-copy slices of the backing array, in stream order."""
+        batch_size = check_positive_int(batch_size, "batch_size")
+        for start in range(0, self._points.shape[0], batch_size):
+            yield self._points[start:start + batch_size]
+
     def replay(self) -> "ArrayStream":
         return self
 
@@ -57,7 +83,7 @@ class ArrayStream(Stream):
         return self._points.shape[0]
 
 
-class ShuffledStream(Stream):
+class ShuffledStream(ArrayStream):
     """An :class:`ArrayStream` presented in a seeded random order.
 
     Each :meth:`replay` re-yields the *same* shuffled order, so multi-pass
@@ -65,25 +91,20 @@ class ShuffledStream(Stream):
     """
 
     def __init__(self, points: np.ndarray, seed: RngLike = None):
-        points = check_points_array(points)
-        order = ensure_rng(seed).permutation(points.shape[0])
-        self._points = points[order]
-
-    def __iter__(self) -> Iterator[np.ndarray]:
-        return iter(self._points)
+        super().__init__(points)
+        order = ensure_rng(seed).permutation(self._points.shape[0])
+        self._points = self._points[order]
 
     def replay(self) -> "ShuffledStream":
         return self
-
-    def __len__(self) -> int:
-        return self._points.shape[0]
 
 
 class IteratorStream(Stream):
     """A genuine one-shot stream wrapping an arbitrary iterable.
 
     :meth:`replay` raises: algorithms requiring multiple passes must be fed
-    a replayable source.
+    a replayable source.  :meth:`Stream.batches` works (it buffers the
+    iterator) but likewise consumes the single pass.
     """
 
     def __init__(self, iterable: Iterable[np.ndarray]):

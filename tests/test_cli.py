@@ -79,6 +79,14 @@ class TestRun:
         main(["run", "streaming", "--data", str(dataset), "--k", "4"])
         assert "k'=16" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("algorithm,objective",
+                             [("streaming", "remote-edge"),
+                              ("streaming-2pass", "remote-clique")])
+    def test_batch_size_flag(self, dataset, algorithm, objective, capsys):
+        assert main(["run", algorithm, "--data", str(dataset), "--k", "4",
+                     "--objective", objective, "--batch-size", "128"]) == 0
+        assert "value =" in capsys.readouterr().out
+
 
 class TestEstimate:
     def test_reports_dimension_and_sizes(self, dataset, capsys):

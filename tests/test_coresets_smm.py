@@ -32,18 +32,18 @@ class TestSMMBasics:
     def test_output_at_least_k(self, rng):
         data = _planted_stream(rng)
         smm = SMM(k=4, k_prime=8)
-        smm.process_many(data)
+        smm.process_batch(data)
         assert len(smm.finalize()) >= 4
 
     def test_short_stream_returns_everything(self):
         smm = SMM(k=2, k_prime=10)
-        smm.process_many(np.asarray([[0.0], [1.0], [2.0]]))
+        smm.process_batch(np.asarray([[0.0], [1.0], [2.0]]))
         assert len(smm.finalize()) == 3
 
     def test_memory_never_exceeds_model_bound(self, rng):
         data = _planted_stream(rng, n=600)
         smm = SMM(k=4, k_prime=8)
-        smm.process_many(data)
+        smm.process_batch(data)
         smm.finalize()
         assert smm.peak_memory_points <= theoretical_memory_points(
             "remote-edge", 4, 8
@@ -68,10 +68,48 @@ class TestSMMBasics:
         """Exact duplicates in the prefix must not freeze the threshold at 0."""
         smm = SMM(k=2, k_prime=3)
         data = np.asarray([[0.0], [0.0], [0.0], [1.0], [2.0], [5.0], [9.0]])
-        smm.process_many(data)
+        smm.process_batch(data)
         coreset = smm.finalize()
         assert len(coreset) >= 2
         assert smm.threshold > 0.0
+
+    def test_duplicate_evading_distance_kernel_is_still_absorbed(self):
+        """The Gram-expansion kernel can report a tiny *nonzero* distance
+        for bitwise-identical rows (while the pairwise matrix reports
+        exactly 0); such a duplicate must still be absorbed at init or the
+        threshold wedges at 0 and the doubling loop never terminates."""
+        from repro.metricspace.distance import EuclideanMetric
+
+        class EvasiveMetric(EuclideanMetric):
+            name = "evasive-euclidean"
+
+            def point_to_set(self, point, points):
+                dist = super().point_to_set(point, points)
+                return np.where(dist == 0.0, 2.6e-9, dist)
+
+        rng = np.random.default_rng(7)
+        data = rng.normal(scale=0.1, size=(60, 2))
+        data[5] = data[2]  # exact duplicate inside the init prefix
+        sequential = SMM(k=4, k_prime=9, metric=EvasiveMetric())
+        batched = SMM(k=4, k_prime=9, metric=EvasiveMetric())
+        for row in data:
+            sequential.process(row)
+        batched.process_batch(data)
+        assert sequential.threshold > 0.0
+        assert np.array_equal(batched.centers(), sequential.centers())
+
+    def test_duplicate_in_gaussian_prefix_terminates(self):
+        """Seeded replay of a fuzz case where BLAS shape-dependence let an
+        exact duplicate evade the zero-distance init check and freeze the
+        doubling schedule (infinite loop before the wedge guard)."""
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            data = rng.normal(scale=0.1, size=(149, 2))
+        data[5] = data[2]
+        smm = SMM(k=4, k_prime=9)
+        smm.process_batch(data)
+        assert smm.threshold > 0.0
+        assert len(smm.finalize()) >= 4
 
 
 class TestSMMInvariants:
@@ -92,7 +130,7 @@ class TestSMMInvariants:
         (the r_T <= 4 d_ell bound used by Lemma 3)."""
         data = _planted_stream(rng, n=300)
         smm = SMM(k=4, k_prime=6)
-        smm.process_many(data)
+        smm.process_batch(data)
         centers = smm.centers()
         cross = smm.metric.cross(data, centers)
         assert float(cross.min(axis=1).max()) <= 4.0 * smm.threshold + 1e-9
@@ -100,7 +138,7 @@ class TestSMMInvariants:
     def test_phase_counter_advances(self, rng):
         data = _planted_stream(rng, n=500, spread=50.0)
         smm = SMM(k=4, k_prime=6)
-        smm.process_many(data)
+        smm.process_batch(data)
         assert smm.phases >= 1
         assert smm.points_seen == 500
 
@@ -112,7 +150,7 @@ class TestSMMQuality:
         data = _planted_stream(rng, n=500, k=4, spread=10.0)
         pts = PointSet(data)
         smm = SMM(k=4, k_prime=16)
-        smm.process_many(data)
+        smm.process_batch(data)
         coreset = smm.finalize()
         _, achieved = solve_sequential(coreset, 4, "remote-edge")
         # Corners are 20 or 20*sqrt(2) apart; optimal min distance is 20.
@@ -123,7 +161,7 @@ class TestSMMQuality:
         values = []
         for k_prime in (4, 32):
             smm = SMM(k=4, k_prime=k_prime)
-            smm.process_many(data)
+            smm.process_batch(data)
             _, achieved = solve_sequential(smm.finalize(), 4, "remote-edge")
             values.append(achieved)
         assert values[1] >= values[0] - 1e-9
@@ -133,7 +171,7 @@ class TestSMMExt:
     def test_output_grouped_by_delegates(self, rng):
         data = _planted_stream(rng, n=300)
         sketch = SMMExt(k=3, k_prime=6)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         coreset = sketch.finalize()
         assert len(coreset) >= 3
         assert all(1 <= size <= 3 for size in sketch.delegate_sizes())
@@ -141,7 +179,7 @@ class TestSMMExt:
     def test_memory_bound(self, rng):
         data = _planted_stream(rng, n=400)
         sketch = SMMExt(k=3, k_prime=6)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         sketch.finalize()
         assert sketch.peak_memory_points <= theoretical_memory_points(
             "remote-clique", 3, 6
@@ -155,7 +193,7 @@ class TestSMMExt:
         far_cluster = np.asarray([[50.0, 0.0], [50.0, 0.6]])
         data = np.vstack([bulk, far_cluster])[rng.permutation(202)]
         sketch = SMMExt(k=2, k_prime=8)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         coreset = sketch.finalize()
         dist = coreset.pairwise()
         # Both far points (0.6 apart, 50 away from bulk) should survive as
@@ -166,8 +204,8 @@ class TestSMMExt:
         data = _planted_stream(rng, n=400)
         plain = SMM(k=8, k_prime=16)
         ext = SMMExt(k=8, k_prime=16)
-        plain.process_many(data)
-        ext.process_many(data)
+        plain.process_batch(data)
+        ext.process_batch(data)
         assert ext.peak_memory_points >= plain.peak_memory_points
 
 
@@ -176,8 +214,8 @@ class TestSMMGen:
         data = _planted_stream(rng, n=300)
         gen = SMMGen(k=3, k_prime=6)
         ext = SMMExt(k=3, k_prime=6)
-        gen.process_many(data)
-        ext.process_many(data)
+        gen.process_batch(data)
+        ext.process_batch(data)
         core = gen.finalize_generalized()
         # Same schedule, same absorb decisions: identical total payloads.
         assert core.expanded_size == sum(ext.delegate_sizes())
@@ -185,7 +223,7 @@ class TestSMMGen:
     def test_generalized_output_shape(self, rng):
         data = _planted_stream(rng, n=300)
         gen = SMMGen(k=3, k_prime=6)
-        gen.process_many(data)
+        gen.process_batch(data)
         core = gen.finalize_generalized()
         assert core.size == gen.num_centers
         assert np.all(core.multiplicities >= 1)
@@ -194,7 +232,7 @@ class TestSMMGen:
     def test_memory_matches_plain_smm_bound(self, rng):
         data = _planted_stream(rng, n=400)
         gen = SMMGen(k=6, k_prime=12)
-        gen.process_many(data)
+        gen.process_batch(data)
         gen.finalize_generalized()
         assert gen.peak_memory_points <= theoretical_memory_points(
             "remote-clique", 6, 12, generalized=True
@@ -203,7 +241,7 @@ class TestSMMGen:
     def test_radius_bound_covers_stream(self, rng):
         data = _planted_stream(rng, n=300)
         gen = SMMGen(k=3, k_prime=6)
-        gen.process_many(data)
+        gen.process_batch(data)
         core = gen.finalize_generalized()
         cross = core.metric.cross(data, core.points)
         assert float(cross.min(axis=1).max()) <= gen.radius_bound() + 1e-9

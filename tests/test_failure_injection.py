@@ -78,7 +78,7 @@ class TestDegenerateGeometry:
 
     def test_two_point_stream(self):
         sketch = SMM(k=2, k_prime=4)
-        sketch.process_many(np.asarray([[0.0], [7.0]]))
+        sketch.process_batch(np.asarray([[0.0], [7.0]]))
         assert len(sketch.finalize()) == 2
 
     def test_near_duplicate_flood(self, rng):
@@ -88,7 +88,7 @@ class TestDegenerateGeometry:
         data = np.vstack([base + 1e-12 * rng.normal(size=(200, 3)),
                           base + 5.0])
         sketch = SMM(k=2, k_prime=4)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         coreset = sketch.finalize()
         assert len(coreset) >= 2
         assert float(coreset.pairwise().max()) > 4.0
@@ -112,7 +112,7 @@ class TestHostileArrivalOrders:
             interleaved[1::2] = idx[half + len(idx) % 2:][::-1]
             data = data[interleaved]
         sketch = SMMExt(k=3, k_prime=12)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         coreset = sketch.finalize()
         _, value = solve_sequential(coreset, 3, "remote-edge")
         # Optimal {-50, 50, 100}: min gap 50; the guarantee allows ~4x slack.
@@ -125,7 +125,7 @@ class TestHostileArrivalOrders:
         bulk = rng.normal(scale=0.1, size=(400, 2))
         data = np.vstack([far, bulk])
         sketch = SMM(k=4, k_prime=8)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         _, value = solve_sequential(sketch.finalize(), 4, "remote-edge")
         assert value >= 10.0
 

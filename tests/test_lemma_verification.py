@@ -114,7 +114,7 @@ class TestLemma3And4Mechanism:
     def test_smm_proxy_bound_from_threshold(self, rng):
         data = rng.random((300, 2)) * 10.0
         sketch = SMM(k=4, k_prime=12)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         coreset_points = sketch.centers()
         points = PointSet(data)
         coreset = PointSet(coreset_points)
@@ -130,7 +130,7 @@ class TestLemma3And4Mechanism:
         k = 3
         _, optimum = divk_exact_subset(points, k, "remote-clique")
         sketch = SMMExt(k=k, k_prime=8)
-        sketch.process_many(data)
+        sketch.process_batch(data)
         coreset = sketch.finalize()
         bound = injective_proxy_distance_bound(points, coreset,
                                                np.asarray(optimum))

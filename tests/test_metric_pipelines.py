@@ -78,7 +78,7 @@ class TestMetricPropagation:
         points = _dataset_for("cosine", rng)
         from repro.coresets.smm import SMM
         sketch = SMM(k=4, k_prime=8, metric=points.metric)
-        sketch.process_many(points.points[:200])
+        sketch.process_batch(points.points[:200])
         assert sketch.finalize().metric.name == "cosine"
 
     def test_generalized_coreset_inherits_metric(self, rng):

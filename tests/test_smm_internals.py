@@ -20,14 +20,14 @@ class TestInitialization:
     def test_threshold_is_min_pairwise_of_prefix(self):
         # k'+1 = 3 initial points at 0, 10, 14: d1 = 4.
         sketch = SMM(k=2, k_prime=2)
-        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        sketch.process_batch(np.asarray([[0.0], [10.0], [14.0]]))
         assert sketch.threshold == pytest.approx(4.0)
         assert sketch.phases == 1  # the first merge ran immediately
 
     def test_first_merge_removes_covered_centers(self):
         # Merge threshold 2*d1 = 8: 14 is within 8 of 10 -> removed.
         sketch = SMM(k=2, k_prime=2)
-        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        sketch.process_batch(np.asarray([[0.0], [10.0], [14.0]]))
         survivors = sorted(sketch.centers().ravel().tolist())
         assert survivors == [0.0, 10.0]
         assert len(sketch._removed) == 1
@@ -35,7 +35,7 @@ class TestInitialization:
 
     def test_update_threshold_is_4d(self):
         sketch = SMM(k=2, k_prime=2)
-        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        sketch.process_batch(np.asarray([[0.0], [10.0], [14.0]]))
         # d = 4, so points within 16 of a center are absorbed.
         sketch.process(np.asarray([25.9]))  # d(25.9, 10) = 15.9 <= 16
         assert sketch.num_centers == 2
@@ -56,7 +56,7 @@ class TestInitialization:
         # so the phase loop must double until the capacity constraint frees
         # a slot (|T| <= k').
         sketch = SMM(k=2, k_prime=2)
-        sketch.process_many(np.asarray([[0.0], [1000.0], [4000.0]]))
+        sketch.process_batch(np.asarray([[0.0], [1000.0], [4000.0]]))
         assert sketch.num_centers <= 2
         assert sketch.threshold >= 1000.0 / 2.0
 
@@ -64,7 +64,7 @@ class TestInitialization:
 class TestExtTransfers:
     def test_absorbed_point_joins_nearest_delegate_set(self):
         sketch = SMMExt(k=2, k_prime=2)
-        sketch.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        sketch.process_batch(np.asarray([[0.0], [10.0], [14.0]]))
         # After init merge: centers {0, 10}; E_10 inherited 14.
         sizes = dict(zip(sorted(c[0] for c in sketch.centers()),
                          [None, None]))
@@ -80,7 +80,7 @@ class TestExtTransfers:
         # k = 2: the survivor keeps at most 2 delegates even when the
         # removed center carries more candidates.
         sketch = SMMExt(k=2, k_prime=3)
-        sketch.process_many(np.asarray([[0.0], [100.0], [101.0], [102.0]]))
+        sketch.process_batch(np.asarray([[0.0], [100.0], [101.0], [102.0]]))
         assert all(size <= 2 for size in sketch.delegate_sizes())
         total = sum(sketch.delegate_sizes())
         assert total >= 2  # at least k payload points survive
@@ -88,7 +88,7 @@ class TestExtTransfers:
     def test_finalize_contains_all_delegates(self):
         sketch = SMMExt(k=2, k_prime=2)
         data = np.asarray([[0.0], [10.0], [14.0], [1.0]])
-        sketch.process_many(data)
+        sketch.process_batch(data)
         out = sorted(sketch.finalize().points.ravel().tolist())
         assert 0.0 in out and 10.0 in out
         assert 1.0 in out or 14.0 in out
@@ -99,13 +99,13 @@ class TestGenCounts:
         data = np.asarray([[0.0], [10.0], [14.0], [1.0], [9.0], [0.5]])
         ext = SMMExt(k=2, k_prime=2)
         gen = SMMGen(k=2, k_prime=2)
-        ext.process_many(data)
-        gen.process_many(data)
+        ext.process_batch(data)
+        gen.process_batch(data)
         assert sorted(gen._counts) == sorted(ext.delegate_sizes())
 
     def test_radius_bound_is_4d(self):
         gen = SMMGen(k=2, k_prime=2)
-        gen.process_many(np.asarray([[0.0], [10.0], [14.0]]))
+        gen.process_batch(np.asarray([[0.0], [10.0], [14.0]]))
         assert gen.radius_bound() == pytest.approx(4.0 * gen.threshold)
 
     def test_uninitialized_radius_is_zero(self):
@@ -119,13 +119,13 @@ class TestPaddingPaths:
         # After the init merge only 2 centers remain but k = 3: finalize
         # must pull the removed 14.0 back in.
         sketch = SMM(k=3, k_prime=3)
-        sketch.process_many(np.asarray([[0.0], [10.0], [14.0], [13.0]]))
+        sketch.process_batch(np.asarray([[0.0], [10.0], [14.0], [13.0]]))
         out = sketch.finalize()
         assert len(out) >= 3
 
     def test_padding_by_replication_for_duplicate_streams(self):
         sketch = SMM(k=4, k_prime=4)
-        sketch.process_many(np.zeros((10, 2)))
+        sketch.process_batch(np.zeros((10, 2)))
         out = sketch.finalize()
         assert len(out) == 4
         assert np.allclose(out.points, 0.0)

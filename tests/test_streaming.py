@@ -51,6 +51,38 @@ class TestStreams:
             len(IteratorStream([np.asarray([1.0])]))
 
 
+class TestStreamBatches:
+    def test_array_stream_blocks_cover_stream_in_order(self, rng):
+        data = rng.random((25, 3))
+        blocks = list(ArrayStream(data).batches(10))
+        assert [len(block) for block in blocks] == [10, 10, 5]
+        assert np.array_equal(np.vstack(blocks), data)
+
+    def test_batch_size_larger_than_stream(self, rng):
+        data = rng.random((7, 2))
+        blocks = list(ArrayStream(data).batches(100))
+        assert len(blocks) == 1
+        assert np.array_equal(blocks[0], data)
+
+    def test_shuffled_stream_batches_match_iteration_order(self, rng):
+        stream = ShuffledStream(rng.random((23, 2)), seed=3)
+        assert np.array_equal(np.vstack(list(stream.batches(6))),
+                              np.vstack(list(stream)))
+
+    def test_iterator_stream_batches_one_shot(self):
+        stream = IteratorStream([np.asarray([1.0]), np.asarray([2.0]),
+                                 np.asarray([3.0])])
+        blocks = list(stream.batches(2))
+        assert [len(block) for block in blocks] == [2, 1]
+        with pytest.raises(StreamExhaustedError):
+            list(stream.batches(2))
+
+    def test_batch_size_must_be_positive(self, rng):
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError):
+            list(ArrayStream(rng.random((5, 2))).batches(0))
+
+
 class TestOnePassAlgorithm:
     @pytest.mark.parametrize("objective", [
         "remote-edge", "remote-clique", "remote-star",
@@ -102,6 +134,39 @@ class TestOnePassAlgorithm:
         result = algo.run(IteratorStream(iter(pts.points)))
         assert result.k == 4
 
+    @pytest.mark.parametrize("objective", ["remote-edge", "remote-clique"])
+    def test_batched_run_identical_to_point_wise(self, objective):
+        """batch_size is a pure throughput knob: solution, value, core-set,
+        and memory accounting must match the per-point run exactly."""
+        pts = sphere_shell(800, 6, dim=3, seed=4)
+        base = StreamingDiversityMaximizer(
+            k=6, k_prime=18, objective=objective).run(ArrayStream(pts.points))
+        batched = StreamingDiversityMaximizer(
+            k=6, k_prime=18, objective=objective,
+            batch_size=128).run(ArrayStream(pts.points))
+        assert np.array_equal(batched.solution.points, base.solution.points)
+        assert batched.value == base.value
+        assert batched.coreset_size == base.coreset_size
+        assert batched.peak_memory_points == base.peak_memory_points
+        assert batched.points_processed == base.points_processed
+        assert batched.extra["batch_size"] == 128
+
+    def test_batched_run_on_iterator_stream(self):
+        pts = sphere_shell(300, 4, dim=3, seed=0)
+        algo = StreamingDiversityMaximizer(k=4, k_prime=8,
+                                           objective="remote-edge",
+                                           batch_size=64)
+        result = algo.run(IteratorStream(iter(pts.points)))
+        assert result.k == 4
+        assert result.points_processed == 300
+
+    def test_batch_size_must_be_positive(self):
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError):
+            StreamingDiversityMaximizer(k=4, k_prime=8,
+                                        objective="remote-edge",
+                                        batch_size=0)
+
 
 class TestTwoPassAlgorithm:
     def test_memory_saving_vs_one_pass(self):
@@ -136,17 +201,34 @@ class TestTwoPassAlgorithm:
         with pytest.raises(StreamExhaustedError):
             algo.run(IteratorStream(iter(pts.points)))
 
+    def test_batched_run_identical_to_point_wise(self):
+        """Both passes — the SMM-GEN sketch and the delegate
+        instantiation — must pick the same points under batching."""
+        pts = sphere_shell(900, 6, dim=3, seed=6)
+        base = TwoPassStreamingDiversityMaximizer(
+            k=6, k_prime=18, objective="remote-clique").run(
+                ArrayStream(pts.points))
+        batched = TwoPassStreamingDiversityMaximizer(
+            k=6, k_prime=18, objective="remote-clique",
+            batch_size=97).run(ArrayStream(pts.points))
+        assert np.array_equal(batched.solution.points, base.solution.points)
+        assert batched.value == base.value
+        assert batched.points_processed == base.points_processed
+        assert batched.peak_memory_points == base.peak_memory_points
+        assert batched.extra["instantiation_shortfall"] == \
+            base.extra["instantiation_shortfall"]
+
 
 class TestMemoryAudit:
     def test_audit_passes_for_honest_sketch(self, rng):
         sketch = SMM(k=4, k_prime=8)
-        sketch.process_many(rng.random((300, 2)))
+        sketch.process_batch(rng.random((300, 2)))
         observed = audit_memory(sketch, "remote-edge", 4, 8)
         assert observed <= theoretical_memory_points("remote-edge", 4, 8)
 
     def test_audit_raises_on_violation(self, rng):
         sketch = SMM(k=4, k_prime=8)
-        sketch.process_many(rng.random((300, 2)))
+        sketch.process_batch(rng.random((300, 2)))
         sketch._peak_memory = 10**6  # simulate a violation
         with pytest.raises(MemoryBudgetExceededError):
             audit_memory(sketch, "remote-edge", 4, 8)
@@ -165,5 +247,17 @@ class TestThroughput:
         sketch = SMM(k=4, k_prime=8)
         report = measure_throughput(sketch, ArrayStream(rng.random((200, 2))))
         assert report.points == 200
+        assert report.batch_size == 0
         assert report.kernel_points_per_second > 0
         assert report.wall_points_per_second <= report.kernel_points_per_second
+
+    def test_batched_measurement_same_sketch_state(self, rng):
+        data = rng.random((500, 2))
+        per_point, batched = SMM(k=4, k_prime=8), SMM(k=4, k_prime=8)
+        measure_throughput(per_point, ArrayStream(data))
+        report = measure_throughput(batched, ArrayStream(data), batch_size=64)
+        assert report.points == 500
+        assert report.batch_size == 64
+        assert report.kernel_points_per_second > 0
+        assert np.array_equal(batched.centers(), per_point.centers())
+        assert batched.peak_memory_points == per_point.peak_memory_points
