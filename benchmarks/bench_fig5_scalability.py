@@ -1,80 +1,134 @@
 """Figure 5 — scalability: wall time vs processors and dataset size.
 
 Paper setup: sphere-shell datasets of 100M - 1.6B points in R^3; time of
-the 2-round MR algorithm versus number of processors (1 processor runs the
-streaming algorithm instead, with k' = 2048 to equalize final core-set
-size).  Findings: superlinear scaling in p (each reducer does
-O(n s/(k p^2)) work), linear scaling in n, and MR beats streaming even at
-small p.
+the 2-round MR algorithm versus number of processors, with the *final
+core-set size equalized across configurations* (their 1-processor run uses
+k' = 2048 for the same reason).  Findings: superlinear scaling in p (each
+reducer does O(n s/(k p^2)) work because both its partition and its kernel
+budget shrink with p), linear scaling in n, and MR beats the streaming
+algorithm even at small p.
 
-Scaled reproduction: 100k - 400k points, p in {1, 2, 4} with the process
-executor (real parallelism).  We assert time decreases with p, grows
-roughly linearly in n, and record the per-reducer work trend.  Absolute
-speedups are hardware- and IPC-bound at this scale, so only the ordering
-is asserted.
+Scaled reproduction: 100k - 400k points, p in {1, 2, 4}, all through the
+process executor with the persistent worker pool and zero-copy
+shared-memory partitions.  The per-partition kernel budget is
+``TOTAL_KERNEL / p``, so the aggregated core-set the final round solves on
+has the same size for every p — the paper's equalization — and total
+round-1 work shrinks as ``n * TOTAL_KERNEL / p``.  We assert wall time
+*strictly decreasing* in p at every dataset size, roughly-linear growth in
+n, and the classic MR-vs-streaming ordering against the point-wise
+streaming baseline.  Results (plus the kernel-layer tiling in effect) are
+emitted machine-readably to ``BENCH_fig5_scalability.json`` for the CI
+trajectory.
+
+Environment knobs (for CI-sized runs):
+
+* ``REPRO_FIG5_SIZES`` — comma-separated dataset sizes (default
+  ``100000,200000,400000``).
+* ``REPRO_FIG5_KERNEL`` — total kernel budget ``s`` (default 256).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
-from common import emit, run_once
+from common import emit, emit_json, run_once
 from repro.datasets.synthetic import sphere_shell
 from repro.experiments.report import format_table
 from repro.mapreduce.algorithm import MRDiversityMaximizer
 from repro.streaming.algorithm import StreamingDiversityMaximizer
 from repro.streaming.stream import ArrayStream
+from repro.tuning import recommend_tile_rows
 
 K = 16
-K_PRIME = 64
-SIZES = (100_000, 200_000, 400_000)
+TOTAL_KERNEL = int(os.environ.get("REPRO_FIG5_KERNEL", "256"))
+SIZES = tuple(
+    int(raw) for raw in
+    os.environ.get("REPRO_FIG5_SIZES", "100000,200000,400000").split(",")
+)
 PROCESSORS = (1, 2, 4)
+STREAM_BATCH = 4096
 
 
-def _time_configuration(points, processors: int) -> float:
-    if processors == 1:
-        algo = StreamingDiversityMaximizer(k=K, k_prime=K_PRIME,
-                                           objective="remote-edge")
-        start = time.perf_counter()
-        algo.run(ArrayStream(points.points))
-        return time.perf_counter() - start
-    algo = MRDiversityMaximizer(k=K, k_prime=K_PRIME, objective="remote-edge",
-                                parallelism=processors, seed=0,
-                                executor="process", partition_strategy="chunk")
+def _time_mapreduce(points, processors: int) -> float:
+    """Best-of-two wall time of the 2-round MR run at *processors*.
+
+    The maximizer (hence the worker pool and its warm-up cost) is shared
+    by both repetitions: the minimum measures the steady-state round time,
+    which is the paper's scalability statistic.
+    """
+    with MRDiversityMaximizer(
+            k=K, k_prime=TOTAL_KERNEL // processors, objective="remote-edge",
+            parallelism=processors, seed=0, executor="process",
+            partition_strategy="chunk") as algo:
+        times = []
+        for _ in range(2):
+            start = time.perf_counter()
+            algo.run(points)
+            times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _time_streaming(points, batch_size: int | None) -> float:
+    algo = StreamingDiversityMaximizer(k=K, k_prime=TOTAL_KERNEL,
+                                       objective="remote-edge",
+                                       batch_size=batch_size)
     start = time.perf_counter()
-    algo.run(points)
+    algo.run(ArrayStream(points.points))
     return time.perf_counter() - start
 
 
 def _sweep():
     rows = []
-    times = {}
+    times: dict[tuple[int, int], float] = {}
+    stream_times: dict[tuple[int, str], float] = {}
     for n in SIZES:
         points = sphere_shell(n, K, dim=3, seed=n)
         for processors in PROCESSORS:
-            # Best of two runs: process start-up jitter dominates at this
-            # scale, and the minimum is the standard scalability statistic.
-            seconds = min(_time_configuration(points, processors)
-                          for _ in range(2))
+            seconds = _time_mapreduce(points, processors)
             times[(n, processors)] = seconds
-            rows.append([n, processors, round(seconds, 3)])
-    return rows, times
+            rows.append([n, processors, TOTAL_KERNEL // processors,
+                         round(seconds, 3)])
+        stream_times[(n, "pointwise")] = _time_streaming(points, None)
+        stream_times[(n, "batched")] = _time_streaming(points, STREAM_BATCH)
+    return rows, times, stream_times
 
 
 def test_fig5_scalability(benchmark):
-    rows, times = run_once(benchmark, _sweep)
+    rows, times, stream_times = run_once(benchmark, _sweep)
     emit("fig5_scalability", format_table(
-        ["n", "processors", "time (s)"], rows,
+        ["n", "processors", "k' per reducer", "time (s)"], rows,
         title="Figure 5 (scaled): wall time vs processors and dataset size",
     ))
-    n = SIZES[-1]
-    # Shape 1: MR (any p >= 2) beats the 1-processor streaming run by a
-    # wide margin — the paper's headline ordering.
-    assert times[(n, 2)] < 0.5 * times[(n, 1)]
-    # Shape 2: p=4 is not worse than p=2 beyond IPC noise (the superlinear
-    # regime needs the paper's 10^8-point partitions; here per-reducer work
-    # is tens of milliseconds and process start-up dominates).
-    assert times[(n, 4)] < times[(n, 2)] * 1.35
+    # Kernel tiling in effect for the round-1 partition kernels at the
+    # largest size: part of the recorded perf trajectory.
+    tuning = recommend_tile_rows("euclidean", SIZES[-1] // PROCESSORS[-1],
+                                 TOTAL_KERNEL // PROCESSORS[-1], 3)
+    emit_json("fig5_scalability", {
+        "k": K,
+        "total_kernel": TOTAL_KERNEL,
+        "executor": "process",
+        "pool": "persistent",
+        "zero_copy": True,
+        "mapreduce_seconds": {
+            f"n={n},p={p}": round(seconds, 6)
+            for (n, p), seconds in sorted(times.items())
+        },
+        "streaming_seconds": {
+            f"n={n},{variant}": round(seconds, 6)
+            for (n, variant), seconds in sorted(stream_times.items())
+        },
+        "kernel_tuning": tuning.as_dict(),
+    })
+    for n in SIZES:
+        # Shape 1 (the acceptance gate): wall time strictly decreases in p.
+        # Total round-1 work is n*s/p, so this holds even on a single core;
+        # real parallelism only widens the gaps.
+        series = [times[(n, p)] for p in PROCESSORS]
+        assert all(a > b for a, b in zip(series, series[1:])), (n, series)
+        # Shape 2: MR (any p >= 2) beats the 1-processor point-wise
+        # streaming run — the paper's headline ordering.
+        assert times[(n, 2)] < 0.5 * stream_times[(n, "pointwise")]
     # Shape 3: at fixed processors, time grows with n (roughly linearly).
     for processors in PROCESSORS:
         series = [times[(n, processors)] for n in SIZES]

@@ -36,6 +36,7 @@ from repro.diversity.objectives import list_objectives
 from repro.experiments.harness import approximation_ratio
 from repro.experiments.reference import reference_value
 from repro.mapreduce.algorithm import MRDiversityMaximizer
+from repro.metricspace.blocked import set_default_memory_budget
 from repro.metricspace.doubling import estimate_doubling_dimension
 from repro.metricspace.points import PointSet
 from repro.streaming.algorithm import (
@@ -77,11 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--objective", choices=list_objectives(),
                      default="remote-edge")
     run.add_argument("--parallelism", type=int, default=4)
+    run.add_argument("--executor", choices=("serial", "process"),
+                     default="serial",
+                     help="reducer executor for the MapReduce algorithms: "
+                          "'process' uses the persistent worker pool with "
+                          "zero-copy shared-memory partitions (identical "
+                          "results, real parallelism)")
     run.add_argument("--batch-size", type=int, default=None,
                      help="ingest the stream in blocks of this many points "
                           "through the vectorized sketch kernel "
                           "(streaming algorithms only; same results, "
                           "higher throughput)")
+    run.add_argument("--kernel-budget-mb", type=int, default=None,
+                     help="memory budget (MiB) for blocked distance-kernel "
+                          "intermediates; default 64")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--with-ratio", action="store_true",
                      help="also compute the reference value and ratio")
@@ -116,6 +126,8 @@ def _run(args: argparse.Namespace) -> int:
     points = load_points(args.data)
     k_prime = args.k_prime if args.k_prime is not None else 4 * args.k
     metric = points.metric
+    if args.kernel_budget_mb is not None:
+        set_default_memory_budget(args.kernel_budget_mb * 2**20)
 
     if args.algorithm == "streaming":
         algo = StreamingDiversityMaximizer(k=args.k, k_prime=k_prime,
@@ -133,27 +145,30 @@ def _run(args: argparse.Namespace) -> int:
         result = algo.run(ArrayStream(points.points))
         resources = f"memory {result.peak_memory_points} pts, 2 passes"
     elif args.algorithm == "mapreduce":
-        algo = MRDiversityMaximizer(k=args.k, k_prime=k_prime,
-                                    objective=args.objective,
-                                    parallelism=args.parallelism,
-                                    metric=metric, seed=args.seed)
-        result = algo.run(points)
+        with MRDiversityMaximizer(k=args.k, k_prime=k_prime,
+                                  objective=args.objective,
+                                  parallelism=args.parallelism,
+                                  metric=metric, seed=args.seed,
+                                  executor=args.executor) as algo:
+            result = algo.run(points)
         resources = (f"M_L {result.stats.max_local_memory_points} pts, "
-                     f"{result.rounds} rounds")
+                     f"{result.rounds} rounds, {args.executor}")
     elif args.algorithm == "mapreduce-3round":
-        algo = MRDiversityMaximizer(k=args.k, k_prime=k_prime,
-                                    objective=args.objective,
-                                    parallelism=args.parallelism,
-                                    metric=metric, seed=args.seed)
-        result = algo.run_three_round(points)
+        with MRDiversityMaximizer(k=args.k, k_prime=k_prime,
+                                  objective=args.objective,
+                                  parallelism=args.parallelism,
+                                  metric=metric, seed=args.seed,
+                                  executor=args.executor) as algo:
+            result = algo.run_three_round(points)
         resources = (f"M_L {result.stats.max_local_memory_points} pts, "
-                     f"{result.rounds} rounds")
+                     f"{result.rounds} rounds, {args.executor}")
     elif args.algorithm == "afz":
-        algo = AFZDiversityMaximizer(k=args.k, objective=args.objective,
-                                     parallelism=args.parallelism,
-                                     metric=metric, seed=args.seed)
-        result = algo.run(points)
-        resources = f"core-set {result.coreset_size} pts"
+        with AFZDiversityMaximizer(k=args.k, objective=args.objective,
+                                   parallelism=args.parallelism,
+                                   metric=metric, seed=args.seed,
+                                   executor=args.executor) as algo:
+            result = algo.run(points)
+        resources = f"core-set {result.coreset_size} pts, {args.executor}"
     else:  # immm
         algo = IMMMStreamingMaximizer(k=args.k, expected_n=len(points),
                                       objective=args.objective, metric=metric)

@@ -63,6 +63,35 @@ def coreset_size_for(k: int, epsilon: float, doubling_dimension: float,
     return int(math.ceil((constant / eps_prime) ** doubling_dimension * k))
 
 
+def composable_coreset_indices(
+    partition: PointSet, k: int, k_prime: int,
+    objective: str | Objective,
+    delegate_cap: int | None = None,
+) -> np.ndarray:
+    """Local row indices of the partition's composable core-set.
+
+    Index-level form of :func:`build_composable_coreset` for the
+    point-subset constructions (GMM / GMM-EXT).  The zero-copy MapReduce
+    path uses this so reducers can reply with index sets into the shared
+    dataset instead of shipping point rows back through IPC.  Generalized
+    (multiplicity) core-sets are not index-representable; ask
+    :func:`build_composable_coreset` for those.
+    """
+    objective = get_objective(objective)
+    n = len(partition)
+    if not objective.requires_injective_proxy:
+        # The plain-GMM core-set must itself contain k points.
+        if k_prime < k:
+            raise ValueError(f"k' must be at least k, got k'={k_prime} < k={k}")
+        if n <= k_prime:
+            return np.arange(n, dtype=np.intp)
+        return np.asarray(gmm(partition, k_prime).indices, dtype=np.intp)
+    cap = k if delegate_cap is None else max(int(delegate_cap), 1)
+    if n <= k_prime:
+        return np.arange(n, dtype=np.intp)
+    return np.asarray(gmm_ext(partition, cap, k_prime).indices, dtype=np.intp)
+
+
 def build_composable_coreset(
     partition: PointSet, k: int, k_prime: int,
     objective: str | Objective,
@@ -84,16 +113,8 @@ def build_composable_coreset(
     """
     objective = get_objective(objective)
     n = len(partition)
-    if not objective.requires_injective_proxy:
-        # The plain-GMM core-set must itself contain k points.
-        if k_prime < k:
-            raise ValueError(f"k' must be at least k, got k'={k_prime} < k={k}")
-        if n <= k_prime:
-            return partition
-        result = gmm(partition, k_prime)
-        return partition.subset(result.indices)
-    cap = k if delegate_cap is None else max(int(delegate_cap), 1)
-    if use_generalized:
+    if objective.requires_injective_proxy and use_generalized:
+        cap = k if delegate_cap is None else max(int(delegate_cap), 1)
         if n <= k_prime:
             return GeneralizedCoreset(
                 points=partition.points,
@@ -101,10 +122,11 @@ def build_composable_coreset(
                 metric=partition.metric,
             )
         return gmm_gen(partition, cap, k_prime)
-    if n <= k_prime:
-        return partition
-    result = gmm_ext(partition, cap, k_prime)
-    return partition.subset(result.indices)
+    indices = composable_coreset_indices(partition, k, k_prime, objective,
+                                         delegate_cap=delegate_cap)
+    if len(indices) == n:
+        return partition  # the partition is its own (perfect) core-set
+    return partition.subset(indices)
 
 
 def union_coresets(parts: list[PointSet | GeneralizedCoreset]) -> PointSet | GeneralizedCoreset:

@@ -16,7 +16,9 @@ from repro.mapreduce.partition import (
     random_partition,
     adversarial_partition,
     partition_points,
+    partition_selectors,
 )
+from repro.mapreduce.shm import SharedDataset, SharedPartition
 from repro.mapreduce.algorithm import (
     MRDiversityMaximizer,
     MRResult,
@@ -31,6 +33,9 @@ __all__ = [
     "random_partition",
     "adversarial_partition",
     "partition_points",
+    "partition_selectors",
+    "SharedDataset",
+    "SharedPartition",
     "MRDiversityMaximizer",
     "MRResult",
     "randomized_delegate_cap",

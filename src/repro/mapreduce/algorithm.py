@@ -18,6 +18,20 @@ All reducer work is dispatched through
 :class:`~repro.mapreduce.engine.MapReduceEngine`, so per-round memory and
 timing are recorded uniformly, and reducer functions are module-level (hence
 picklable) for the process-pool executor.
+
+Zero-copy execution
+-------------------
+With ``executor="process"`` the driver publishes the dataset to shared
+memory once per job (:class:`~repro.mapreduce.shm.SharedDataset`), ships
+partitions as :class:`~repro.mapreduce.shm.SharedPartition` descriptors,
+and receives round outputs as *index sets* into the shared block wherever
+the construction is a point subset (GMM / GMM-EXT rounds, and the 3-round
+algorithm's delegate-instantiation round).  Only the generalized-core-set
+payloads — ``O(k')`` kernel points with multiplicities — ever cross the
+pipe as point data.  The engine's worker pool is persistent: it is reused
+across rounds and across ``run`` / ``run_three_round`` / ``run_multi_round``
+calls on the same maximizer (use the maximizer as a context manager, or
+call :meth:`MRDiversityMaximizer.close`, to shut it down deterministically).
 """
 
 from __future__ import annotations
@@ -29,7 +43,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.coresets.composable import build_composable_coreset, union_coresets
+from repro.coresets.composable import (
+    build_composable_coreset,
+    composable_coreset_indices,
+    union_coresets,
+)
 from repro.coresets.generalized import GeneralizedCoreset
 from repro.diversity.generalized import instantiate_offline, solve_generalized
 from repro.diversity.objectives import Objective, get_objective
@@ -37,7 +55,11 @@ from repro.diversity.sequential.registry import solve_sequential
 from repro.exceptions import ValidationError
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.model import JobStats
-from repro.mapreduce.partition import partition_points
+from repro.mapreduce.partition import (
+    materialize_selector,
+    partition_selectors,
+)
+from repro.mapreduce.shm import SharedDataset, SharedPartition, resolve_payload
 from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.points import PointSet
 from repro.utils.rng import RngLike
@@ -77,23 +99,51 @@ def randomized_delegate_cap(n: int, k: int, parts: int) -> int:
 
 # -- module-level reducers (picklable for the process executor) ---------------
 
-def _coreset_reducer(partition: PointSet, k: int, k_prime: int,
+def _coreset_reducer(partition: PointSet | SharedPartition, k: int, k_prime: int,
                      objective_name: str, use_generalized: bool,
                      delegate_cap: int | None) -> Any:
     """Round-1 reducer: build this partition's composable core-set."""
     return build_composable_coreset(
-        partition, k, k_prime, objective_name,
+        resolve_payload(partition), k, k_prime, objective_name,
         use_generalized=use_generalized, delegate_cap=delegate_cap,
     )
 
 
-def _instantiation_reducer(payload: tuple[PointSet, GeneralizedCoreset | None]) -> np.ndarray:
+def _coreset_indices_reducer(partition: SharedPartition, k: int, k_prime: int,
+                             objective_name: str,
+                             delegate_cap: int | None) -> np.ndarray:
+    """Round-1 reducer, zero-copy reply path: global core-set indices.
+
+    The partition arrives as a shared-memory descriptor and the reply is an
+    index set into the shared dataset — point rows never cross the pipe.
+    """
+    local = composable_coreset_indices(
+        partition.materialize(), k, k_prime, objective_name,
+        delegate_cap=delegate_cap,
+    )
+    return partition.global_indices(local)
+
+
+def _instantiation_reducer(payload: tuple[PointSet | SharedPartition,
+                                          GeneralizedCoreset | None]) -> np.ndarray:
     """Round-3 reducer: materialize delegates for local kernel points."""
     partition, subset = payload
+    partition = resolve_payload(partition)
     if subset is None or subset.size == 0:
         return np.empty((0, partition.dim), dtype=np.float64)
     indices, _ = instantiate_offline(subset, partition, delta=float("inf"))
     return partition.points[indices]
+
+
+def _instantiation_indices_reducer(
+        payload: tuple[SharedPartition, GeneralizedCoreset | None]) -> np.ndarray:
+    """Round-3 reducer, zero-copy reply path: global delegate indices."""
+    ref, subset = payload
+    if subset is None or subset.size == 0:
+        return np.empty(0, dtype=np.intp)
+    indices, _ = instantiate_offline(subset, ref.materialize(),
+                                     delta=float("inf"))
+    return ref.global_indices(indices)
 
 
 def _payload_size(payload: Any) -> int:
@@ -128,7 +178,10 @@ class MRDiversityMaximizer:
     partition_strategy:
         ``"random"`` (default), ``"chunk"`` or ``"adversarial"``.
     executor:
-        ``"serial"`` or ``"process"`` (see :class:`MapReduceEngine`).
+        ``"serial"`` or ``"process"`` (see :class:`MapReduceEngine`).  The
+        process executor keeps a persistent worker pool and ships
+        partitions zero-copy through shared memory; results are identical
+        to serial execution for the same seed.
 
     Example
     -------
@@ -144,7 +197,7 @@ class MRDiversityMaximizer:
     def __init__(self, k: int, k_prime: int, objective: str | Objective,
                  parallelism: int = 2, metric: str | Metric = "euclidean",
                  partition_strategy: str = "random", executor: str = "serial",
-                 seed: RngLike = None):
+                 seed: RngLike = None, pool_mode: str = "persistent"):
         self.k = check_positive_int(k, "k")
         self.k_prime = check_positive_int(k_prime, "k_prime")
         if self.k_prime < self.k:
@@ -155,30 +208,60 @@ class MRDiversityMaximizer:
         self.partition_strategy = partition_strategy
         self.executor = executor
         self.seed = seed
+        # One engine per maximizer: its worker pool persists across rounds
+        # and across run()/run_three_round()/run_multi_round() calls.
+        self.engine = MapReduceEngine(parallelism=self.parallelism,
+                                      executor=executor, pool_mode=pool_mode)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "MRDiversityMaximizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def _zero_copy(self) -> bool:
+        return self.engine.executor == "process"
 
     # -- 2-round algorithms ------------------------------------------------------
     def run(self, points: PointSet, randomized: bool = False) -> MRResult:
         """Deterministic (or randomized, Theorem 7) 2-round algorithm."""
-        engine = self._engine()
-        if randomized:
-            # Theorem 7's balls-into-bins bound needs genuinely random keys.
-            partitions = partition_points(points, self.parallelism,
-                                          strategy="random", seed=self.seed)
-        else:
-            partitions = self._partition(points)
+        stats = self.engine.begin_job()
+        # Theorem 7's balls-into-bins bound needs genuinely random keys.
+        strategy = "random" if randomized else self.partition_strategy
+        selectors = partition_selectors(points, self.parallelism,
+                                        strategy=strategy, seed=self.seed)
         delegate_cap = None
         if randomized and self.objective.requires_injective_proxy:
             delegate_cap = randomized_delegate_cap(len(points), self.k,
-                                                   len(partitions))
-        reducer = partial(
-            _coreset_reducer, k=self.k, k_prime=self.k_prime,
-            objective_name=self.objective.name, use_generalized=False,
-            delegate_cap=delegate_cap,
-        )
-        coresets = engine.run_round(partitions, reducer, size_fn=_payload_size)
-        union = union_coresets(coresets)
+                                                   len(selectors))
+        if self._zero_copy:
+            with SharedDataset(points) as shared:
+                reducer = partial(
+                    _coreset_indices_reducer, k=self.k, k_prime=self.k_prime,
+                    objective_name=self.objective.name,
+                    delegate_cap=delegate_cap,
+                )
+                outputs = self.engine.run_round(shared.partitions(selectors),
+                                                reducer, size_fn=_payload_size)
+                union = shared.point_set(np.concatenate(outputs))
+        else:
+            reducer = partial(
+                _coreset_reducer, k=self.k, k_prime=self.k_prime,
+                objective_name=self.objective.name, use_generalized=False,
+                delegate_cap=delegate_cap,
+            )
+            coresets = self.engine.run_round(
+                [materialize_selector(points, s) for s in selectors],
+                reducer, size_fn=_payload_size)
+            union = union_coresets(coresets)
         # Round 2: one reducer solves sequentially on the aggregated core-set.
-        outputs = engine.run_round(
+        outputs = self.engine.run_round(
             [union], partial(_solve_reducer, k=self.k,
                              objective_name=self.objective.name),
             size_fn=_payload_size,
@@ -187,8 +270,9 @@ class MRDiversityMaximizer:
         solution = union.subset(indices)
         return MRResult(
             solution=solution, value=value, coreset_size=len(union),
-            partitions=len(partitions), rounds=2, stats=engine.stats,
-            extra={"randomized": randomized, "delegate_cap": delegate_cap},
+            partitions=len(selectors), rounds=2, stats=stats,
+            extra={"randomized": randomized, "delegate_cap": delegate_cap,
+                   "zero_copy": self._zero_copy},
         )
 
     # -- 3-round generalized algorithm (Theorem 10) -------------------------------
@@ -199,59 +283,83 @@ class MRDiversityMaximizer:
                 f"{self.objective.name} does not need generalized core-sets; "
                 "use run()"
             )
-        engine = self._engine()
-        partitions = self._partition(points)
-        reducer = partial(
-            _coreset_reducer, k=self.k, k_prime=self.k_prime,
-            objective_name=self.objective.name, use_generalized=True,
-            delegate_cap=None,
-        )
-        coresets: list[GeneralizedCoreset] = engine.run_round(
-            partitions, reducer, size_fn=_payload_size,
-        )
-        union = GeneralizedCoreset.union_all(coresets)
-        # Round 2: the adapted sequential algorithm picks a coherent subset
-        # with expanded size exactly k (Fact 2).
-        subset = engine.run_round(
-            [union], partial(_generalized_solve_reducer, k=self.k,
-                             objective_name=self.objective.name),
-            size_fn=_payload_size,
-        )[0]
-        # Round 3: each partition materializes delegates for its own kernel
-        # points; kernel provenance is recovered from the per-partition
-        # core-set sizes (partitions are disjoint).
-        offsets = np.cumsum([0] + [c.size for c in coresets])
-        kernel_owner = np.empty(union.size, dtype=np.intp)
-        for i in range(len(coresets)):
-            kernel_owner[offsets[i]:offsets[i + 1]] = i
-        # Map the chosen subset's kernel points back to global kernel rows.
-        subset_global = _match_kernel_rows(union, subset)
-        payloads: list[tuple[PointSet, GeneralizedCoreset | None]] = []
-        for i, partition in enumerate(partitions):
-            local_rows = [
-                row for row in range(union.size)
-                if kernel_owner[row] == i and subset_global.get(row, 0) > 0
-            ]
-            if local_rows:
-                local = GeneralizedCoreset(
-                    points=union.points[local_rows],
-                    multiplicities=np.asarray(
-                        [subset_global[row] for row in local_rows], dtype=np.int64
-                    ),
-                    metric=union.metric,
-                )
+        stats = self.engine.begin_job()
+        selectors = partition_selectors(points, self.parallelism,
+                                        strategy=self.partition_strategy,
+                                        seed=self.seed)
+        shared: SharedDataset | None = None
+        try:
+            if self._zero_copy:
+                shared = SharedDataset(points)
+                partitions: list[Any] = shared.partitions(selectors)
             else:
-                local = None
-            payloads.append((partition, local))
-        delegate_arrays = engine.run_round(payloads, _instantiation_reducer,
-                                           size_fn=_payload_size)
-        delegates = np.vstack([a for a in delegate_arrays if a.size])
+                partitions = [materialize_selector(points, s)
+                              for s in selectors]
+            reducer = partial(
+                _coreset_reducer, k=self.k, k_prime=self.k_prime,
+                objective_name=self.objective.name, use_generalized=True,
+                delegate_cap=None,
+            )
+            # Generalized core-sets are O(k') kernel points + counts; they
+            # are the one payload kind that still travels by value.
+            coresets: list[GeneralizedCoreset] = self.engine.run_round(
+                partitions, reducer, size_fn=_payload_size,
+            )
+            union = GeneralizedCoreset.union_all(coresets)
+            # Round 2: the adapted sequential algorithm picks a coherent
+            # subset with expanded size exactly k (Fact 2).
+            subset = self.engine.run_round(
+                [union], partial(_generalized_solve_reducer, k=self.k,
+                                 objective_name=self.objective.name),
+                size_fn=_payload_size,
+            )[0]
+            # Round 3: each partition materializes delegates for its own
+            # kernel points; kernel provenance is recovered from the
+            # per-partition core-set sizes (partitions are disjoint).
+            offsets = np.cumsum([0] + [c.size for c in coresets])
+            kernel_owner = np.empty(union.size, dtype=np.intp)
+            for i in range(len(coresets)):
+                kernel_owner[offsets[i]:offsets[i + 1]] = i
+            # Map the chosen subset's kernel points back to global kernel rows.
+            subset_global = _match_kernel_rows(union, subset)
+            payloads: list[tuple[Any, GeneralizedCoreset | None]] = []
+            for i, partition in enumerate(partitions):
+                local_rows = [
+                    row for row in range(union.size)
+                    if kernel_owner[row] == i and subset_global.get(row, 0) > 0
+                ]
+                if local_rows:
+                    local = GeneralizedCoreset(
+                        points=union.points[local_rows],
+                        multiplicities=np.asarray(
+                            [subset_global[row] for row in local_rows],
+                            dtype=np.int64
+                        ),
+                        metric=union.metric,
+                    )
+                else:
+                    local = None
+                payloads.append((partition, local))
+            if shared is not None:
+                index_arrays = self.engine.run_round(
+                    payloads, _instantiation_indices_reducer,
+                    size_fn=_payload_size)
+                delegates = shared.take(
+                    np.concatenate([a for a in index_arrays if a.size]))
+            else:
+                delegate_arrays = self.engine.run_round(
+                    payloads, _instantiation_reducer, size_fn=_payload_size)
+                delegates = np.vstack([a for a in delegate_arrays if a.size])
+        finally:
+            if shared is not None:
+                shared.close()
         solution = PointSet(delegates, self.metric)
         value = self.objective.value(solution.pairwise())
         return MRResult(
             solution=solution, value=value, coreset_size=union.size,
-            partitions=len(partitions), rounds=3, stats=engine.stats,
-            extra={"expanded_size": union.expanded_size},
+            partitions=len(selectors), rounds=3, stats=stats,
+            extra={"expanded_size": union.expanded_size,
+                   "zero_copy": self._zero_copy},
         )
 
     # -- multi-round recursive algorithm (Theorem 8) -------------------------------
@@ -262,7 +370,9 @@ class MRDiversityMaximizer:
         Each level partitions the current set into pieces of at most
         *memory_target* points and replaces each piece by its core-set;
         Theorem 8 shows ``O((1 - gamma) / gamma)`` levels suffice with an
-        ``alpha + eps`` guarantee.
+        ``alpha + eps`` guarantee.  With the process executor every level
+        republishes the (shrinking) current set to shared memory and
+        gathers core-set indices back.
         """
         check_positive_int(memory_target, "memory_target")
         floor_size = self.k_prime * (self.k if self.objective.requires_injective_proxy else 1)
@@ -271,27 +381,42 @@ class MRDiversityMaximizer:
                 f"memory_target={memory_target} is below one core-set "
                 f"(~{floor_size} points); no recursion level can shrink the input"
             )
-        engine = self._engine()
+        stats = self.engine.begin_job()
         current = points
         levels = 0
         while len(current) > memory_target and levels < max_levels:
             parts = max(2, math.ceil(len(current) / memory_target))
             parts = min(parts, len(current))
-            partitions = partition_points(current, parts,
-                                          strategy=self.partition_strategy,
-                                          seed=self.seed)
-            reducer = partial(
-                _coreset_reducer, k=self.k, k_prime=self.k_prime,
-                objective_name=self.objective.name, use_generalized=False,
-                delegate_cap=None,
-            )
-            coresets = engine.run_round(partitions, reducer, size_fn=_payload_size)
-            shrunk = union_coresets(coresets)
+            selectors = partition_selectors(current, parts,
+                                            strategy=self.partition_strategy,
+                                            seed=self.seed)
+            if self._zero_copy:
+                with SharedDataset(current) as shared:
+                    reducer = partial(
+                        _coreset_indices_reducer, k=self.k,
+                        k_prime=self.k_prime,
+                        objective_name=self.objective.name,
+                        delegate_cap=None,
+                    )
+                    outputs = self.engine.run_round(
+                        shared.partitions(selectors), reducer,
+                        size_fn=_payload_size)
+                    shrunk = shared.point_set(np.concatenate(outputs))
+            else:
+                reducer = partial(
+                    _coreset_reducer, k=self.k, k_prime=self.k_prime,
+                    objective_name=self.objective.name, use_generalized=False,
+                    delegate_cap=None,
+                )
+                coresets = self.engine.run_round(
+                    [materialize_selector(current, s) for s in selectors],
+                    reducer, size_fn=_payload_size)
+                shrunk = union_coresets(coresets)
             if len(shrunk) >= len(current):
                 break  # cannot shrink further; fall through to final solve
             current = shrunk
             levels += 1
-        outputs = engine.run_round(
+        outputs = self.engine.run_round(
             [current], partial(_solve_reducer, k=self.k,
                                objective_name=self.objective.name),
             size_fn=_payload_size,
@@ -300,17 +425,10 @@ class MRDiversityMaximizer:
         return MRResult(
             solution=current.subset(indices), value=value,
             coreset_size=len(current), partitions=self.parallelism,
-            rounds=levels + 1, stats=engine.stats,
-            extra={"levels": levels, "memory_target": memory_target},
+            rounds=levels + 1, stats=stats,
+            extra={"levels": levels, "memory_target": memory_target,
+                   "zero_copy": self._zero_copy},
         )
-
-    # -- helpers --------------------------------------------------------------------
-    def _engine(self) -> MapReduceEngine:
-        return MapReduceEngine(parallelism=self.parallelism, executor=self.executor)
-
-    def _partition(self, points: PointSet) -> list[PointSet]:
-        return partition_points(points, self.parallelism,
-                                strategy=self.partition_strategy, seed=self.seed)
 
 
 def _solve_reducer(coreset: PointSet, k: int,

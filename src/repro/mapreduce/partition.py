@@ -5,9 +5,19 @@ realized constants differ: Section 7.2 measures the gap between a random
 shuffle and an "adversarial" partition in which each reducer sees only a
 small-volume region of the space (obfuscating the global geometry).  All
 three flavours are implemented here.
+
+Each strategy is expressed twice: :func:`partition_selectors` produces
+lightweight row selectors (contiguous ``(start, stop)`` spans or index
+arrays) that the zero-copy engine ships through shared memory, and
+:func:`partition_points` materializes the same selectors into
+:class:`PointSet` views for the serial executor.  Both derive from one
+selector computation, so serial and process runs see byte-identical
+partitions for the same seed.
 """
 
 from __future__ import annotations
+
+from typing import Union
 
 import numpy as np
 
@@ -15,65 +25,124 @@ from repro.exceptions import ValidationError
 from repro.metricspace.points import PointSet
 from repro.utils.rng import RngLike, ensure_rng
 
+#: A contiguous ``(start, stop)`` span or an explicit row-index array.
+Selector = Union[tuple[int, int], np.ndarray]
 
-def _check_parts(points: PointSet, parts: int) -> int:
+
+def _check_parts(n: int, parts: int) -> int:
     if parts < 1:
         raise ValidationError(f"number of partitions must be >= 1, got {parts}")
-    if parts > len(points):
+    if parts > n:
         raise ValidationError(
-            f"cannot split {len(points)} points into {parts} non-empty partitions"
+            f"cannot split {n} points into {parts} non-empty partitions"
         )
     return parts
 
 
-def chunk_partition(points: PointSet, parts: int) -> list[PointSet]:
-    """Contiguous chunks in input order (the arbitrary partition of Theorem 6)."""
-    _check_parts(points, parts)
-    return points.split(parts)
+def _chunk_spans(n: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous spans with ``np.array_split`` boundaries."""
+    base, extra = divmod(n, parts)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
 
 
-def random_partition(points: PointSet, parts: int,
-                     seed: RngLike = None) -> list[PointSet]:
-    """Uniformly random partition (the random-keys shuffle of Theorem 7)."""
-    _check_parts(points, parts)
+def _adversarial_order(points: PointSet) -> np.ndarray:
+    """Input rows sorted along the leading principal axis."""
+    data = points.points
+    centered = data - data.mean(axis=0, keepdims=True)
+    covariance = centered.T @ centered
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    principal = eigenvectors[:, int(np.argmax(eigenvalues))]
+    return np.argsort(centered @ principal)
+
+
+def chunk_selectors(points: PointSet, parts: int) -> list[tuple[int, int]]:
+    """Contiguous spans in input order (the arbitrary partition of Theorem 6)."""
+    _check_parts(len(points), parts)
+    return _chunk_spans(len(points), parts)
+
+
+def random_selectors(points: PointSet, parts: int,
+                     seed: RngLike = None) -> list[np.ndarray]:
+    """Uniformly random index blocks (the random-keys shuffle of Theorem 7)."""
+    _check_parts(len(points), parts)
     order = ensure_rng(seed).permutation(len(points))
-    return [points.subset(chunk) for chunk in np.array_split(order, parts)]
+    return list(np.array_split(order, parts))
 
 
-def adversarial_partition(points: PointSet, parts: int) -> list[PointSet]:
-    """Region-based partition: each reducer sees a small-volume slice.
+def adversarial_selectors(points: PointSet, parts: int) -> list[np.ndarray]:
+    """Region-based selectors: each reducer sees a small-volume slice.
 
     Points are sorted along the direction of maximum variance (the leading
     principal axis, computed from a covariance eigendecomposition) and cut
     into contiguous slabs, so every partition occupies a thin region of the
     space — the obfuscation Section 7.2 tests against.
     """
-    _check_parts(points, parts)
-    data = points.points
-    centered = data - data.mean(axis=0, keepdims=True)
-    covariance = centered.T @ centered
-    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
-    principal = eigenvectors[:, int(np.argmax(eigenvalues))]
-    order = np.argsort(centered @ principal)
-    return [points.subset(chunk) for chunk in np.array_split(order, parts)]
+    _check_parts(len(points), parts)
+    return list(np.array_split(_adversarial_order(points), parts))
 
 
-_PARTITIONERS = {
-    "chunk": chunk_partition,
-    "adversarial": adversarial_partition,
+_SELECTORS = {
+    "chunk": chunk_selectors,
+    "adversarial": adversarial_selectors,
 }
 
 
-def partition_points(points: PointSet, parts: int, strategy: str = "random",
-                     seed: RngLike = None) -> list[PointSet]:
-    """Partition by strategy name: ``"random"``, ``"chunk"`` or ``"adversarial"``."""
+def partition_selectors(points: PointSet, parts: int, strategy: str = "random",
+                        seed: RngLike = None) -> list:
+    """Row selectors for a partitioning, by strategy name.
+
+    Returned selectors are either ``(start, stop)`` spans (``"chunk"``) or
+    index arrays; both are cheap to pickle and resolve zero-copy (spans) or
+    worker-side (index arrays) against a shared-memory dataset.
+    """
     if strategy == "random":
-        return random_partition(points, parts, seed=seed)
+        return random_selectors(points, parts, seed=seed)
     try:
-        partitioner = _PARTITIONERS[strategy]
+        selector_fn = _SELECTORS[strategy]
     except KeyError:
         raise ValidationError(
             f"unknown partition strategy {strategy!r}; "
             "known: random, chunk, adversarial"
         ) from None
-    return partitioner(points, parts)
+    return selector_fn(points, parts)
+
+
+def materialize_selector(points: PointSet, selector) -> PointSet:
+    """Resolve one selector into a :class:`PointSet` view of *points*."""
+    if isinstance(selector, tuple):
+        start, stop = selector
+        return PointSet(points.points[start:stop], points.metric)
+    return points.subset(selector)
+
+
+def chunk_partition(points: PointSet, parts: int) -> list[PointSet]:
+    """Contiguous chunks in input order (the arbitrary partition of Theorem 6)."""
+    return [materialize_selector(points, span)
+            for span in chunk_selectors(points, parts)]
+
+
+def random_partition(points: PointSet, parts: int,
+                     seed: RngLike = None) -> list[PointSet]:
+    """Uniformly random partition (the random-keys shuffle of Theorem 7)."""
+    return [points.subset(chunk)
+            for chunk in random_selectors(points, parts, seed=seed)]
+
+
+def adversarial_partition(points: PointSet, parts: int) -> list[PointSet]:
+    """Region-based partition (see :func:`adversarial_selectors`)."""
+    return [points.subset(chunk)
+            for chunk in adversarial_selectors(points, parts)]
+
+
+def partition_points(points: PointSet, parts: int, strategy: str = "random",
+                     seed: RngLike = None) -> list[PointSet]:
+    """Partition by strategy name: ``"random"``, ``"chunk"`` or ``"adversarial"``."""
+    return [materialize_selector(points, selector)
+            for selector in partition_selectors(points, parts,
+                                                strategy=strategy, seed=seed)]

@@ -8,6 +8,15 @@ stack — including the cosine and Jaccard distances that the paper highlights
 for web-search and database workloads.
 """
 
+from repro.metricspace.blocked import (
+    KernelWorkspace,
+    blocked_cross,
+    blocked_pairwise,
+    get_default_memory_budget,
+    set_default_memory_budget,
+    shared_workspace,
+    tile_rows_for,
+)
 from repro.metricspace.distance import (
     Metric,
     EuclideanMetric,
@@ -23,6 +32,13 @@ from repro.metricspace.balls import greedy_ball_cover, epsilon_net, covering_num
 from repro.metricspace.doubling import estimate_doubling_dimension
 
 __all__ = [
+    "KernelWorkspace",
+    "blocked_cross",
+    "blocked_pairwise",
+    "get_default_memory_budget",
+    "set_default_memory_budget",
+    "shared_workspace",
+    "tile_rows_for",
     "Metric",
     "EuclideanMetric",
     "ManhattanMetric",

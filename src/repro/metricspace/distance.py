@@ -23,7 +23,6 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.utils.validation import check_points_array
 
 # Numerical guard: arccos needs its argument clipped to [-1, 1] because
 # normalized dot products can drift a few ulps outside that range.
@@ -40,9 +39,32 @@ class Metric(ABC):
     #: short registry name, overridden by subclasses
     name: str = "abstract"
 
+    #: True when :meth:`cross_into` accumulates per dimension into the
+    #: output block instead of materializing an ``(n, m, d)`` broadcast.
+    accumulates_per_dimension: bool = False
+
+    #: Number of ``(tile, m)`` scratch buffers :meth:`cross_into` requests
+    #: from its workspace (used by the blocked layer's tile sizing).
+    scratch_arrays: int = 0
+
+    #: True when :meth:`pairwise` symmetrizes its result (cosine); the
+    #: blocked layer replays the same postprocessing.
+    pairwise_symmetrize: bool = False
+
     @abstractmethod
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Distance matrix of shape ``(len(left), len(right))``."""
+
+    def cross_into(self, left: np.ndarray, right: np.ndarray,
+                   out: np.ndarray, workspace) -> None:
+        """Fill the preallocated ``(len(left), len(right))`` block *out*.
+
+        The blocked layer (:mod:`repro.metricspace.blocked`) calls this one
+        row tile at a time.  This default delegates to :meth:`cross`;
+        coordinate-wise metrics override it with a per-dimension
+        accumulation that never materializes an ``(n, m, d)`` temporary.
+        """
+        out[...] = self.cross(left, right)
 
     def pairwise(self, points: np.ndarray) -> np.ndarray:
         """Self-distance matrix of shape ``(n, n)`` with an exact-zero diagonal."""
@@ -89,22 +111,44 @@ class ManhattanMetric(Metric):
     """L1 (rectilinear) distance, the metric of [16]'s rectilinear result."""
 
     name = "manhattan"
+    accumulates_per_dimension = True
+    scratch_arrays = 1
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         left = np.asarray(left, dtype=np.float64)
         right = np.asarray(right, dtype=np.float64)
         return np.abs(left[:, None, :] - right[None, :, :]).sum(axis=2)
 
+    def cross_into(self, left: np.ndarray, right: np.ndarray,
+                   out: np.ndarray, workspace) -> None:
+        scratch = workspace.scratch("l1.diff", out.shape)
+        out.fill(0.0)
+        for dim in range(left.shape[1]):
+            np.subtract(left[:, dim, None], right[None, :, dim], out=scratch)
+            np.abs(scratch, out=scratch)
+            out += scratch
+
 
 class ChebyshevMetric(Metric):
     """L∞ distance."""
 
     name = "chebyshev"
+    accumulates_per_dimension = True
+    scratch_arrays = 1
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         left = np.asarray(left, dtype=np.float64)
         right = np.asarray(right, dtype=np.float64)
         return np.abs(left[:, None, :] - right[None, :, :]).max(axis=2)
+
+    def cross_into(self, left: np.ndarray, right: np.ndarray,
+                   out: np.ndarray, workspace) -> None:
+        scratch = workspace.scratch("linf.diff", out.shape)
+        out.fill(0.0)
+        for dim in range(left.shape[1]):
+            np.subtract(left[:, dim, None], right[None, :, dim], out=scratch)
+            np.abs(scratch, out=scratch)
+            np.maximum(out, scratch, out=out)
 
 
 class CosineDistance(Metric):
@@ -116,6 +160,7 @@ class CosineDistance(Metric):
     """
 
     name = "cosine"
+    pairwise_symmetrize = True
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         left_unit = self._normalize(left)
@@ -148,6 +193,8 @@ class JaccardDistance(Metric):
     """
 
     name = "jaccard"
+    accumulates_per_dimension = True
+    scratch_arrays = 2
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         left = np.asarray(left, dtype=np.float64)
@@ -160,16 +207,50 @@ class JaccardDistance(Metric):
             sim = np.where(maxs > 0.0, mins / np.where(maxs > 0.0, maxs, 1.0), 1.0)
         return 1.0 - sim
 
+    def cross_into(self, left: np.ndarray, right: np.ndarray,
+                   out: np.ndarray, workspace) -> None:
+        if np.any(left < 0.0) or np.any(right < 0.0):
+            raise ValidationError("Jaccard distance requires non-negative vectors")
+        mins = workspace.scratch("jaccard.mins", out.shape)
+        scratch = workspace.scratch("jaccard.term", out.shape)
+        mask = workspace.scratch("jaccard.mask", out.shape, dtype=bool)
+        mins.fill(0.0)
+        out.fill(0.0)  # accumulates sum-of-max
+        for dim in range(left.shape[1]):
+            l_col = left[:, dim, None]
+            r_row = right[None, :, dim]
+            np.minimum(l_col, r_row, out=scratch)
+            mins += scratch
+            np.maximum(l_col, r_row, out=scratch)
+            out += scratch
+        # out holds maxs; 0/0 (two all-zero vectors) takes the identity
+        # convention sim = 1, matching the naive kernel.
+        np.greater(out, 0.0, out=mask)
+        np.divide(mins, out, out=mins, where=mask)
+        np.logical_not(mask, out=mask)
+        mins[mask] = 1.0
+        np.subtract(1.0, mins, out=out)
+
 
 class HammingDistance(Metric):
     """Number of coordinates on which two vectors differ."""
 
     name = "hamming"
+    accumulates_per_dimension = True
+    scratch_arrays = 1
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         left = np.asarray(left, dtype=np.float64)
         right = np.asarray(right, dtype=np.float64)
         return (left[:, None, :] != right[None, :, :]).sum(axis=2).astype(np.float64)
+
+    def cross_into(self, left: np.ndarray, right: np.ndarray,
+                   out: np.ndarray, workspace) -> None:
+        differs = workspace.scratch("hamming.ne", out.shape, dtype=bool)
+        out.fill(0.0)
+        for dim in range(left.shape[1]):
+            np.not_equal(left[:, dim, None], right[None, :, dim], out=differs)
+            out += differs
 
 
 _REGISTRY: dict[str, type[Metric]] = {
@@ -200,18 +281,8 @@ def get_metric(name: str | Metric) -> Metric:
         raise ValidationError(f"unknown metric {name!r}; known metrics: {known}") from None
 
 
-def cross_chunked(metric: Metric, left: np.ndarray, right: np.ndarray,
-                  chunk_rows: int = 2048) -> np.ndarray:
-    """Compute ``metric.cross`` in row chunks to bound peak memory.
-
-    The broadcast metrics (L1, L∞, Hamming, Jaccard) materialize an
-    ``(n, m, d)`` intermediate; chunking the left operand keeps that at
-    ``(chunk_rows, m, d)``.
-    """
-    left = check_points_array(left, "left")
-    right = check_points_array(right, "right")
-    out = np.empty((left.shape[0], right.shape[0]), dtype=np.float64)
-    for start in range(0, left.shape[0], chunk_rows):
-        stop = min(start + chunk_rows, left.shape[0])
-        out[start:stop] = metric.cross(left[start:stop], right)
-    return out
+# ``cross_chunked`` was retired in favor of the blocked kernel layer:
+# :func:`repro.metricspace.blocked.blocked_cross` tiles the left operand the
+# same way but dispatches to the metrics' accumulating ``cross_into``
+# kernels, so the coordinate-wise metrics never materialize a
+# ``(chunk, m, d)`` intermediate either.

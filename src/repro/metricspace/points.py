@@ -12,6 +12,7 @@ from typing import Iterator, Sequence, Union
 
 import numpy as np
 
+from repro.metricspace.blocked import blocked_cross, blocked_pairwise
 from repro.metricspace.distance import Metric, get_metric
 from repro.utils.validation import check_points_array
 
@@ -83,12 +84,17 @@ class PointSet:
 
     # -- distances -----------------------------------------------------------
     def pairwise(self) -> np.ndarray:
-        """Full ``(n, n)`` self-distance matrix."""
-        return self.metric.pairwise(self.points)
+        """Full ``(n, n)`` self-distance matrix.
+
+        Routed through the blocked kernel layer: peak intermediate memory
+        is bounded by the process-wide budget regardless of ``n`` and
+        ``dim`` (see :mod:`repro.metricspace.blocked`).
+        """
+        return blocked_pairwise(self.metric, self.points)
 
     def cross(self, other: "PointSet") -> np.ndarray:
-        """Distance matrix between this set and *other*."""
-        return self.metric.cross(self.points, other.points)
+        """Distance matrix between this set and *other* (blocked kernels)."""
+        return blocked_cross(self.metric, self.points, other.points)
 
     def distances_to(self, point: np.ndarray) -> np.ndarray:
         """Distances from each stored point to a single query *point*."""

@@ -1,4 +1,4 @@
-"""Data-driven parameter tuning: choose ``k'`` from a sample.
+"""Data-driven parameter tuning: choose ``k'`` and kernel tiles.
 
 The theory prescribes ``k' = (c/eps')^D k``, which is pessimistic and needs
 the (usually unknown) doubling dimension ``D``.  Section 7 of the paper
@@ -6,16 +6,24 @@ shows small multiples of ``k`` suffice in practice.  This module bridges
 the two: it estimates ``D`` from a sample, evaluates the theoretical
 sizing, and clamps it to a practical band and an optional memory budget,
 giving users a one-call starting point instead of a guess.
+
+:func:`recommend_tile_rows` plays the same role for the blocked
+distance-kernel layer: given a metric and a cross-product shape it derives
+the row-tile size from a memory budget, and the benchmark harness records
+the chosen tiling in the ``BENCH_*.json`` trajectory so kernel-layer
+regressions are visible per PR.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.coresets.composable import coreset_size_for
 from repro.diversity.objectives import Objective, get_objective
+from repro.metricspace.blocked import get_default_memory_budget, tile_rows_for
+from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.doubling import estimate_doubling_dimension
 from repro.metricspace.points import PointSet
 from repro.utils.rng import RngLike, ensure_rng
@@ -118,4 +126,60 @@ def recommend_k_prime(
         estimated_dimension=float(dimension),
         theoretical_k_prime=int(min(theoretical, np.iinfo(np.int64).max)),
         memory_points=theoretical_memory_points(objective, k, recommendation),
+    )
+
+
+@dataclass(frozen=True)
+class KernelTuning:
+    """Chosen tiling for one blocked-kernel workload.
+
+    Attributes
+    ----------
+    metric:
+        Registry name of the metric.
+    tile_rows:
+        Left-operand rows per tile.
+    tiles:
+        Number of tiles the ``(n_rows, n_cols)`` cross product splits into.
+    memory_budget_bytes:
+        The budget the tile size was derived from.
+    accumulating:
+        Whether the metric uses the per-dimension accumulation kernel
+        (coordinate-wise metrics) or tiled calls to the naive kernel.
+    """
+
+    metric: str
+    tile_rows: int
+    tiles: int
+    memory_budget_bytes: int
+    accumulating: bool
+
+    def as_dict(self) -> dict:
+        """JSON-ready form, recorded into ``BENCH_*.json`` trajectories."""
+        return asdict(self)
+
+
+def recommend_tile_rows(metric: str | Metric, n_rows: int, n_cols: int,
+                        dim: int,
+                        memory_budget_bytes: int | None = None) -> KernelTuning:
+    """Tile sizing for a blocked ``cross``/``pairwise`` of the given shape.
+
+    Thin, recordable wrapper over
+    :func:`repro.metricspace.blocked.tile_rows_for`: benchmarks call this
+    once per workload and embed the result in their ``BENCH_*.json``
+    payloads so the tuning trajectory is versioned alongside wall times.
+    """
+    metric = get_metric(metric)
+    check_positive_int(n_rows, "n_rows")
+    check_positive_int(n_cols, "n_cols")
+    check_positive_int(dim, "dim")
+    budget = (get_default_memory_budget() if memory_budget_bytes is None
+              else check_positive_int(memory_budget_bytes, "memory_budget_bytes"))
+    tile = tile_rows_for(metric, n_rows, n_cols, dim, budget)
+    return KernelTuning(
+        metric=metric.name,
+        tile_rows=tile,
+        tiles=int(np.ceil(n_rows / tile)),
+        memory_budget_bytes=budget,
+        accumulating=metric.accumulates_per_dimension,
     )

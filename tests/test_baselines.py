@@ -47,6 +47,29 @@ class TestAFZDriver:
         with pytest.raises(ValidationError):
             AFZDiversityMaximizer(k=4, objective="remote-tree")
 
+    def test_process_executor_matches_serial(self):
+        import numpy as np
+
+        pts = sphere_shell(400, 4, dim=2, seed=3)
+        serial = AFZDiversityMaximizer(k=4, objective="remote-clique",
+                                       parallelism=4, seed=0)
+        with AFZDiversityMaximizer(k=4, objective="remote-clique",
+                                   parallelism=4, seed=0,
+                                   executor="process") as parallel:
+            r_serial = serial.run(pts)
+            r_parallel = parallel.run(pts)
+        assert np.array_equal(r_parallel.solution.points,
+                              r_serial.solution.points)
+        assert r_parallel.value == r_serial.value
+
+    def test_engine_reused_across_runs(self):
+        pts = sphere_shell(300, 4, dim=2, seed=3)
+        algo = AFZDiversityMaximizer(k=4, objective="remote-edge",
+                                     parallelism=2, seed=0)
+        a, b = algo.run(pts), algo.run(pts)
+        # Per-run stats isolated despite one persistent engine.
+        assert a.stats.num_rounds == 2 and b.stats.num_rounds == 2
+
     def test_cppu_is_faster_than_afz(self):
         """Table 4's headline: CPPU orders of magnitude faster, quality
         at least comparable.  At test scale we only require strictly

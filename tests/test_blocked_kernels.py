@@ -1,0 +1,191 @@
+"""Property tests for the blocked distance-kernel layer.
+
+Two contracts from the PR that introduced :mod:`repro.metricspace.blocked`:
+
+* **Equivalence** — blocked ``cross``/``pairwise`` match the naive kernels
+  for all six registered metrics on random shapes and tile sizes: exactly
+  for the order-insensitive reductions (Chebyshev, Hamming) and for the
+  per-dimension sums below numpy's pairwise-summation block (d < 8), and
+  within a few ulps otherwise (accumulation order / BLAS shape effects).
+* **Bounded intermediates** — under a small tile budget the broadcast
+  metrics never materialize an ``(n, m, d)`` temporary; peak traced
+  allocation stays a small multiple of the ``(n, m)`` result even when the
+  naive kernel's intermediate would be ~100x larger.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metricspace.blocked import (
+    KernelWorkspace,
+    blocked_cross,
+    blocked_pairwise,
+    shared_workspace,
+    tile_rows_for,
+)
+from repro.metricspace.distance import get_metric
+from repro.tuning import recommend_tile_rows
+
+METRIC_NAMES = ["euclidean", "manhattan", "chebyshev", "cosine", "jaccard",
+                "hamming"]
+BROADCAST_NAMES = ["manhattan", "chebyshev", "jaccard", "hamming"]
+
+
+def _domain_points(metric_name: str, rng: np.random.Generator,
+                   n: int, d: int) -> np.ndarray:
+    raw = rng.normal(size=(n, d))
+    if metric_name == "cosine":
+        return raw + np.sign(raw) * 0.1 + 1e-9
+    if metric_name == "jaccard":
+        return np.abs(raw)
+    if metric_name == "hamming":
+        return (raw > 0).astype(float)
+    return raw
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    metric_name=st.sampled_from(METRIC_NAMES),
+    n=st.integers(1, 40),
+    m=st.integers(1, 33),
+    d=st.integers(1, 24),
+    tile_rows=st.integers(1, 48),
+    data_seed=st.integers(0, 2**16),
+)
+def test_blocked_cross_matches_naive(metric_name, n, m, d, tile_rows,
+                                     data_seed):
+    metric = get_metric(metric_name)
+    rng = np.random.default_rng(data_seed)
+    left = _domain_points(metric_name, rng, n, d)
+    right = _domain_points(metric_name, rng, m, d)
+    naive = metric.cross(left, right)
+    blocked = blocked_cross(metric, left, right, tile_rows=tile_rows,
+                            workspace=KernelWorkspace())
+    assert blocked.shape == naive.shape
+    # Tight envelope: accumulation-order / BLAS-shape effects only.
+    np.testing.assert_allclose(blocked, naive, rtol=1e-12, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    metric_name=st.sampled_from(METRIC_NAMES),
+    n=st.integers(2, 40),
+    d=st.integers(1, 16),
+    tile_rows=st.integers(1, 48),
+    data_seed=st.integers(0, 2**16),
+)
+def test_blocked_pairwise_matches_naive(metric_name, n, d, tile_rows,
+                                        data_seed):
+    metric = get_metric(metric_name)
+    rng = np.random.default_rng(data_seed)
+    points = _domain_points(metric_name, rng, n, d)
+    naive = metric.pairwise(points)
+    blocked = blocked_pairwise(metric, points, tile_rows=tile_rows)
+    np.testing.assert_allclose(blocked, naive, rtol=1e-12, atol=1e-10)
+    assert np.all(np.diag(blocked) == 0.0)
+
+
+@pytest.mark.parametrize("metric_name", BROADCAST_NAMES)
+@pytest.mark.parametrize("tile_rows", [3, 16, 1000])
+def test_broadcast_metrics_bit_identical_low_dim(metric_name, tile_rows):
+    """Below numpy's pairwise-summation block (d < 8) the per-dimension
+    accumulation visits terms in the same order as the naive reduction, so
+    the results are bit-identical — tile boundaries included."""
+    metric = get_metric(metric_name)
+    rng = np.random.default_rng(7)
+    for d in (1, 3, 7):
+        left = _domain_points(metric_name, rng, 37, d)
+        right = _domain_points(metric_name, rng, 23, d)
+        naive = metric.cross(left, right)
+        blocked = blocked_cross(metric, left, right, tile_rows=tile_rows)
+        assert np.array_equal(naive, blocked), (metric_name, d, tile_rows)
+
+
+@pytest.mark.parametrize("metric_name", BROADCAST_NAMES)
+def test_peak_intermediate_memory_bounded(metric_name):
+    """Under a small tile budget the broadcast metrics must not allocate
+    anything close to the naive ``(n, m, d)`` intermediate."""
+    metric = get_metric(metric_name)
+    rng = np.random.default_rng(11)
+    n = m = 300
+    d = 40
+    left = _domain_points(metric_name, rng, n, d)
+    right = _domain_points(metric_name, rng, m, d)
+    result_bytes = n * m * 8
+    naive_intermediate_bytes = n * m * d * 8  # ~29 MB at these shapes
+
+    workspace = KernelWorkspace()
+    budget = 512 * 2**10  # 512 KiB of intermediates
+    tile = tile_rows_for(metric, n, m, d, budget)
+    assert tile < n  # the budget actually forces tiling at this shape
+    tracemalloc.start()
+    blocked = blocked_cross(metric, left, right, tile_rows=tile,
+                            workspace=workspace)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # Result + workspace scratch + slack; far below the naive intermediate.
+    assert peak <= result_bytes + budget + 2**20, (
+        f"{metric_name}: peak {peak} bytes vs naive intermediate "
+        f"{naive_intermediate_bytes}"
+    )
+    assert peak < naive_intermediate_bytes / 4
+    np.testing.assert_allclose(blocked, metric.cross(left, right),
+                               rtol=1e-12, atol=1e-10)
+
+
+class TestTileSizing:
+    def test_budget_shrinks_tiles(self):
+        metric = get_metric("manhattan")
+        big = tile_rows_for(metric, 10_000, 1000, 8, 64 * 2**20)
+        small = tile_rows_for(metric, 10_000, 1000, 8, 2**20)
+        assert small < big
+        assert small >= 1
+
+    def test_tile_never_exceeds_rows(self):
+        metric = get_metric("euclidean")
+        assert tile_rows_for(metric, 10, 10, 3, 2**30) == 10
+
+    def test_recommendation_is_recordable(self):
+        tuning = recommend_tile_rows("jaccard", 5000, 2000, 32,
+                                     memory_budget_bytes=4 * 2**20)
+        payload = tuning.as_dict()
+        assert payload["metric"] == "jaccard"
+        assert payload["accumulating"] is True
+        assert payload["tiles"] * payload["tile_rows"] >= 5000
+        assert payload["memory_budget_bytes"] == 4 * 2**20
+
+
+class TestWorkspace:
+    def test_scratch_reused_not_reallocated(self):
+        workspace = KernelWorkspace()
+        first = workspace.scratch("a", (8, 8))
+        second = workspace.scratch("a", (4, 4))
+        assert second.base is first.base  # same backing buffer
+        assert workspace.nbytes() == 8 * 8 * 8
+
+    def test_scratch_grows_when_needed(self):
+        workspace = KernelWorkspace()
+        workspace.scratch("a", (4, 4))
+        grown = workspace.scratch("a", (16, 16))
+        assert grown.shape == (16, 16)
+
+    def test_dtype_keys_are_distinct(self):
+        workspace = KernelWorkspace()
+        floats = workspace.scratch("a", (4,), dtype=np.float64)
+        bools = workspace.scratch("a", (4,), dtype=bool)
+        assert floats.dtype == np.float64 and bools.dtype == np.bool_
+
+    def test_shared_workspace_is_process_wide(self):
+        assert shared_workspace() is shared_workspace()
+
+    def test_clear(self):
+        workspace = KernelWorkspace()
+        workspace.scratch("a", (4, 4))
+        workspace.clear()
+        assert workspace.nbytes() == 0

@@ -87,6 +87,27 @@ class TestRun:
                      "--objective", objective, "--batch-size", "128"]) == 0
         assert "value =" in capsys.readouterr().out
 
+    def test_process_executor_flag(self, dataset, capsys):
+        assert main(["run", "mapreduce", "--data", str(dataset),
+                     "--k", "4", "--parallelism", "2",
+                     "--executor", "process"]) == 0
+        assert "process" in capsys.readouterr().out
+
+    def test_kernel_budget_flag(self, dataset, capsys):
+        from repro.metricspace.blocked import (
+            get_default_memory_budget,
+            set_default_memory_budget,
+        )
+
+        before = get_default_memory_budget()
+        try:
+            assert main(["run", "mapreduce", "--data", str(dataset),
+                         "--k", "4", "--kernel-budget-mb", "8"]) == 0
+            assert get_default_memory_budget() == 8 * 2**20
+        finally:
+            set_default_memory_budget(before)
+        assert "value =" in capsys.readouterr().out
+
 
 class TestEstimate:
     def test_reports_dimension_and_sizes(self, dataset, capsys):

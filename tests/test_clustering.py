@@ -88,3 +88,13 @@ class TestStreaming:
         streaming = kcenter_streaming(ArrayStream(data), 4)
         actual = clustering_radius(points, streaming.centers)
         assert actual <= 8.0 * greedy.radius + 1e-9
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 1024])
+    def test_batched_matches_pointwise(self, rng, batch_size):
+        """Batched ingestion is exactly the point-wise algorithm."""
+        data = rng.random((500, 3)) * 5.0
+        pointwise = kcenter_streaming(ArrayStream(data), 6, batch_size=None)
+        batched = kcenter_streaming(ArrayStream(data), 6,
+                                    batch_size=batch_size)
+        assert np.array_equal(pointwise.centers.points, batched.centers.points)
+        assert batched.radius == pointwise.radius

@@ -13,9 +13,12 @@ from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.partition import (
     adversarial_partition,
     chunk_partition,
+    materialize_selector,
     partition_points,
+    partition_selectors,
     random_partition,
 )
+from repro.mapreduce.shm import SharedDataset
 from repro.metricspace.points import PointSet
 
 
@@ -50,6 +53,129 @@ class TestEngine:
     def test_bad_parallelism_rejected(self):
         with pytest.raises(ValidationError):
             MapReduceEngine(parallelism=0)
+
+    def test_bad_pool_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            MapReduceEngine(pool_mode="thread-local")
+
+    def test_begin_job_isolates_stats(self):
+        engine = MapReduceEngine()
+        engine.run_round([[1]], lambda xs: xs)
+        first = engine.stats
+        second = engine.begin_job()
+        assert second is engine.stats and second is not first
+        assert first.num_rounds == 1 and second.num_rounds == 0
+
+    def test_close_without_pool_is_noop(self):
+        engine = MapReduceEngine()
+        engine.close()
+        engine.close()
+
+
+class TestPersistentPool:
+    def test_pool_survives_rounds_and_jobs(self):
+        with MapReduceEngine(parallelism=2, executor="process") as engine:
+            engine.run_round([[1], [2]], _double)
+            pool = engine._pool
+            assert pool is not None
+            engine.run_round([[3], [4]], _double)
+            engine.begin_job()
+            outputs = engine.run_round([[5], [6]], _double)
+            assert outputs == [[10], [12]]
+            assert engine._pool is pool
+        assert engine._pool is None  # context exit closed it
+
+    def test_per_round_mode_spawns_no_persistent_pool(self):
+        engine = MapReduceEngine(parallelism=2, executor="process",
+                                 pool_mode="per-round")
+        assert engine.run_round([[1], [2]], _double) == [[2], [4]]
+        assert engine._pool is None
+
+    def test_closed_engine_reopens_on_demand(self):
+        engine = MapReduceEngine(parallelism=2, executor="process")
+        engine.run_round([[1], [2]], _double)
+        engine.close()
+        assert engine.run_round([[1], [2]], _double) == [[2], [4]]
+        engine.close()
+
+    def test_broken_pool_self_heals(self):
+        from concurrent.futures import BrokenExecutor
+
+        with MapReduceEngine(parallelism=2, executor="process") as engine:
+            with pytest.raises(BrokenExecutor):
+                engine.run_round([[1], [2]], _die)
+            # The poisoned pool was dropped; the next round gets a fresh one.
+            assert engine._pool is None
+            assert engine.run_round([[1], [2]], _double) == [[2], [4]]
+
+
+class TestSharedDataset:
+    def test_slice_selector_round_trip(self, medium_points):
+        with SharedDataset(medium_points) as shared:
+            ref = shared.partition((10, 25))
+            assert len(ref) == 15
+            resolved = ref.materialize()
+            assert np.array_equal(resolved.points,
+                                  medium_points.points[10:25])
+            assert resolved.metric.name == medium_points.metric.name
+
+    def test_index_selector_round_trip(self, medium_points):
+        indices = np.asarray([5, 3, 250, 17])
+        with SharedDataset(medium_points) as shared:
+            ref = shared.partition(indices)
+            assert np.array_equal(ref.materialize().points,
+                                  medium_points.points[indices])
+
+    def test_global_indices_translation(self, medium_points):
+        with SharedDataset(medium_points) as shared:
+            span = shared.partition((100, 120))
+            assert np.array_equal(span.global_indices([0, 5]), [100, 105])
+            fancy = shared.partition(np.asarray([9, 4, 7]))
+            assert np.array_equal(fancy.global_indices([2, 0]), [7, 9])
+
+    def test_descriptor_is_small_to_pickle(self, medium_points):
+        import pickle
+
+        with SharedDataset(medium_points) as shared:
+            ref = shared.partition((0, len(medium_points)))
+            payload = pickle.dumps(ref)
+            # The whole point: descriptors stay tiny regardless of rows.
+            assert len(payload) < 1024 < medium_points.points.nbytes
+
+    def test_take_after_close_rejected(self, medium_points):
+        shared = SharedDataset(medium_points)
+        shared.close()
+        with pytest.raises(RuntimeError):
+            shared.take(np.asarray([0]))
+        shared.close()  # idempotent
+
+
+class TestSelectors:
+    @pytest.mark.parametrize("strategy", ["random", "chunk", "adversarial"])
+    def test_selectors_match_materialized_partitions(self, medium_points,
+                                                     strategy):
+        selectors = partition_selectors(medium_points, 4, strategy=strategy,
+                                        seed=3)
+        via_selectors = [materialize_selector(medium_points, s)
+                         for s in selectors]
+        direct = partition_points(medium_points, 4, strategy=strategy, seed=3)
+        for a, b in zip(via_selectors, direct):
+            assert np.array_equal(a.points, b.points)
+
+    def test_chunk_selectors_are_spans(self, medium_points):
+        selectors = partition_selectors(medium_points, 3, strategy="chunk")
+        assert all(isinstance(s, tuple) for s in selectors)
+        assert selectors[0][0] == 0 and selectors[-1][1] == len(medium_points)
+
+
+def _double(xs):
+    return [2 * x for x in xs]
+
+
+def _die(xs):
+    import os
+
+    os._exit(1)
 
 
 class TestPartitioners:
@@ -204,13 +330,61 @@ class TestProcessExecutor:
         pts = sphere_shell(600, 4, dim=3, seed=43)
         serial = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
                                       parallelism=2, seed=5, executor="serial")
-        parallel = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
-                                        parallelism=2, seed=5,
-                                        executor="process")
-        r_serial = serial.run(pts)
-        r_parallel = parallel.run(pts)
-        # Same seed -> same partitions -> identical deterministic core-sets.
-        assert r_parallel.value == pytest.approx(r_serial.value)
+        with MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                  parallelism=2, seed=5,
+                                  executor="process") as parallel:
+            r_serial = serial.run(pts)
+            r_parallel = parallel.run(pts)
+        # Same seed -> same partitions -> identical deterministic core-sets;
+        # the zero-copy path must reproduce the serial run bit-for-bit.
+        assert r_parallel.extra["zero_copy"] is True
+        assert np.array_equal(r_parallel.solution.points,
+                              r_serial.solution.points)
+        assert r_parallel.value == r_serial.value
+        assert r_parallel.coreset_size == r_serial.coreset_size
+
+    def test_zero_copy_three_round_matches_serial(self):
+        pts = sphere_shell(800, 4, dim=3, seed=47)
+        serial = MRDiversityMaximizer(k=4, k_prime=8,
+                                      objective="remote-clique",
+                                      parallelism=3, seed=1,
+                                      executor="serial")
+        with MRDiversityMaximizer(k=4, k_prime=8, objective="remote-clique",
+                                  parallelism=3, seed=1,
+                                  executor="process") as parallel:
+            r_serial = serial.run_three_round(pts)
+            r_parallel = parallel.run_three_round(pts)
+        assert np.array_equal(r_parallel.solution.points,
+                              r_serial.solution.points)
+        assert r_parallel.value == r_serial.value
+
+    def test_zero_copy_multi_round_matches_serial(self):
+        pts = sphere_shell(1500, 4, dim=3, seed=53)
+        serial = MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                      parallelism=4, seed=2,
+                                      executor="serial")
+        with MRDiversityMaximizer(k=4, k_prime=8, objective="remote-edge",
+                                  parallelism=4, seed=2,
+                                  executor="process") as parallel:
+            r_serial = serial.run_multi_round(pts, memory_target=120)
+            r_parallel = parallel.run_multi_round(pts, memory_target=120)
+        assert np.array_equal(r_parallel.solution.points,
+                              r_serial.solution.points)
+        assert r_parallel.extra["levels"] == r_serial.extra["levels"]
+
+    def test_pool_reused_across_runs(self):
+        pts = sphere_shell(400, 4, dim=3, seed=59)
+        with MRDiversityMaximizer(k=4, k_prime=8, objective="remote-clique",
+                                  parallelism=2, seed=0,
+                                  executor="process") as algo:
+            a = algo.run(pts)
+            pool = algo.engine._pool
+            assert pool is not None
+            b = algo.run_three_round(pts)
+            assert algo.engine._pool is pool
+            # Per-run stats stay isolated despite the shared engine.
+            assert a.stats.num_rounds == 2
+            assert b.stats.num_rounds == 3
 
 
 class TestRandomizedCap:

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.exceptions import ValidationError
+from repro.metricspace.blocked import blocked_cross
 from repro.metricspace.distance import (
     ChebyshevMetric,
     CosineDistance,
@@ -16,7 +17,6 @@ from repro.metricspace.distance import (
     HammingDistance,
     JaccardDistance,
     ManhattanMetric,
-    cross_chunked,
     get_metric,
 )
 
@@ -85,12 +85,12 @@ class TestMetricContract:
         assert dist.shape == (8,)
         assert dist[0] == pytest.approx(0.0, abs=1e-9)
 
-    def test_chunked_matches_direct(self, metric, rng):
+    def test_blocked_matches_direct(self, metric, rng):
         left = _valid_points(metric, rng, n=9)
         right = _valid_points(metric, rng, n=5)
         direct = metric.cross(left, right)
-        chunked = cross_chunked(metric, left, right, chunk_rows=2)
-        assert np.allclose(direct, chunked, atol=1e-12)
+        blocked = blocked_cross(metric, left, right, tile_rows=2)
+        assert np.allclose(direct, blocked, atol=1e-12)
 
 
 class TestEuclidean:
