@@ -1,0 +1,79 @@
+"""Query-service throughput — the build-once/serve-many payoff.
+
+The paper's composability result (Definition 2) says one core-set build
+serves every query with ``k <= k'``; this benchmark measures what that is
+worth as a system.  A mixed ``(objective, k)`` workload is served three
+ways over the same dataset:
+
+* **rebuild-per-query** — the pre-service baseline: every query runs its
+  own 2-round core-set build over the full dataset;
+* **warm** — the :class:`~repro.service.DiversityService` path: queries
+  route into a prebuilt ladder index and solve on shared, cached blocked
+  distance matrices;
+* **cached** — the identical workload replayed, answered from the LRU.
+
+Gates (the acceptance criteria of the service PR):
+
+* warm-path queries/sec >= 5x the rebuild-per-query baseline (in practice
+  far higher once the dataset dwarfs the core-sets);
+* zero core-set builds happen during queries (build-call counter);
+* the cached replay beats the warm pass.
+
+Machine-readable results land in
+``benchmarks/results/BENCH_service_throughput.json`` for the CI artifact.
+Dataset size via ``REPRO_SERVICE_N`` (default 100,000 — the CI smoke size;
+the rebuild baseline scales with ``n`` while the warm path does not, so
+larger datasets only widen the measured gap).
+"""
+
+from __future__ import annotations
+
+import os
+
+from common import emit, emit_json, run_once
+from repro.datasets.synthetic import sphere_shell
+from repro.experiments.report import format_table
+from repro.service import measure_service_throughput
+
+K_MAX = 8
+NUM_QUERIES = 24
+REBUILD_QUERIES = 3
+
+
+def _measure():
+    n = int(os.environ.get("REPRO_SERVICE_N", "100000"))
+    points = sphere_shell(n, K_MAX, dim=3, seed=11)
+    report = measure_service_throughput(
+        points, K_MAX, num_queries=NUM_QUERIES,
+        rebuild_queries=REBUILD_QUERIES, parallelism=4, executor="serial",
+        seed=0,
+    )
+    return n, report
+
+
+def test_service_throughput(benchmark):
+    n, report = run_once(benchmark, _measure)
+    emit("service_throughput", format_table(
+        ["serving mode", "queries/s", "speedup"],
+        [["rebuild-per-query", f"{report.rebuild_qps:.1f}", "1.0x"],
+         ["warm service", f"{report.warm_qps:.1f}",
+          f"{report.warm_speedup:.1f}x"],
+         ["LRU-cached replay", f"{report.cached_qps:.1f}",
+          f"{report.cached_speedup:.1f}x"]],
+        title=f"Query service throughput (n={n}, k_max={K_MAX}, "
+              f"{report.num_queries} queries)",
+    ))
+    emit_json("service_throughput", {
+        "n": n,
+        "k_max": K_MAX,
+        "index_build_seconds": report.index_build_seconds,
+        **report.as_dict(),
+    })
+    # Gate 1 (acceptance): amortizing the build is worth >= 5x.
+    assert report.warm_speedup >= 5.0, (
+        f"warm path only {report.warm_speedup:.2f}x over rebuild-per-query")
+    # Gate 2 (acceptance): the warm path never rebuilds a core-set.
+    assert report.build_calls_during_queries == 0
+    # Gate 3: the LRU turns repeats into lookups — faster than solving.
+    assert report.cached_qps > report.warm_qps
+    assert report.cache["hits"] >= report.num_queries

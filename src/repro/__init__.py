@@ -80,8 +80,15 @@ from repro.diversity.matroid import (
     solve_matroid_clique,
 )
 from repro.tuning import recommend_k_prime
+from repro.service import (
+    CoresetIndex,
+    DiversityService,
+    build_coreset_index,
+    load_index,
+    save_index,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Metric",
@@ -128,5 +135,10 @@ __all__ = [
     "UniformMatroid",
     "solve_matroid_clique",
     "recommend_k_prime",
+    "CoresetIndex",
+    "DiversityService",
+    "build_coreset_index",
+    "load_index",
+    "save_index",
     "__version__",
 ]

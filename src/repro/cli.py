@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Three subcommands cover the common workflows without writing any code:
+Six subcommands cover the common workflows without writing any code:
 
 * ``generate`` — synthesize a dataset (sphere-shell, cube, clusters,
   bag-of-words) and save it via :mod:`repro.datasets.loaders`;
@@ -8,7 +8,13 @@ Three subcommands cover the common workflows without writing any code:
   mapreduce-3round / afz / immm) on a saved or freshly generated dataset
   and print value, ratio and resource usage;
 * ``estimate`` — estimate the doubling dimension of a dataset and the
-  theoretical ``k'`` for given ``(k, eps)``.
+  theoretical ``k'`` for given ``(k, eps)``;
+* ``index`` — ingest a dataset once into a build-once/serve-many core-set
+  index (a ladder of resolutions per objective family) and persist it;
+* ``query`` — answer ``(objective, k, eps)`` requests from a saved index,
+  never touching the original dataset;
+* ``serve-bench`` — measure queries/sec: rebuild-per-query vs the warm
+  service path vs the LRU-cached path.
 
 Examples
 --------
@@ -18,6 +24,9 @@ Examples
     python -m repro run mapreduce --data /tmp/data --k 16 --k-prime 64 \
         --objective remote-edge --parallelism 8
     python -m repro estimate --data /tmp/data --k 16 --epsilon 0.5
+    python -m repro index --data /tmp/data --k-max 32 --out /tmp/idx
+    python -m repro query --index /tmp/idx --objective remote-clique --k 8
+    python -m repro serve-bench --data /tmp/data --k-max 16 --queries 24
 """
 
 from __future__ import annotations
@@ -38,12 +47,19 @@ from repro.experiments.reference import reference_value
 from repro.mapreduce.algorithm import MRDiversityMaximizer
 from repro.metricspace.blocked import set_default_memory_budget
 from repro.metricspace.doubling import estimate_doubling_dimension
-from repro.metricspace.points import PointSet
 from repro.streaming.algorithm import (
     StreamingDiversityMaximizer,
     TwoPassStreamingDiversityMaximizer,
 )
+from repro.service import (
+    DiversityService,
+    build_coreset_index,
+    measure_service_throughput,
+    save_index,
+)
+from repro.service.index import FAMILIES
 from repro.streaming.stream import ArrayStream
+from repro.tuning import DEFAULT_BATCH_SIZE, recommend_batch_size
 
 GENERATORS = ("sphere-shell", "cube", "clusters", "bag-of-words")
 ALGORITHMS = ("streaming", "streaming-2pass", "mapreduce", "mapreduce-3round",
@@ -52,11 +68,15 @@ ALGORITHMS = ("streaming", "streaming-2pass", "mapreduce", "mapreduce-3round",
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Diversity maximization with core-sets "
                     "(Ceccarello et al., VLDB 2017 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesize and save a dataset")
@@ -88,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="ingest the stream in blocks of this many points "
                           "through the vectorized sketch kernel "
                           "(streaming algorithms only; same results, "
-                          "higher throughput)")
+                          "higher throughput); when omitted, auto-tuned "
+                          "from the recorded BENCH_fig3_*.json trajectory")
     run.add_argument("--kernel-budget-mb", type=int, default=None,
                      help="memory budget (MiB) for blocked distance-kernel "
                           "intermediates; default 64")
@@ -104,6 +125,55 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--objective", choices=list_objectives(),
                      default="remote-edge")
     est.add_argument("--seed", type=int, default=0)
+
+    idx = sub.add_parser(
+        "index", help="ingest a dataset once into a persisted core-set index")
+    idx.add_argument("--data", required=True,
+                     help="dataset path saved by 'generate'")
+    idx.add_argument("--k-max", type=int, required=True,
+                     help="largest query k the index must serve")
+    idx.add_argument("--out", required=True,
+                     help="index output path (writes <out>.npz + <out>.json)")
+    idx.add_argument("--families", default=",".join(FAMILIES),
+                     help="comma-separated construction families to build "
+                          f"(default: {','.join(FAMILIES)})")
+    idx.add_argument("--multiplier", type=int, default=4,
+                     help="kernel size per rung is multiplier * k_cap")
+    idx.add_argument("--growth", type=int, default=2,
+                     help="geometric growth of rung capacities")
+    idx.add_argument("--k-min", type=int, default=4,
+                     help="smallest rung capacity")
+    idx.add_argument("--parallelism", type=int, default=4)
+    idx.add_argument("--executor", choices=("serial", "process"),
+                     default="serial")
+    idx.add_argument("--seed", type=int, default=0)
+
+    qry = sub.add_parser(
+        "query", help="answer a diversity query from a saved index")
+    qry.add_argument("--index", required=True,
+                     help="index path written by 'index'")
+    qry.add_argument("--objective", choices=list_objectives(),
+                     default="remote-edge")
+    qry.add_argument("--k", type=int, required=True)
+    qry.add_argument("--epsilon", type=float, default=1.0,
+                     help="approximation slack; smaller routes to a larger "
+                          "ladder rung")
+    qry.add_argument("--repeat", type=int, default=1,
+                     help="repeat the query to exercise the result cache")
+
+    srv = sub.add_parser(
+        "serve-bench",
+        help="queries/sec: rebuild-per-query vs warm service vs LRU cache")
+    srv.add_argument("--data", required=True)
+    srv.add_argument("--k-max", type=int, default=16)
+    srv.add_argument("--queries", type=int, default=24)
+    srv.add_argument("--rebuild-queries", type=int, default=3,
+                     help="workload prefix measured under the "
+                          "rebuild-per-query baseline")
+    srv.add_argument("--parallelism", type=int, default=4)
+    srv.add_argument("--executor", choices=("serial", "process"),
+                     default="serial")
+    srv.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -128,6 +198,18 @@ def _run(args: argparse.Namespace) -> int:
     metric = points.metric
     if args.kernel_budget_mb is not None:
         set_default_memory_budget(args.kernel_budget_mb * 2**20)
+    if (args.batch_size is None
+            and args.algorithm in ("streaming", "streaming-2pass")):
+        recommended = recommend_batch_size(default=None)
+        if recommended is not None:
+            args.batch_size = recommended
+            print(f"batch size {recommended} (auto-tuned from the benchmark "
+                  "trajectory; override with --batch-size)")
+        else:
+            args.batch_size = DEFAULT_BATCH_SIZE
+            print(f"batch size {DEFAULT_BATCH_SIZE} (default — no recorded "
+                  "trajectory; run the fig3 benchmark to auto-tune, or set "
+                  "--batch-size)")
 
     if args.algorithm == "streaming":
         algo = StreamingDiversityMaximizer(k=args.k, k_prime=k_prime,
@@ -199,14 +281,78 @@ def _estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index(args: argparse.Namespace) -> int:
+    points = load_points(args.data)
+    families = tuple(name.strip() for name in args.families.split(",")
+                     if name.strip())
+    index = build_coreset_index(
+        points, args.k_max, families=families, multiplier=args.multiplier,
+        growth=args.growth, k_min=args.k_min, parallelism=args.parallelism,
+        executor=args.executor, seed=args.seed,
+    )
+    save_index(index, args.out)
+    print(f"indexed {len(points)} points (metric {index.metric_name}, "
+          f"estimated dimension {index.dimension_estimate:.2f}) "
+          f"in {index.build_seconds:.2f}s [{args.executor}]")
+    for rung in index.all_rungs():
+        print(f"  rung {rung.family:8s} k<={rung.k_cap:<4d} k'={rung.k_prime:<5d} "
+              f"{len(rung.coreset):6d} pts  ({rung.build_seconds:.3f}s)")
+    print(f"wrote {args.out}.npz + {args.out}.json "
+          f"({index.build_calls} core-set builds, amortized over all queries)")
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    service = DiversityService.from_file(args.index)
+    for _ in range(max(args.repeat, 1)):
+        result = service.query(args.objective, args.k, epsilon=args.epsilon)
+        family, k_cap, k_prime = result.rung
+        source = ("cache hit" if result.cached
+                  else f"solved in {result.solve_seconds * 1e3:.2f} ms")
+        print(f"{result.objective}  k={result.k} eps={result.epsilon}  "
+              f"value = {result.value:.6f}   "
+              f"[rung {family} k'={k_prime} (k<={k_cap}), {source}]")
+    stats = service.stats()
+    print(f"  cache: {stats['cache']['hits']} hits / "
+          f"{stats['cache']['misses']} misses, "
+          f"builds during queries: {stats['build_calls']}")
+    return 0
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    points = load_points(args.data)
+    report = measure_service_throughput(
+        points, args.k_max, num_queries=args.queries,
+        rebuild_queries=args.rebuild_queries, parallelism=args.parallelism,
+        executor=args.executor, seed=args.seed,
+    )
+    print(f"serve-bench: {report.num_queries} queries, k_max={args.k_max}, "
+          f"index build {report.index_build_seconds:.2f}s [{args.executor}]")
+    print(f"  rebuild-per-query : {report.rebuild_qps:10.1f} queries/s "
+          f"(measured over {report.rebuild_queries} queries)")
+    print(f"  warm service      : {report.warm_qps:10.1f} queries/s "
+          f"({report.warm_speedup:.1f}x)")
+    print(f"  LRU-cached replay : {report.cached_qps:10.1f} queries/s "
+          f"({report.cached_speedup:.1f}x)")
+    print(f"  core-set builds during queries: "
+          f"{report.build_calls_during_queries}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _generate,
+    "run": _run,
+    "estimate": _estimate,
+    "index": _index,
+    "query": _query,
+    "serve-bench": _serve_bench,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _generate(args)
-    if args.command == "run":
-        return _run(args)
-    return _estimate(args)
+    return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

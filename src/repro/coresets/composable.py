@@ -63,6 +63,65 @@ def coreset_size_for(k: int, epsilon: float, doubling_dimension: float,
     return int(math.ceil((constant / eps_prime) ** doubling_dimension * k))
 
 
+def practical_coreset_size(k: int, epsilon: float, doubling_dimension: float,
+                           objective: str | Objective,
+                           model: Model = "mapreduce",
+                           base_multiplier: int = 4) -> int:
+    """The ``k'`` a query actually needs: theory clamped to practice.
+
+    :func:`coreset_size_for` grows like ``(c/eps')^D`` and is astronomically
+    pessimistic for moderate ``D``; Section 7 shows small multiples of ``k``
+    suffice — ``4k`` already gives ratios near 1.  So the effective
+    multiplier starts at *base_multiplier* for the default slack
+    (``eps = 1``) and widens as ``base_multiplier / eps`` for tighter
+    requests, capped by the dimension band (``2 + 2D``, clipped to
+    ``[2, 16]`` — higher-dimensional data benefits from more kernel
+    points, the empirical lesson of Figures 1-2, but a query can never
+    demand more than the band justifies).  The query-routing layer of
+    :mod:`repro.service` uses this to pick the cheapest ladder rung that
+    still covers a ``(k, eps)`` request: generous slack routes to the
+    first covering rung, tight slack climbs the ladder.
+    """
+    check_positive_int(base_multiplier, "base_multiplier")
+    theoretical = coreset_size_for(k, epsilon, doubling_dimension, objective,
+                                   model=model)
+    band = np.clip(2 + 2 * doubling_dimension, 2, 16)
+    multiplier = np.clip(base_multiplier / epsilon, base_multiplier,
+                         max(band, base_multiplier))
+    return max(k, min(theoretical, int(multiplier) * k))
+
+
+def ladder_parameters(k_max: int, multiplier: int = 4, growth: int = 2,
+                      k_min: int = 4) -> list[tuple[int, int]]:
+    """Ladder of ``(k_cap, k_prime)`` rungs covering queries with ``k <= k_max``.
+
+    Composability (Definition 2) makes one core-set built for ``k'`` a valid
+    substrate for *every* query with ``k <= k'``, so a build-once/serve-many
+    index only needs a small geometric ladder of resolutions: rung caps grow
+    by *growth* from *k_min* up to (and including) *k_max*, and each rung's
+    kernel size is ``multiplier * k_cap`` (Figure 4 explores exactly these
+    multiples).  Returns rungs sorted by increasing ``k_cap`` — i.e. by
+    increasing query cost, since the round-2 solver is quadratic in ``k'``.
+
+    >>> ladder_parameters(32)
+    [(4, 16), (8, 32), (16, 64), (32, 128)]
+    >>> ladder_parameters(24, multiplier=2, k_min=8)
+    [(8, 16), (16, 32), (24, 48)]
+    """
+    check_positive_int(k_max, "k_max")
+    check_positive_int(multiplier, "multiplier")
+    check_positive_int(k_min, "k_min")
+    if growth < 2:
+        raise ValueError(f"growth must be at least 2, got {growth}")
+    caps: list[int] = []
+    cap = min(k_min, k_max)
+    while cap < k_max:
+        caps.append(cap)
+        cap *= growth
+    caps.append(k_max)
+    return [(cap, multiplier * cap) for cap in caps]
+
+
 def composable_coreset_indices(
     partition: PointSet, k: int, k_prime: int,
     objective: str | Objective,

@@ -83,6 +83,24 @@ class MRResult:
         return len(self.solution)
 
 
+@dataclass
+class MRCoresetResult:
+    """Outcome of a coreset-only MapReduce build (round one, no solve).
+
+    The build-once/serve-many query service
+    (:mod:`repro.service`) consumes these: the aggregated core-set is the
+    cached substrate every ``k <= k'`` query is answered from, so the
+    expensive round-1 pass is amortized across arbitrarily many queries.
+    """
+
+    coreset: PointSet
+    k: int
+    k_prime: int
+    partitions: int
+    stats: JobStats
+    extra: dict = field(default_factory=dict)
+
+
 def randomized_delegate_cap(n: int, k: int, parts: int) -> int:
     """Per-cluster delegate budget for the randomized 2-round algorithm.
 
@@ -228,9 +246,55 @@ class MRDiversityMaximizer:
     def _zero_copy(self) -> bool:
         return self.engine.executor == "process"
 
-    # -- 2-round algorithms ------------------------------------------------------
-    def run(self, points: PointSet, randomized: bool = False) -> MRResult:
-        """Deterministic (or randomized, Theorem 7) 2-round algorithm."""
+    # -- coreset-only build (round one) ------------------------------------------
+    def _build_union(self, points: PointSet, selectors: list,
+                     k: int, k_prime: int,
+                     delegate_cap: int | None) -> PointSet:
+        """Run the core-set round and aggregate the partition core-sets.
+
+        Serial and process executors produce bit-identical unions for the
+        same selectors: the zero-copy path gathers per-partition *global
+        index sets* in partition order and takes those rows from the shared
+        block, which is row-for-row the serial path's subset-and-concat.
+        """
+        if self._zero_copy:
+            with SharedDataset(points) as shared:
+                reducer = partial(
+                    _coreset_indices_reducer, k=k, k_prime=k_prime,
+                    objective_name=self.objective.name,
+                    delegate_cap=delegate_cap,
+                )
+                outputs = self.engine.run_round(shared.partitions(selectors),
+                                                reducer, size_fn=_payload_size)
+                return shared.point_set(np.concatenate(outputs))
+        reducer = partial(
+            _coreset_reducer, k=k, k_prime=k_prime,
+            objective_name=self.objective.name, use_generalized=False,
+            delegate_cap=delegate_cap,
+        )
+        coresets = self.engine.run_round(
+            [materialize_selector(points, s) for s in selectors],
+            reducer, size_fn=_payload_size)
+        return union_coresets(coresets)
+
+    def build_coreset(self, points: PointSet, randomized: bool = False,
+                      k: int | None = None,
+                      k_prime: int | None = None) -> MRCoresetResult:
+        """Round one alone: build and aggregate the composable core-set.
+
+        This is the ingest half of the build-once/serve-many split: the
+        returned core-set is a valid substrate for *every* sequential query
+        with ``k <= k'`` (Definition 2), so callers — most prominently
+        :class:`repro.service.DiversityService` — cache it and amortize
+        this pass across many queries.  *k* / *k_prime* override the
+        constructor parameters per call, letting one maximizer (and its
+        persistent worker pool) build a whole ladder of resolutions.
+        """
+        k = self.k if k is None else check_positive_int(k, "k")
+        k_prime = (self.k_prime if k_prime is None
+                   else check_positive_int(k_prime, "k_prime"))
+        if k_prime < k:
+            raise ValidationError(f"k' must be at least k, got k'={k_prime} < k={k}")
         stats = self.engine.begin_job()
         # Theorem 7's balls-into-bins bound needs genuinely random keys.
         strategy = "random" if randomized else self.partition_strategy
@@ -238,28 +302,21 @@ class MRDiversityMaximizer:
                                         strategy=strategy, seed=self.seed)
         delegate_cap = None
         if randomized and self.objective.requires_injective_proxy:
-            delegate_cap = randomized_delegate_cap(len(points), self.k,
+            delegate_cap = randomized_delegate_cap(len(points), k,
                                                    len(selectors))
-        if self._zero_copy:
-            with SharedDataset(points) as shared:
-                reducer = partial(
-                    _coreset_indices_reducer, k=self.k, k_prime=self.k_prime,
-                    objective_name=self.objective.name,
-                    delegate_cap=delegate_cap,
-                )
-                outputs = self.engine.run_round(shared.partitions(selectors),
-                                                reducer, size_fn=_payload_size)
-                union = shared.point_set(np.concatenate(outputs))
-        else:
-            reducer = partial(
-                _coreset_reducer, k=self.k, k_prime=self.k_prime,
-                objective_name=self.objective.name, use_generalized=False,
-                delegate_cap=delegate_cap,
-            )
-            coresets = self.engine.run_round(
-                [materialize_selector(points, s) for s in selectors],
-                reducer, size_fn=_payload_size)
-            union = union_coresets(coresets)
+        union = self._build_union(points, selectors, k, k_prime, delegate_cap)
+        return MRCoresetResult(
+            coreset=union, k=k, k_prime=k_prime, partitions=len(selectors),
+            stats=stats,
+            extra={"randomized": randomized, "delegate_cap": delegate_cap,
+                   "zero_copy": self._zero_copy},
+        )
+
+    # -- 2-round algorithms ------------------------------------------------------
+    def run(self, points: PointSet, randomized: bool = False) -> MRResult:
+        """Deterministic (or randomized, Theorem 7) 2-round algorithm."""
+        build = self.build_coreset(points, randomized=randomized)
+        union = build.coreset
         # Round 2: one reducer solves sequentially on the aggregated core-set.
         outputs = self.engine.run_round(
             [union], partial(_solve_reducer, k=self.k,
@@ -270,9 +327,8 @@ class MRDiversityMaximizer:
         solution = union.subset(indices)
         return MRResult(
             solution=solution, value=value, coreset_size=len(union),
-            partitions=len(selectors), rounds=2, stats=stats,
-            extra={"randomized": randomized, "delegate_cap": delegate_cap,
-                   "zero_copy": self._zero_copy},
+            partitions=build.partitions, rounds=2, stats=build.stats,
+            extra=build.extra,
         )
 
     # -- 3-round generalized algorithm (Theorem 10) -------------------------------
@@ -390,28 +446,8 @@ class MRDiversityMaximizer:
             selectors = partition_selectors(current, parts,
                                             strategy=self.partition_strategy,
                                             seed=self.seed)
-            if self._zero_copy:
-                with SharedDataset(current) as shared:
-                    reducer = partial(
-                        _coreset_indices_reducer, k=self.k,
-                        k_prime=self.k_prime,
-                        objective_name=self.objective.name,
-                        delegate_cap=None,
-                    )
-                    outputs = self.engine.run_round(
-                        shared.partitions(selectors), reducer,
-                        size_fn=_payload_size)
-                    shrunk = shared.point_set(np.concatenate(outputs))
-            else:
-                reducer = partial(
-                    _coreset_reducer, k=self.k, k_prime=self.k_prime,
-                    objective_name=self.objective.name, use_generalized=False,
-                    delegate_cap=None,
-                )
-                coresets = self.engine.run_round(
-                    [materialize_selector(current, s) for s in selectors],
-                    reducer, size_fn=_payload_size)
-                shrunk = union_coresets(coresets)
+            shrunk = self._build_union(current, selectors, self.k,
+                                       self.k_prime, delegate_cap=None)
             if len(shrunk) >= len(current):
                 break  # cannot shrink further; fall through to final solve
             current = shrunk

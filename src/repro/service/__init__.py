@@ -1,0 +1,43 @@
+"""Build-once / serve-many query service over composable core-set indexes.
+
+The ingest path (:func:`build_coreset_index`) runs the heavy MapReduce
+core-set construction once per ladder rung; the query path
+(:class:`DiversityService`) answers ``(objective, k, eps)`` requests from
+that cached read-only state — routed to the cheapest covering rung, solved
+on a shared blocked distance matrix, memoized in an LRU.  See the README's
+"Query service" section for the architecture.
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.index import (
+    FAMILIES,
+    CoresetIndex,
+    LadderRung,
+    build_coreset_index,
+    family_of,
+)
+from repro.service.persist import load_index, save_index
+from repro.service.service import DiversityService, Query, QueryResult
+from repro.service.workload import (
+    ThroughputReport,
+    make_workload,
+    measure_service_throughput,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "FAMILIES",
+    "CoresetIndex",
+    "LadderRung",
+    "build_coreset_index",
+    "family_of",
+    "load_index",
+    "save_index",
+    "DiversityService",
+    "Query",
+    "QueryResult",
+    "ThroughputReport",
+    "make_workload",
+    "measure_service_throughput",
+]

@@ -1,0 +1,91 @@
+"""A small LRU result cache with hit/miss accounting.
+
+The query service keys this on ``(objective, k, seed, rung)``: solvers are
+deterministic on a fixed core-set, so a repeated query is a pure lookup.
+The cache is deliberately tiny and dependency-free — ``OrderedDict`` move-
+to-end gives O(1) recency maintenance, and the stats counters feed the
+service's observability surface (and the throughput benchmark's "cached"
+row).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.utils.validation import check_positive_int
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`LRUCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity.
+
+    >>> cache = LRUCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)   # evicts "b" (least recently used)
+    >>> cache.get("b") is None
+    True
+    >>> cache.stats.evictions
+    1
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Containment is a pure probe: no recency update, no stats.
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look *key* up, counting a hit or miss and refreshing recency."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept — they describe the lifetime)."""
+        self._entries.clear()

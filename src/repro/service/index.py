@@ -1,0 +1,221 @@
+"""The sharded core-set index: a ladder of resolutions per objective family.
+
+Composability (Definition 2) is the asset this module productizes: a
+GMM / GMM-EXT core-set built for ``k'`` is a valid substrate for *every*
+query with ``k <= k'``, so one expensive MapReduce build can serve
+arbitrarily many ``(objective, k, eps)`` queries.  Two constructions cover
+all six objectives:
+
+* ``"gmm"`` — plain GMM kernels, valid for the non-injective objectives
+  (remote-edge, remote-cycle);
+* ``"gmm-ext"`` — GMM-EXT kernels with delegates, valid for the injective
+  objectives (remote-clique/-star/-bipartition/-tree).
+
+Per family the index holds a small geometric ladder of rungs
+(:func:`repro.coresets.composable.ladder_parameters`); query routing picks
+the *cheapest* rung whose capacity covers the request
+(:meth:`CoresetIndex.route`), trading a slightly larger build for much
+cheaper queries at small ``k``.  Builds run through
+:meth:`~repro.mapreduce.algorithm.MRDiversityMaximizer.build_coreset`, so
+the ``executor="process"`` path ships partitions zero-copy over shared
+memory and reuses one persistent worker pool across the whole ladder —
+and produces rungs bit-identical to a serial build for the same seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.coresets.composable import ladder_parameters, practical_coreset_size
+from repro.diversity.objectives import Objective, get_objective
+from repro.exceptions import ValidationError
+from repro.mapreduce.algorithm import MRDiversityMaximizer
+from repro.metricspace.doubling import estimate_doubling_dimension
+from repro.metricspace.points import PointSet
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: Construction families and the representative objective whose
+#: ``requires_injective_proxy`` flag selects the right round-1 reducer.
+FAMILY_GMM = "gmm"
+FAMILY_GMM_EXT = "gmm-ext"
+FAMILIES = (FAMILY_GMM, FAMILY_GMM_EXT)
+_REPRESENTATIVE = {FAMILY_GMM: "remote-edge", FAMILY_GMM_EXT: "remote-clique"}
+
+
+def family_of(objective: str | Objective) -> str:
+    """The construction family whose core-sets serve *objective*."""
+    objective = get_objective(objective)
+    return FAMILY_GMM_EXT if objective.requires_injective_proxy else FAMILY_GMM
+
+
+@dataclass
+class LadderRung:
+    """One resolution of the index: a cached core-set serving ``k <= k_cap``."""
+
+    family: str
+    k_cap: int
+    k_prime: int
+    coreset: PointSet
+    build_seconds: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        """Hashable identity used by result/matrix caches."""
+        return (self.family, self.k_cap, self.k_prime)
+
+    def describe(self) -> dict:
+        return {"family": self.family, "k_cap": self.k_cap,
+                "k_prime": self.k_prime, "coreset_points": len(self.coreset),
+                "build_seconds": self.build_seconds}
+
+
+@dataclass
+class CoresetIndex:
+    """Build-once index: per-family ladders of core-set rungs.
+
+    Instances come from :func:`build_coreset_index` (fresh build) or
+    :func:`repro.service.persist.load_index` (warm start); queries go
+    through :meth:`route`, which never touches the source dataset.
+    """
+
+    metric_name: str
+    dimension_estimate: float
+    rungs: dict[str, list[LadderRung]]
+    ladder: dict
+    source: dict
+    seed: int | None = None
+    build_calls: int = 0
+    build_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def families(self) -> list[str]:
+        return sorted(self.rungs)
+
+    def all_rungs(self) -> list[LadderRung]:
+        return [rung for family in self.families for rung in self.rungs[family]]
+
+    def route(self, objective: str | Objective, k: int,
+              epsilon: float = 1.0) -> LadderRung:
+        """The cheapest rung that covers an ``(objective, k, eps)`` query.
+
+        A rung covers the query when its capacity admits ``k``
+        (``k_cap >= k`` and the core-set holds at least ``k`` points) and
+        its kernel size meets the practical sizing
+        ``k' >= practical_coreset_size(k, eps, D)`` — which starts at the
+        ladder's own multiplier for the default slack (so ``eps = 1``
+        routes to the first covering rung, the Section 7 sweet spot) and
+        climbs the ladder as ``eps`` tightens.  Rungs are scanned in
+        ascending cost; if none meets the sizing (an aggressive ``eps``),
+        the largest admissible rung is the best the index can do and is
+        returned rather than failing the query.
+        """
+        objective = get_objective(objective)
+        check_positive_int(k, "k")
+        family = family_of(objective)
+        ladder = self.rungs.get(family, [])
+        if not ladder:
+            raise ValidationError(
+                f"index has no {family!r} ladder (families: {self.families}); "
+                f"rebuild with families including {family!r}")
+        candidates = [rung for rung in ladder
+                      if rung.k_cap >= k and len(rung.coreset) >= k]
+        if not candidates:
+            raise ValidationError(
+                f"no ladder rung serves k={k} for {objective.name} "
+                f"(largest k_cap is {ladder[-1].k_cap}); "
+                "rebuild the index with a larger k_max")
+        required = practical_coreset_size(
+            k, epsilon, self.dimension_estimate, objective,
+            base_multiplier=int(self.ladder.get("multiplier", 4)))
+        for rung in candidates:
+            if rung.k_prime >= required:
+                return rung
+        return candidates[-1]
+
+    def describe(self) -> dict:
+        """JSON-ready summary (the metadata block persistence writes)."""
+        return {
+            "metric": self.metric_name,
+            "dimension_estimate": self.dimension_estimate,
+            "seed": self.seed,
+            "ladder": self.ladder,
+            "source": self.source,
+            "build_calls": self.build_calls,
+            "build_seconds": self.build_seconds,
+            "rungs": {family: [rung.describe() for rung in self.rungs[family]]
+                      for family in self.families},
+        }
+
+
+def build_coreset_index(
+    points: PointSet,
+    k_max: int,
+    families: tuple[str, ...] = FAMILIES,
+    multiplier: int = 4,
+    growth: int = 2,
+    k_min: int = 4,
+    parallelism: int = 4,
+    executor: str = "serial",
+    partition_strategy: str = "random",
+    seed: int | None = 0,
+    sample_size: int = 2048,
+) -> CoresetIndex:
+    """Ingest *points* once: build every ladder rung for every family.
+
+    One :class:`~repro.mapreduce.algorithm.MRDiversityMaximizer` per family
+    builds its whole ladder through
+    :meth:`~repro.mapreduce.algorithm.MRDiversityMaximizer.build_coreset`,
+    so the process executor's worker pool is created once per family and
+    reused across rungs.  The doubling dimension estimated here is stored
+    on the index and drives query routing forever after — the source
+    dataset is not needed again.
+    """
+    for family in families:
+        if family not in FAMILIES:
+            raise ValidationError(
+                f"unknown family {family!r}; known: {FAMILIES}")
+    ladder_params = ladder_parameters(k_max, multiplier=multiplier,
+                                      growth=growth, k_min=k_min)
+    rng = ensure_rng(seed)
+    n = len(points)
+    sample = (points.subset(rng.choice(n, size=sample_size, replace=False))
+              if n > sample_size else points)
+    dimension = estimate_doubling_dimension(sample, num_balls=24,
+                                            quantile=0.9, seed=rng)
+    started = time.perf_counter()
+    rungs: dict[str, list[LadderRung]] = {}
+    build_calls = 0
+    for family in families:
+        first_cap, first_prime = ladder_params[0]
+        with MRDiversityMaximizer(
+                k=first_cap, k_prime=first_prime,
+                objective=_REPRESENTATIVE[family],
+                parallelism=parallelism, metric=points.metric,
+                partition_strategy=partition_strategy, executor=executor,
+                seed=seed) as builder:
+            family_rungs = []
+            for k_cap, k_prime in ladder_params:
+                t0 = time.perf_counter()
+                build = builder.build_coreset(points, k=k_cap, k_prime=k_prime)
+                build_calls += 1
+                family_rungs.append(LadderRung(
+                    family=family, k_cap=k_cap, k_prime=k_prime,
+                    coreset=build.coreset,
+                    build_seconds=time.perf_counter() - t0))
+        rungs[family] = family_rungs
+    return CoresetIndex(
+        metric_name=points.metric.name,
+        dimension_estimate=float(dimension),
+        rungs=rungs,
+        ladder={"k_max": k_max, "k_min": k_min, "multiplier": multiplier,
+                "growth": growth, "parallelism": parallelism,
+                "partition_strategy": partition_strategy,
+                "executor": executor},
+        source={"n": n, "dim": points.dim},
+        seed=seed,
+        build_calls=build_calls,
+        build_seconds=time.perf_counter() - started,
+    )

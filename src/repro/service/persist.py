@@ -1,0 +1,100 @@
+"""Index persistence: ``<path>.npz`` (rung point arrays) + ``<path>.json``.
+
+A warm service loads the index from disk and skips the MapReduce build
+entirely — the round-trip is exact (``np.savez`` stores float64 rows
+byte-for-byte), so a reloaded index answers every query with the same bits
+as the index that built it.  The JSON sidecar carries everything routing
+needs (metric, dimension estimate, ladder geometry, per-rung parameters)
+plus a fingerprint of the source dataset for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+from repro.service.index import FAMILIES, CoresetIndex, LadderRung
+
+#: Format version written into the sidecar; bump on incompatible layout.
+INDEX_FORMAT_VERSION = 1
+
+
+def _paths(path: str | Path) -> tuple[Path, Path]:
+    # Append rather than Path.with_suffix: the latter would strip a dotted
+    # final segment, making distinct user paths ("model.a", "model.b")
+    # silently collide on the same files.
+    path = Path(path)
+    return (path.parent / f"{path.name}.npz",
+            path.parent / f"{path.name}.json")
+
+
+def save_index(index: CoresetIndex, path: str | Path) -> None:
+    """Persist *index* as ``<path>.npz`` + ``<path>.json``."""
+    npz_path, json_path = _paths(path)
+    npz_path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    rung_records = []
+    for i, rung in enumerate(index.all_rungs()):
+        array_key = f"rung_{i}"
+        arrays[array_key] = rung.coreset.points
+        record = rung.describe()
+        record["array"] = array_key
+        rung_records.append(record)
+    metadata = {
+        "format_version": INDEX_FORMAT_VERSION,
+        "metric": index.metric_name,
+        "dimension_estimate": index.dimension_estimate,
+        "seed": index.seed,
+        "ladder": index.ladder,
+        "source": index.source,
+        "build_calls": index.build_calls,
+        "build_seconds": index.build_seconds,
+        "rungs": rung_records,
+    }
+    np.savez(npz_path, **arrays)
+    json_path.write_text(json.dumps(metadata, indent=2, sort_keys=True) + "\n")
+
+
+def load_index(path: str | Path) -> CoresetIndex:
+    """Load an index saved by :func:`save_index` (exact round-trip)."""
+    npz_path, json_path = _paths(path)
+    if not npz_path.exists() or not json_path.exists():
+        raise ValidationError(
+            f"no saved index at {Path(path)} "
+            f"(need both {npz_path.name} and {json_path.name})")
+    metadata = json.loads(json_path.read_text())
+    version = metadata.get("format_version")
+    if version != INDEX_FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported index format version {version!r} "
+            f"(this build reads version {INDEX_FORMAT_VERSION})")
+    metric = metadata["metric"]
+    rungs: dict[str, list[LadderRung]] = {}
+    with np.load(npz_path) as arrays:
+        for record in metadata["rungs"]:
+            family = record["family"]
+            if family not in FAMILIES:
+                raise ValidationError(f"unknown family {family!r} in {json_path}")
+            rungs.setdefault(family, []).append(LadderRung(
+                family=family,
+                k_cap=int(record["k_cap"]),
+                k_prime=int(record["k_prime"]),
+                coreset=PointSet(arrays[record["array"]], metric=metric),
+                build_seconds=float(record.get("build_seconds", 0.0)),
+            ))
+    for family_rungs in rungs.values():
+        family_rungs.sort(key=lambda rung: (rung.k_cap, rung.k_prime))
+    return CoresetIndex(
+        metric_name=metric,
+        dimension_estimate=float(metadata["dimension_estimate"]),
+        rungs=rungs,
+        ladder=metadata.get("ladder", {}),
+        source=metadata.get("source", {}),
+        seed=metadata.get("seed"),
+        build_calls=int(metadata.get("build_calls", 0)),
+        build_seconds=float(metadata.get("build_seconds", 0.0)),
+    )

@@ -1,0 +1,276 @@
+"""The build-once / serve-many diversity query service.
+
+:class:`DiversityService` is the systems layer the paper's composability
+result (Definition 2) makes possible: the dataset is ingested *once* into a
+:class:`~repro.service.index.CoresetIndex` — a ladder of core-set
+resolutions per construction family, built through the zero-copy MapReduce
+engine — and every subsequent ``(objective, k, eps)`` query is answered
+from cached read-only state:
+
+1. **route**: pick the cheapest ladder rung covering the query;
+2. **result cache**: an LRU keyed on ``(objective, k, seed, rung)`` returns
+   repeated queries without touching a solver;
+3. **distance-matrix reuse**: per rung, the blocked pairwise matrix is
+   computed once and shared by every solver run on that rung —
+   :meth:`DiversityService.query_batch` additionally groups same-rung
+   queries so a mixed batch still computes each matrix at most once;
+4. **solve**: the sequential approximation from
+   :mod:`repro.diversity.sequential.registry` runs on the tiny core-set.
+
+Queries never rebuild core-sets: :attr:`DiversityService.build_calls`
+counts rung builds performed by this instance and stays frozen across any
+number of queries (the warm-path guarantee the throughput benchmark and
+tests assert).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.diversity.objectives import Objective, get_objective
+from repro.diversity.sequential.registry import solve_on_matrix
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+from repro.service.cache import LRUCache
+from repro.service.index import (
+    CoresetIndex,
+    LadderRung,
+    build_coreset_index,
+)
+from repro.service.persist import load_index, save_index
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+@dataclass(frozen=True)
+class Query:
+    """One diversity request: *k* points maximizing *objective*.
+
+    ``epsilon`` is the approximation slack the caller tolerates; a smaller
+    value routes to a larger (more accurate, slower) ladder rung.
+    """
+
+    objective: str
+    k: int
+    epsilon: float = 1.0
+
+
+#: Accepted query spellings: a :class:`Query` or an
+#: ``(objective, k[, epsilon])`` tuple/list.
+QueryLike = Union[Query, tuple, list]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one :class:`Query`.
+
+    ``indices`` select rows of the serving rung's core-set; ``points`` are
+    those rows (views into cached state — treat as read-only).  ``cached``
+    marks answers served from the LRU without running a solver.
+    """
+
+    objective: str
+    k: int
+    epsilon: float
+    indices: np.ndarray
+    points: np.ndarray
+    value: float
+    rung: tuple[str, int, int]
+    cached: bool
+    solve_seconds: float
+
+
+class DiversityService:
+    """Serve many diversity queries from one core-set index.
+
+    Parameters
+    ----------
+    index:
+        A prebuilt (or loaded) :class:`CoresetIndex`.  When omitted, pass
+        *points* and *k_max* instead and the index is built lazily on the
+        first query (the "cold" path) or eagerly via :meth:`ensure_index`.
+    points, k_max, build_options:
+        Dataset and parameters for a lazy build; *build_options* are
+        forwarded to :func:`repro.service.index.build_coreset_index`
+        (``families``, ``multiplier``, ``parallelism``, ``executor``,
+        ``seed``, ...).
+    cache_size:
+        Capacity of the LRU result cache.
+
+    Example
+    -------
+    >>> from repro.datasets.synthetic import sphere_shell
+    >>> service = DiversityService(points=sphere_shell(2000, 8, seed=0),
+    ...                            k_max=8, k_min=8, seed=0)
+    >>> first = service.query("remote-edge", k=4)
+    >>> again = service.query("remote-edge", k=4)
+    >>> first.value == again.value, again.cached
+    (True, True)
+    """
+
+    def __init__(self, index: CoresetIndex | None = None, *,
+                 points: PointSet | None = None, k_max: int | None = None,
+                 cache_size: int = 128, **build_options):
+        if index is None and (points is None or k_max is None):
+            raise ValidationError(
+                "DiversityService needs either a prebuilt index or "
+                "points + k_max for a lazy build")
+        self._index = index
+        self._points = points
+        self._k_max = (None if k_max is None
+                       else check_positive_int(k_max, "k_max"))
+        self._build_options = build_options
+        self.cache = LRUCache(cache_size)
+        #: Rung builds performed by this instance; queries never bump it.
+        self.build_calls = 0
+        self.queries_answered = 0
+        self.batches_answered = 0
+        self._matrices: dict[tuple[str, int, int], np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, points: PointSet, k_max: int, *,
+                     cache_size: int = 128, **build_options) -> "DiversityService":
+        """Build the index eagerly and return a warm service."""
+        service = cls(points=points, k_max=k_max, cache_size=cache_size,
+                      **build_options)
+        service.ensure_index()
+        return service
+
+    @classmethod
+    def from_file(cls, path: str | Path, *,
+                  cache_size: int = 128) -> "DiversityService":
+        """Warm-start from an index persisted by :meth:`save` — no build."""
+        return cls(load_index(path), cache_size=cache_size)
+
+    @property
+    def index(self) -> CoresetIndex | None:
+        """The index, or ``None`` before the lazy build has happened."""
+        return self._index
+
+    def ensure_index(self) -> CoresetIndex:
+        """Build the index now if it does not exist yet."""
+        if self._index is None:
+            self._index = build_coreset_index(self._points, self._k_max,
+                                              **self._build_options)
+            self.build_calls += self._index.build_calls
+        return self._index
+
+    def save(self, path: str | Path) -> None:
+        """Persist the index for a later :meth:`from_file` warm start."""
+        save_index(self.ensure_index(), path)
+
+    # -- queries -----------------------------------------------------------------
+    def query(self, objective: str | Objective, k: int,
+              epsilon: float = 1.0) -> QueryResult:
+        """Answer one ``(objective, k, eps)`` request from cached state."""
+        return self.query_batch([Query(get_objective(objective).name, k,
+                                       epsilon)])[0]
+
+    def query_batch(self, queries: Iterable[QueryLike]) -> list[QueryResult]:
+        """Answer many requests, sharing work across them.
+
+        Queries are routed first; same-rung cache misses are grouped so the
+        rung's blocked pairwise matrix is computed (or fetched) exactly
+        once per batch, then each solver runs on the shared matrix.
+        Results come back in input order; exact repeats — within the batch
+        or across calls — are served from the LRU.
+        """
+        index = self.ensure_index()
+        normalized = [self._normalize(query) for query in queries]
+        results: list[QueryResult | None] = [None] * len(normalized)
+        groups: dict[tuple[str, int, int], list[tuple[int, Query, tuple, LadderRung]]] = {}
+        pending: set[tuple] = set()
+        for i, query in enumerate(normalized):
+            rung = index.route(query.objective, query.k, query.epsilon)
+            cache_key = (query.objective, query.k, index.seed, rung.key)
+            if cache_key not in pending:
+                hit = self.cache.get(cache_key)
+                if hit is not None:
+                    # Echo the caller's own slack: the cached answer is
+                    # valid for any epsilon routing to the same rung.
+                    results[i] = replace(hit, epsilon=query.epsilon,
+                                         cached=True, solve_seconds=0.0)
+                    continue
+                pending.add(cache_key)
+            # Either the first (to-solve) occurrence of this key or an
+            # in-batch repeat of it: repeats defer their cache probe to
+            # after the solve, so stats count each query exactly once and
+            # agree with the cached flags actually returned.
+            groups.setdefault(rung.key, []).append((i, query, cache_key, rung))
+        for members in groups.values():
+            dist = self._matrix_for(members[0][3])
+            solved: dict[tuple, QueryResult] = {}
+            for i, query, cache_key, rung in members:
+                if cache_key in solved:  # in-batch repeat
+                    # Normally an LRU hit; interleaved solves may have
+                    # evicted it (tiny cache), so fall back to the
+                    # batch-local memo — the miss the probe just counted
+                    # is then accurate, and no solver runs either way.
+                    hit = self.cache.get(cache_key)
+                    if hit is None:
+                        hit = solved[cache_key]
+                    result = replace(hit, epsilon=query.epsilon,
+                                     cached=True, solve_seconds=0.0)
+                else:
+                    result = self._solve(query, rung, dist)
+                    solved[cache_key] = result
+                    self.cache.put(cache_key, result)
+                results[i] = result
+        self.queries_answered += len(normalized)
+        self.batches_answered += 1
+        return results  # type: ignore[return-value]
+
+    def _solve(self, query: Query, rung: LadderRung,
+               dist: np.ndarray) -> QueryResult:
+        objective = get_objective(query.objective)
+        started = time.perf_counter()
+        indices = solve_on_matrix(dist, query.k, objective)
+        value = objective.value(dist[np.ix_(indices, indices)])
+        return QueryResult(
+            objective=objective.name, k=query.k, epsilon=query.epsilon,
+            indices=indices, points=rung.coreset.points[indices],
+            value=float(value), rung=rung.key, cached=False,
+            solve_seconds=time.perf_counter() - started,
+        )
+
+    def _matrix_for(self, rung: LadderRung) -> np.ndarray:
+        """The rung's pairwise matrix, computed once through blocked kernels."""
+        dist = self._matrices.get(rung.key)
+        if dist is None:
+            dist = rung.coreset.pairwise()
+            self._matrices[rung.key] = dist
+        return dist
+
+    @staticmethod
+    def _normalize(query) -> Query:
+        if isinstance(query, Query):
+            objective = get_objective(query.objective).name
+            query = Query(objective, query.k, query.epsilon)
+        elif isinstance(query, (tuple, list)) and len(query) in (2, 3):
+            objective = get_objective(query[0]).name
+            epsilon = float(query[2]) if len(query) == 3 else 1.0
+            query = Query(objective, int(query[1]), epsilon)
+        else:
+            raise ValidationError(
+                f"cannot interpret query {query!r}; pass a Query or an "
+                "(objective, k[, epsilon]) tuple")
+        check_positive_int(query.k, "k")
+        check_in_range(query.epsilon, "epsilon", 0.0, 1.0)
+        return query
+
+    # -- observability -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters: queries, cache behaviour, builds, matrices."""
+        return {
+            "queries_answered": self.queries_answered,
+            "batches_answered": self.batches_answered,
+            "build_calls": self.build_calls,
+            "cache": self.cache.stats.as_dict(),
+            "cached_matrices": len(self._matrices),
+            "index_built": self._index is not None,
+        }

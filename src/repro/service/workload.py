@@ -1,0 +1,159 @@
+"""Multi-query workloads and the cold/warm/cached throughput harness.
+
+First genuinely multi-query workload in the repo: a randomized mix of
+``(objective, k)`` requests served three ways —
+
+* **rebuild-per-query** — the pre-service baseline: every query pays a
+  fresh core-set build over the full dataset before solving;
+* **warm** — the service path: queries route into a prebuilt index and
+  solve on shared, cached distance matrices;
+* **cached** — the same workload replayed, served from the LRU.
+
+``repro serve-bench`` and ``benchmarks/bench_service_throughput.py`` both
+run :func:`measure_service_throughput`; the benchmark additionally gates
+the warm-path speedup (>= 5x over rebuild-per-query) in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+from repro.diversity.objectives import list_objectives
+from repro.diversity.sequential.registry import solve_sequential
+from repro.mapreduce.algorithm import MRDiversityMaximizer
+from repro.metricspace.points import PointSet
+from repro.service.index import build_coreset_index
+from repro.service.service import DiversityService, Query
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def make_workload(k_max: int, num_queries: int,
+                  objectives: list[str] | None = None,
+                  epsilon: float = 1.0,
+                  seed: RngLike = None) -> list[Query]:
+    """A reproducible mix of distinct ``(objective, k)`` queries.
+
+    Queries are drawn without replacement from the
+    ``objectives x [2, k_max]`` grid while possible (so a "warm" pass is
+    not accidentally a cache-hit pass), then with replacement once the
+    grid is exhausted.
+    """
+    check_positive_int(k_max, "k_max")
+    check_positive_int(num_queries, "num_queries")
+    rng = ensure_rng(seed)
+    objectives = list(objectives) if objectives else list_objectives()
+    k_low = min(2, k_max)
+    grid = [(name, k) for name in objectives
+            for k in range(k_low, k_max + 1)]
+    order = rng.permutation(len(grid))
+    workload: list[Query] = []
+    while len(workload) < num_queries:
+        take = min(num_queries - len(workload), len(grid))
+        workload.extend(
+            Query(grid[i][0], grid[i][1], epsilon)
+            for i in order[:take])
+        order = rng.permutation(len(grid))
+    return workload
+
+
+@dataclass
+class ThroughputReport:
+    """Queries/sec for the three serving modes, plus provenance."""
+
+    num_queries: int
+    rebuild_queries: int
+    index_build_seconds: float
+    rebuild_qps: float
+    warm_qps: float
+    cached_qps: float
+    build_calls_during_queries: int
+    cache: dict
+
+    @property
+    def warm_speedup(self) -> float:
+        """Warm-path queries/sec over the rebuild-per-query baseline."""
+        return self.warm_qps / self.rebuild_qps
+
+    @property
+    def cached_speedup(self) -> float:
+        return self.cached_qps / self.rebuild_qps
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["warm_speedup"] = self.warm_speedup
+        payload["cached_speedup"] = self.cached_speedup
+        return payload
+
+
+def measure_service_throughput(
+    points: PointSet,
+    k_max: int,
+    num_queries: int = 24,
+    rebuild_queries: int = 3,
+    objectives: list[str] | None = None,
+    seed: int | None = 0,
+    **build_options,
+) -> ThroughputReport:
+    """Measure rebuild-per-query vs warm vs cached queries/sec.
+
+    The rebuild baseline runs the first *rebuild_queries* workload entries
+    the pre-service way (fresh 2-round MapReduce job per query over the
+    full dataset); the warm pass answers the whole workload through a
+    prebuilt :class:`DiversityService`; the cached pass replays it.
+    *build_options* go to :func:`repro.service.index.build_coreset_index`
+    (and the baseline builder inherits ``parallelism``/``executor``).
+    """
+    workload = make_workload(k_max, num_queries, objectives=objectives,
+                             seed=seed)
+    rebuild_queries = min(check_positive_int(rebuild_queries,
+                                             "rebuild_queries"),
+                          len(workload))
+    multiplier = build_options.get("multiplier", 4)
+    parallelism = build_options.get("parallelism", 4)
+    executor = build_options.get("executor", "serial")
+
+    # Baseline: every query pays its own core-set build (no amortization).
+    started = time.perf_counter()
+    for query in workload[:rebuild_queries]:
+        with MRDiversityMaximizer(
+                k=query.k, k_prime=multiplier * query.k,
+                objective=query.objective, parallelism=parallelism,
+                metric=points.metric, executor=executor,
+                seed=seed) as builder:
+            build = builder.build_coreset(points)
+        solve_sequential(build.coreset, query.k, query.objective)
+    rebuild_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    index = build_coreset_index(points, k_max, seed=seed, **build_options)
+    index_build_seconds = time.perf_counter() - started
+
+    service = DiversityService(index, cache_size=max(128, len(workload)))
+    started = time.perf_counter()
+    warm = service.query_batch(workload)
+    warm_seconds = time.perf_counter() - started
+    build_calls_during_queries = service.build_calls
+
+    started = time.perf_counter()
+    cached = service.query_batch(workload)
+    cached_seconds = time.perf_counter() - started
+
+    assert all(result.cached for result in cached), \
+        "replayed workload must be served entirely from the LRU"
+    assert len(warm) == len(workload)
+
+    def _qps(count: int, seconds: float) -> float:
+        return count / max(seconds, 1e-9)
+
+    return ThroughputReport(
+        num_queries=len(workload),
+        rebuild_queries=rebuild_queries,
+        index_build_seconds=index_build_seconds,
+        rebuild_qps=_qps(rebuild_queries, rebuild_seconds),
+        warm_qps=_qps(len(workload), warm_seconds),
+        cached_qps=_qps(len(workload), cached_seconds),
+        build_calls_during_queries=build_calls_during_queries,
+        cache=service.cache.stats.as_dict(),
+    )

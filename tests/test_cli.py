@@ -21,6 +21,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
     def test_generate_defaults(self):
         args = build_parser().parse_args(
             ["generate", "cube", "--out", "/tmp/x"])
@@ -107,6 +115,75 @@ class TestRun:
         finally:
             set_default_memory_budget(before)
         assert "value =" in capsys.readouterr().out
+
+
+class TestAutoBatchSize:
+    def test_run_streaming_auto_tunes_when_flag_omitted(
+            self, dataset, tmp_path, monkeypatch, capsys):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_fig3_batched_speedup.json").write_text(
+            json.dumps({"batch_size": 256, "speedup": 9.0}))
+        monkeypatch.setenv("REPRO_BENCH_RESULTS_DIR", str(results))
+        assert main(["run", "streaming", "--data", str(dataset),
+                     "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "batch size 256 (auto-tuned" in out
+        assert "value =" in out
+
+    def test_explicit_flag_suppresses_auto_tuning(self, dataset, capsys):
+        assert main(["run", "streaming", "--data", str(dataset), "--k", "4",
+                     "--batch-size", "64"]) == 0
+        assert "auto-tuned" not in capsys.readouterr().out
+
+    def test_no_trajectory_reports_default_not_auto_tuned(
+            self, dataset, tmp_path, monkeypatch, capsys):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        monkeypatch.setenv("REPRO_BENCH_RESULTS_DIR", str(empty))
+        assert main(["run", "streaming", "--data", str(dataset),
+                     "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "batch size 1024 (default" in out
+        assert "auto-tuned" not in out
+
+
+class TestServiceVerbs:
+    def test_index_then_query_roundtrip(self, dataset, tmp_path, capsys):
+        idx = tmp_path / "idx"
+        assert main(["index", "--data", str(dataset), "--k-max", "8",
+                     "--k-min", "4", "--out", str(idx)]) == 0
+        out = capsys.readouterr().out
+        assert "rung gmm" in out and "rung gmm-ext" in out
+        assert idx.with_suffix(".npz").exists()
+        assert idx.with_suffix(".json").exists()
+
+        assert main(["query", "--index", str(idx),
+                     "--objective", "remote-clique", "--k", "4",
+                     "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "value =" in out
+        assert "cache hit" in out
+        assert "builds during queries: 0" in out
+
+    def test_index_single_family(self, dataset, tmp_path, capsys):
+        idx = tmp_path / "idx_gmm"
+        assert main(["index", "--data", str(dataset), "--k-max", "4",
+                     "--families", "gmm", "--out", str(idx)]) == 0
+        out = capsys.readouterr().out
+        assert "rung gmm" in out
+        assert "gmm-ext" not in out
+
+    def test_serve_bench(self, dataset, capsys):
+        assert main(["serve-bench", "--data", str(dataset), "--k-max", "4",
+                     "--queries", "6", "--rebuild-queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rebuild-per-query" in out
+        assert "warm service" in out
+        assert "LRU-cached replay" in out
+        assert "core-set builds during queries: 0" in out
 
 
 class TestEstimate:

@@ -1,0 +1,79 @@
+"""Smoke tests for every ``examples/`` script.
+
+Each example is imported as a module (its ``main()`` is guarded by
+``__name__ == "__main__"``), its size constants are patched down to
+tiny-but-representative values, and ``main()`` must run to completion and
+print its headline output.  This keeps the narrative scripts honest:
+an API change that breaks an example now breaks the suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+#: script -> (patched constants, required stdout fragment)
+EXAMPLES = {
+    "quickstart.py": (
+        {"N": 1200, "K": 4, "K_PRIME": 16},
+        "Streaming (1 pass)",
+    ),
+    "facility_dispersion.py": (
+        {"N": 900, "K": 4},
+        "closest pair of sites",
+    ),
+    "news_stream_diversification.py": (
+        {"FEED_SIZE": 250, "K": 4, "K_PRIME": 16},
+        "diversified selection improves",
+    ),
+    "catalog_mapreduce_diversification.py": (
+        {"CATALOG": 800, "SHARDS": 4, "K": 8, "K_PRIME": 16},
+        "3-round algorithm shrinks the aggregation memory",
+    ),
+    "search_results_matroid.py": (
+        {"RESULTS_PER_SITE": 50, "K": 6},
+        "matroid-constrained",
+    ),
+}
+
+
+def _load_example(script: str):
+    path = EXAMPLES_DIR / script
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/pickle-adjacent machinery can resolve it.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(spec.name, None)
+        raise
+    return module
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs(script, capsys):
+    overrides, fragment = EXAMPLES[script]
+    module = _load_example(script)
+    try:
+        for name, value in overrides.items():
+            assert hasattr(module, name), \
+                f"{script} no longer defines {name}; update the smoke test"
+            setattr(module, name, value)
+        module.main()
+    finally:
+        sys.modules.pop(module.__name__, None)
+    out = capsys.readouterr().out
+    assert fragment in out, f"{script} output missing {fragment!r}"
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLES), \
+        "examples/ changed; keep the smoke-test table in sync"

@@ -199,3 +199,19 @@ class TestBatchInterface:
             old.process_many(data)
         new.process_batch(data)
         _assert_same_state(new, old)
+
+    @pytest.mark.parametrize("sketch_cls", SKETCHES)
+    def test_process_many_deprecated_across_family(self, rng, sketch_cls):
+        """Every sketch in the family warns and matches process_batch."""
+        data = _make_stream(rng, 150, 3, "duplicates")
+        old, new = sketch_cls(3, 9), sketch_cls(3, 9)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            old.process_many(data)
+        new.process_batch(data)
+        _assert_same_state(new, old)
+        if sketch_cls is SMMGen:
+            ours, theirs = old.finalize_generalized(), new.finalize_generalized()
+            assert np.array_equal(ours.points, theirs.points)
+            assert np.array_equal(ours.multiplicities, theirs.multiplicities)
+        else:
+            assert np.array_equal(old.finalize().points, new.finalize().points)

@@ -1,6 +1,8 @@
-"""Tests for the k' auto-tuning module."""
+"""Tests for the k'/tile/batch auto-tuning module."""
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
@@ -9,7 +11,14 @@ from repro.datasets.synthetic import sphere_shell, uniform_cube
 from repro.exceptions import ValidationError
 from repro.metricspace.points import PointSet
 from repro.streaming.memory import theoretical_memory_points
-from repro.tuning import recommend_k_prime
+from repro.tuning import (
+    load_tile_profile,
+    recommend_batch_size,
+    recommend_k_prime,
+    recommend_tile_rows,
+    save_tile_profile,
+    tile_profile_path,
+)
 
 
 class TestRecommendation:
@@ -54,6 +63,151 @@ class TestRecommendation:
         with pytest.raises(ValidationError):
             recommend_k_prime(points, k=4, epsilon=0.0)
 
+class TestTileProfile:
+    """The per-machine kernel-tile profile (.repro_profile.json)."""
+
+    def test_recommendation_is_recorded(self):
+        # The autouse conftest fixture points REPRO_PROFILE_PATH at a tmp
+        # file, so this exercises the env-overridable path too.
+        tuning = recommend_tile_rows("manhattan", 4096, 512, 8,
+                                     memory_budget_bytes=2 * 2**20)
+        path = tile_profile_path()
+        assert path.exists()
+        entries = load_tile_profile()
+        key = f"manhattan:4096x512x8:budget={2 * 2**20}"
+        assert entries[key] == tuning.as_dict()
+
+    def test_profile_entry_is_reused(self):
+        recommend_tile_rows("euclidean", 1000, 1000, 4,
+                            memory_budget_bytes=2**20)
+        # Doctor the stored tiling: a later call must return the measured
+        # (stored) value instead of re-deriving it.
+        entries = load_tile_profile()
+        (key,) = entries
+        entries[key]["tile_rows"] = 77
+        save_tile_profile(entries)
+        tuning = recommend_tile_rows("euclidean", 1000, 1000, 4,
+                                     memory_budget_bytes=2**20)
+        assert tuning.tile_rows == 77
+
+    def test_use_profile_false_ignores_profile(self):
+        baseline = recommend_tile_rows("euclidean", 1000, 1000, 4,
+                                       memory_budget_bytes=2**20,
+                                       use_profile=False)
+        entries = load_tile_profile()
+        assert entries == {}  # nothing recorded either
+        save_tile_profile({
+            f"euclidean:1000x1000x4:budget={2**20}":
+            {**baseline.as_dict(), "tile_rows": 99}})
+        fresh = recommend_tile_rows("euclidean", 1000, 1000, 4,
+                                    memory_budget_bytes=2**20,
+                                    use_profile=False)
+        assert fresh.tile_rows == baseline.tile_rows != 99
+
+    def test_different_budget_is_a_different_key(self):
+        recommend_tile_rows("euclidean", 2000, 2000, 4,
+                            memory_budget_bytes=2**20)
+        recommend_tile_rows("euclidean", 2000, 2000, 4,
+                            memory_budget_bytes=2**22)
+        assert len(load_tile_profile()) == 2
+
+    def test_malformed_profile_degrades_gracefully(self):
+        path = tile_profile_path()
+        path.write_text("{not json")
+        assert load_tile_profile() == {}
+        tuning = recommend_tile_rows("euclidean", 500, 500, 3)
+        assert tuning.tile_rows >= 1
+
+    def test_version_mismatch_invalidates_profile(self):
+        recommend_tile_rows("euclidean", 600, 600, 3,
+                            memory_budget_bytes=2**20)
+        path = tile_profile_path()
+        payload = json.loads(path.read_text())
+        assert payload["kernel_tuning"]  # something was recorded
+        payload["format_version"] = 99   # a future, incompatible layout
+        path.write_text(json.dumps(payload))
+        # Stale-version entries must not pin an outdated derivation.
+        assert load_tile_profile() == {}
+
+    def test_stale_entry_layout_falls_back_to_derivation(self):
+        derived = recommend_tile_rows("cosine", 800, 800, 6,
+                                      memory_budget_bytes=2**20,
+                                      use_profile=False)
+        save_tile_profile({f"cosine:800x800x6:budget={2**20}":
+                           {"unexpected": "layout"}})
+        tuning = recommend_tile_rows("cosine", 800, 800, 6,
+                                     memory_budget_bytes=2**20)
+        assert tuning.tile_rows == derived.tile_rows
+
+
+class TestRecommendBatchSize:
+    """Batch-size auto-tuning from the BENCH_fig3_*.json trajectory."""
+
+    @staticmethod
+    def _write(directory, name, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(payload))
+
+    def test_best_measured_batch_size_wins(self, tmp_path):
+        self._write(tmp_path, "BENCH_fig3_batched_speedup.json",
+                    {"batch_size": 2048, "speedup": 7.5})
+        self._write(tmp_path, "BENCH_fig3_throughput.json",
+                    {"batch_size": 512, "cells": [
+                        {"per_point_pps": 100.0, "batched_pps": 300.0},
+                        {"per_point_pps": 100.0, "batched_pps": 500.0}]})
+        assert recommend_batch_size(tmp_path) == 2048
+
+    def test_batch_size_sweep_is_arg_maxed(self, tmp_path):
+        self._write(tmp_path, "BENCH_fig3_batched_speedup.json",
+                    {"batch_size": 1024, "speedup": 50.0, "sweep": [
+                        {"batch_size": 256, "speedup": 40.0},
+                        {"batch_size": 1024, "speedup": 50.0},
+                        {"batch_size": 4096, "speedup": 62.0},
+                        {"batch_size": "bad", "speedup": 99.0}]})
+        assert recommend_batch_size(tmp_path) == 4096
+
+    def test_throughput_sweep_alone_suffices(self, tmp_path):
+        self._write(tmp_path, "BENCH_fig3_throughput.json",
+                    {"batch_size": 256, "cells": [
+                        {"per_point_pps": 10.0, "batched_pps": 80.0}]})
+        assert recommend_batch_size(tmp_path) == 256
+
+    def test_losing_trajectory_disables_batching(self, tmp_path):
+        self._write(tmp_path, "BENCH_fig3_batched_speedup.json",
+                    {"batch_size": 4096, "speedup": 0.6})
+        assert recommend_batch_size(tmp_path) == 1
+
+    def test_no_trajectory_returns_default(self, tmp_path):
+        assert recommend_batch_size(tmp_path / "empty") == 1024
+        assert recommend_batch_size(tmp_path / "empty", default=64) == 64
+        # The None sentinel lets callers distinguish "no measurement".
+        assert recommend_batch_size(tmp_path / "empty", default=None) is None
+
+    def test_env_var_is_authoritative(self, tmp_path, monkeypatch):
+        self._write(tmp_path / "env", "BENCH_fig3_batched_speedup.json",
+                    {"batch_size": 128, "speedup": 3.0})
+        monkeypatch.setenv("REPRO_BENCH_RESULTS_DIR", str(tmp_path / "env"))
+        assert recommend_batch_size() == 128
+
+    def test_garbage_files_are_skipped(self, tmp_path):
+        self._write(tmp_path, "BENCH_fig3_throughput.json",
+                    {"batch_size": "huge", "cells": []})
+        (tmp_path / "BENCH_fig3_other.json").write_text("not json")
+        assert recommend_batch_size(tmp_path) == 1024
+
+    def test_non_numeric_cells_are_skipped(self, tmp_path):
+        self._write(tmp_path, "BENCH_fig3_throughput.json",
+                    {"batch_size": 512, "cells": [
+                        {"per_point_pps": "100", "batched_pps": 300.0},
+                        {"per_point_pps": 0.0, "batched_pps": 300.0},
+                        {"per_point_pps": 100.0, "batched_pps": None},
+                        "not a cell",
+                        {"per_point_pps": 100.0, "batched_pps": 250.0}]})
+        # Only the last cell is usable; it shows batching winning.
+        assert recommend_batch_size(tmp_path) == 512
+
+
+class TestRecommendationPipeline:
     def test_recommendation_actually_performs(self):
         """End-to-end: the recommended k' achieves a good ratio."""
         from repro.experiments.harness import approximation_ratio
