@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate ``docs/cli.md`` from the live ``argparse`` definitions.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python docs/generate_cli.py
+
+``tests/test_docs.py`` and the CI docs job compare the committed file
+against a fresh rendering, so run this after any change to
+``src/repro/cli.py``'s parsers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    """Write the generated reference next to this script."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import render_cli_reference
+
+    target = REPO_ROOT / "docs" / "cli.md"
+    target.write_text(render_cli_reference())
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

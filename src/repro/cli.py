@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Six subcommands cover the common workflows without writing any code:
+Seven subcommands cover the common workflows without writing any code:
 
 * ``generate`` — synthesize a dataset (sphere-shell, cube, clusters,
   bag-of-words) and save it via :mod:`repro.datasets.loaders`;
@@ -13,8 +13,15 @@ Six subcommands cover the common workflows without writing any code:
   index (a ladder of resolutions per objective family) and persist it;
 * ``query`` — answer ``(objective, k, eps)`` requests from a saved index,
   never touching the original dataset;
+* ``refresh`` — absorb new data into a saved index incrementally (batched
+  SMM per rung + composable re-merge), no MapReduce rebuild;
 * ``serve-bench`` — measure queries/sec: rebuild-per-query vs the warm
-  service path vs the LRU-cached path.
+  service path vs the LRU-cached path, optionally with a concurrent
+  thread sweep (``--threads``).
+
+The generated reference in ``docs/cli.md`` (see ``docs/generate_cli.py``)
+is kept in sync with these parsers by ``tests/test_docs.py`` and the CI
+docs job.
 
 Examples
 --------
@@ -26,7 +33,9 @@ Examples
     python -m repro estimate --data /tmp/data --k 16 --epsilon 0.5
     python -m repro index --data /tmp/data --k-max 32 --out /tmp/idx
     python -m repro query --index /tmp/idx --objective remote-clique --k 8
-    python -m repro serve-bench --data /tmp/data --k-max 16 --queries 24
+    python -m repro refresh --index /tmp/idx --data /tmp/more_data
+    python -m repro serve-bench --data /tmp/data --k-max 16 --queries 24 \
+        --threads 4
 """
 
 from __future__ import annotations
@@ -54,12 +63,18 @@ from repro.streaming.algorithm import (
 from repro.service import (
     DiversityService,
     build_coreset_index,
+    load_index,
+    measure_concurrent_throughput,
     measure_service_throughput,
     save_index,
 )
 from repro.service.index import FAMILIES
 from repro.streaming.stream import ArrayStream
-from repro.tuning import DEFAULT_BATCH_SIZE, recommend_batch_size
+from repro.tuning import (
+    DEFAULT_BATCH_SIZE,
+    recommend_batch_size,
+    recommend_matrix_budget_mb,
+)
 
 GENERATORS = ("sphere-shell", "cube", "clusters", "bag-of-words")
 ALGORITHMS = ("streaming", "streaming-2pass", "mapreduce", "mapreduce-3round",
@@ -160,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "ladder rung")
     qry.add_argument("--repeat", type=int, default=1,
                      help="repeat the query to exercise the result cache")
+    qry.add_argument("--matrix-budget-mb", type=int, default=None,
+                     help="memory budget (MiB) for cached rung distance "
+                          "matrices, with LRU eviction and on-demand "
+                          "recompute; default: $REPRO_MATRIX_BUDGET_MB, "
+                          "else unbudgeted")
+
+    rfr = sub.add_parser(
+        "refresh",
+        help="absorb new data into a saved index without a rebuild")
+    rfr.add_argument("--index", required=True,
+                     help="index path written by 'index' (or a prior "
+                          "'refresh')")
+    rfr.add_argument("--data", required=True,
+                     help="new points to ingest (path saved by 'generate')")
+    rfr.add_argument("--out", default=None,
+                     help="output index path (default: update --index "
+                          "in place)")
+    rfr.add_argument("--batch-size", type=int, default=None,
+                     help="SMM ingestion block size for the per-rung "
+                          "sketches; when omitted, auto-tuned from the "
+                          "recorded benchmark trajectory")
 
     srv = sub.add_parser(
         "serve-bench",
@@ -173,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--parallelism", type=int, default=4)
     srv.add_argument("--executor", choices=("serial", "process"),
                      default="serial")
+    srv.add_argument("--threads", type=int, default=0,
+                     help="also measure query_concurrent with this many "
+                          "worker threads against serial query_batch "
+                          "(0: skip the concurrency sweep)")
+    srv.add_argument("--matrix-budget-mb", type=int, default=None,
+                     help="matrix-cache budget (MiB) for the measured "
+                          "services; default: $REPRO_MATRIX_BUDGET_MB, "
+                          "else unbudgeted")
     srv.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -299,11 +343,16 @@ def _index(args: argparse.Namespace) -> int:
               f"{len(rung.coreset):6d} pts  ({rung.build_seconds:.3f}s)")
     print(f"wrote {args.out}.npz + {args.out}.json "
           f"({index.build_calls} core-set builds, amortized over all queries)")
+    budget = recommend_matrix_budget_mb(
+        [len(rung.coreset) for rung in index.all_rungs()])
+    print(f"suggested REPRO_MATRIX_BUDGET_MB={budget} "
+          "(keeps the two largest rung matrices resident)")
     return 0
 
 
 def _query(args: argparse.Namespace) -> int:
-    service = DiversityService.from_file(args.index)
+    service = DiversityService.from_file(
+        args.index, matrix_budget_mb=args.matrix_budget_mb)
     for _ in range(max(args.repeat, 1)):
         result = service.query(args.objective, args.k, epsilon=args.epsilon)
         family, k_cap, k_prime = result.rung
@@ -316,18 +365,54 @@ def _query(args: argparse.Namespace) -> int:
     print(f"  cache: {stats['cache']['hits']} hits / "
           f"{stats['cache']['misses']} misses, "
           f"builds during queries: {stats['build_calls']}")
+    matrices = stats["matrices"]
+    if matrices["budget_bytes"] is not None:
+        print(f"  matrices: {matrices['cached']} resident "
+              f"({matrices['resident_bytes'] / 2**20:.1f} MiB of "
+              f"{matrices['budget_bytes'] / 2**20:.0f} MiB budget), "
+              f"{matrices['evictions']} evictions, "
+              f"{matrices['recomputes']} recomputes")
+    return 0
+
+
+def _refresh(args: argparse.Namespace) -> int:
+    points = load_points(args.data)
+    index = load_index(args.index)
+    n_before = index.source.get("n", "?")
+    extended = index.extend(points, batch_size=args.batch_size)
+    out = args.out if args.out is not None else args.index
+    save_index(extended, out)
+    refresh = extended.extra["refreshes"][-1]
+    print(f"refreshed index: {n_before} -> {extended.source.get('n')} points "
+          f"({refresh['sketch_builds']} streaming sketch builds, "
+          f"{refresh['seconds']:.2f}s, no MapReduce rebuild)")
+    for rung in extended.all_rungs():
+        print(f"  rung {rung.family:8s} k<={rung.k_cap:<4d} "
+              f"k'={rung.k_prime:<5d} {len(rung.coreset):6d} pts")
+    print(f"wrote {out}.npz + {out}.json "
+          f"(refresh #{len(extended.extra['refreshes'])})")
     return 0
 
 
 def _serve_bench(args: argparse.Namespace) -> int:
+    import time
+
     points = load_points(args.data)
+    # One ladder build, shared by the throughput and concurrency
+    # harnesses — the build is the dominant cost of this command.
+    started = time.perf_counter()
+    index = build_coreset_index(points, args.k_max,
+                                parallelism=args.parallelism,
+                                executor=args.executor, seed=args.seed)
+    index_build_seconds = time.perf_counter() - started
     report = measure_service_throughput(
         points, args.k_max, num_queries=args.queries,
         rebuild_queries=args.rebuild_queries, parallelism=args.parallelism,
-        executor=args.executor, seed=args.seed,
+        executor=args.executor, seed=args.seed, index=index,
+        matrix_budget_mb=args.matrix_budget_mb,
     )
     print(f"serve-bench: {report.num_queries} queries, k_max={args.k_max}, "
-          f"index build {report.index_build_seconds:.2f}s [{args.executor}]")
+          f"index build {index_build_seconds:.2f}s [{args.executor}]")
     print(f"  rebuild-per-query : {report.rebuild_qps:10.1f} queries/s "
           f"(measured over {report.rebuild_queries} queries)")
     print(f"  warm service      : {report.warm_qps:10.1f} queries/s "
@@ -336,6 +421,20 @@ def _serve_bench(args: argparse.Namespace) -> int:
           f"({report.cached_speedup:.1f}x)")
     print(f"  core-set builds during queries: "
           f"{report.build_calls_during_queries}")
+    if args.threads > 0:
+        worker_counts = tuple(sorted({1, args.threads}))
+        concurrency = measure_concurrent_throughput(
+            points, args.k_max, num_queries=args.queries,
+            worker_counts=worker_counts, seed=args.seed,
+            matrix_budget_mb=args.matrix_budget_mb, index=index,
+        )
+        print(f"  serial query_batch: {concurrency.serial_qps:10.1f} queries/s")
+        for workers, qps in sorted(concurrency.qps_by_workers.items()):
+            print(f"  {workers} worker thread{'s' if workers > 1 else ' '}  "
+                  f" : {qps:10.1f} queries/s "
+                  f"({concurrency.speedup(workers):.2f}x vs serial)")
+        print(f"  rung matrices computed: {concurrency.matrix_computes} "
+              f"(distinct rungs touched: {concurrency.distinct_rungs})")
     return 0
 
 
@@ -345,8 +444,60 @@ _COMMANDS = {
     "estimate": _estimate,
     "index": _index,
     "query": _query,
+    "refresh": _refresh,
     "serve-bench": _serve_bench,
 }
+
+
+def render_cli_reference() -> str:
+    """Render the Markdown CLI reference generated from the live parsers.
+
+    ``docs/generate_cli.py`` writes this into ``docs/cli.md``;
+    ``tests/test_docs.py`` and the CI docs job fail when the committed
+    file drifts from the ``argparse`` definitions, so the documented
+    ``--help`` text can never go stale.  Output width is pinned so the
+    rendering does not depend on the invoking terminal.
+    """
+    import os
+
+    columns_before = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "79"
+    try:
+        parser = build_parser()
+        sections = [
+            "# CLI reference",
+            "",
+            "<!-- Generated from the argparse definitions by "
+            "docs/generate_cli.py; do not edit by hand. "
+            "tests/test_docs.py and the CI docs job fail on drift. -->",
+            "",
+            "Every workflow is reachable as `python -m repro <command>` "
+            "(or the installed `repro` entry point). See "
+            "[the service guide](service.md) for how the commands fit "
+            "together.",
+            "",
+            "## repro",
+            "",
+            "```text",
+            parser.format_help().rstrip(),
+            "```",
+        ]
+        subparsers = parser._subparsers._group_actions[0].choices  # noqa: SLF001
+        for name, subparser in subparsers.items():
+            sections += [
+                "",
+                f"## repro {name}",
+                "",
+                "```text",
+                subparser.format_help().rstrip(),
+                "```",
+            ]
+        return "\n".join(sections) + "\n"
+    finally:
+        if columns_before is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = columns_before
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -188,6 +188,38 @@ def build_composable_coreset(
     return partition.subset(indices)
 
 
+def merge_coresets(parts: list[PointSet], k: int, k_prime: int,
+                   objective: str | Objective,
+                   max_points: int | None = None) -> PointSet:
+    """Union point-subset core-sets, re-reducing when the union is oversized.
+
+    The incremental-maintenance form of composability (Definition 2): the
+    union of valid ``(k, k')`` core-sets is itself a valid core-set of the
+    concatenated data, so an index rung can absorb a core-set of freshly
+    ingested points by plain union.  To keep rungs bounded across many
+    such merges, a union larger than *max_points* is re-reduced with the
+    family's own construction (:func:`build_composable_coreset`) — a
+    core-set of a core-set, which composes with a summed slack.  With
+    ``max_points=None`` the union is returned untouched.
+
+    Used by :meth:`repro.service.index.CoresetIndex.extend`; only the
+    point-subset families (GMM / GMM-EXT) are supported here, since
+    generalized (multiplicity) core-sets cannot be re-reduced by a point
+    construction.
+    """
+    for part in parts:
+        if not isinstance(part, PointSet):
+            raise ValueError(
+                "merge_coresets supports point-subset core-sets only; "
+                f"got {type(part).__name__}")
+    union = union_coresets(parts)
+    if max_points is not None and len(union) > max(int(max_points), k_prime):
+        reduced = build_composable_coreset(union, k, k_prime, objective)
+        assert isinstance(reduced, PointSet)
+        return reduced
+    return union  # type: ignore[return-value]
+
+
 def union_coresets(parts: list[PointSet | GeneralizedCoreset]) -> PointSet | GeneralizedCoreset:
     """Union per-partition core-sets into the aggregate core-set.
 

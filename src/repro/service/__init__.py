@@ -4,11 +4,16 @@ The ingest path (:func:`build_coreset_index`) runs the heavy MapReduce
 core-set construction once per ladder rung; the query path
 (:class:`DiversityService`) answers ``(objective, k, eps)`` requests from
 that cached read-only state — routed to the cheapest covering rung, solved
-on a shared blocked distance matrix, memoized in an LRU.  See the README's
-"Query service" section for the architecture.
+on a shared blocked distance matrix, memoized in a lock-striped LRU.
+Queries may run concurrently (:meth:`DiversityService.query_concurrent`),
+rung matrices live under a memory budget (``REPRO_MATRIX_BUDGET_MB``),
+and dataset growth is absorbed incrementally
+(:meth:`DiversityService.refresh` / :meth:`CoresetIndex.extend`).  See
+``docs/service.md`` for the operations guide and ``docs/architecture.md``
+for the layer diagram.
 """
 
-from repro.service.cache import CacheStats, LRUCache
+from repro.service.cache import CacheStats, LRUCache, StripedLRUCache
 from repro.service.index import (
     FAMILIES,
     CoresetIndex,
@@ -16,28 +21,38 @@ from repro.service.index import (
     build_coreset_index,
     family_of,
 )
-from repro.service.persist import load_index, save_index
+from repro.service.matrices import MatrixCache, MatrixStats, matrix_budget_from_env
+from repro.service.persist import INDEX_FORMAT_VERSION, load_index, save_index
 from repro.service.service import DiversityService, Query, QueryResult
 from repro.service.workload import (
+    ConcurrencyReport,
     ThroughputReport,
     make_workload,
+    measure_concurrent_throughput,
     measure_service_throughput,
 )
 
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "StripedLRUCache",
     "FAMILIES",
     "CoresetIndex",
     "LadderRung",
     "build_coreset_index",
     "family_of",
+    "MatrixCache",
+    "MatrixStats",
+    "matrix_budget_from_env",
+    "INDEX_FORMAT_VERSION",
     "load_index",
     "save_index",
     "DiversityService",
     "Query",
     "QueryResult",
+    "ConcurrencyReport",
     "ThroughputReport",
     "make_workload",
+    "measure_concurrent_throughput",
     "measure_service_throughput",
 ]

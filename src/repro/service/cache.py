@@ -1,15 +1,25 @@
-"""A small LRU result cache with hit/miss accounting.
+"""LRU result caches with hit/miss accounting, safe under concurrent queries.
 
-The query service keys this on ``(objective, k, seed, rung)``: solvers are
-deterministic on a fixed core-set, so a repeated query is a pure lookup.
-The cache is deliberately tiny and dependency-free — ``OrderedDict`` move-
-to-end gives O(1) recency maintenance, and the stats counters feed the
-service's observability surface (and the throughput benchmark's "cached"
-row).
+The query service keys these on ``(epoch, objective, k, seed, rung)``:
+solvers are deterministic on a fixed core-set, so a repeated query is a
+pure lookup.  Two flavours are provided:
+
+* :class:`LRUCache` — a single ``OrderedDict`` guarded by one lock; O(1)
+  recency maintenance, stats counters mutated only under the lock.
+* :class:`StripedLRUCache` — the concurrency-shaped variant: capacity is
+  divided across several independently locked :class:`LRUCache` shards
+  (lock striping), so threads touching different keys contend on
+  different locks.  This is what :class:`~repro.service.service.DiversityService`
+  uses for its result cache.
+
+Both expose the same ``get``/``put``/``clear`` surface and the same
+:class:`CacheStats` observability block, so the service's throughput
+benchmark can report a single ``cache`` dict either way.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
@@ -21,7 +31,13 @@ _MISSING = object()
 
 @dataclass
 class CacheStats:
-    """Counters for one :class:`LRUCache` lifetime."""
+    """Counters for one cache lifetime.
+
+    Instances handed out by the caches are either mutated strictly under
+    the owning cache's lock (per-shard stats) or immutable aggregate
+    snapshots (:attr:`StripedLRUCache.stats`), so reading them from any
+    thread is safe.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -29,6 +45,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total ``get`` calls counted (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -37,12 +54,19 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
+        """JSON-ready counters (the ``cache`` block of ``service.stats()``)."""
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "hit_rate": self.hit_rate}
 
 
 class LRUCache:
     """Least-recently-used mapping with a fixed capacity.
+
+    Thread safety: every operation (including the stats increments it
+    implies) runs under one internal lock, so concurrent ``get``/``put``
+    calls from the service's worker threads never tear the recency list
+    or lose counter updates.  For lower contention across many keys, see
+    :class:`StripedLRUCache`.
 
     >>> cache = LRUCache(capacity=2)
     >>> cache.put("a", 1); cache.put("b", 2)
@@ -58,34 +82,124 @@ class LRUCache:
     def __init__(self, capacity: int = 128):
         self.capacity = check_positive_int(capacity, "capacity")
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Current number of cached entries."""
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        # Containment is a pure probe: no recency update, no stats.
-        return key in self._entries
+        """Pure containment probe: no recency update, no stats."""
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look *key* up, counting a hit or miss and refreshing recency."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) *key*, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (stats are kept — they describe the lifetime)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+
+class StripedLRUCache:
+    """A lock-striped LRU: *capacity* split across independently locked shards.
+
+    Keys are assigned to shards by hash, so threads operating on
+    different keys usually take different locks — under the service's
+    ``query_concurrent`` path this turns the result cache from a global
+    serialization point into ``stripes``-way concurrent storage.  Each
+    shard is a plain :class:`LRUCache` (recency is per shard, which is
+    the standard striped-LRU approximation of global recency).
+
+    Parameters
+    ----------
+    capacity:
+        Total entry budget; each shard holds ``ceil(capacity / stripes)``.
+    stripes:
+        Number of shards (clamped to *capacity* so a tiny cache does not
+        silently over-provision).
+
+    Thread safety: fully safe; per-shard stats are mutated under the
+    shard lock and :attr:`stats` aggregates them into a snapshot.
+    """
+
+    def __init__(self, capacity: int = 128, stripes: int = 8):
+        self.capacity = check_positive_int(capacity, "capacity")
+        stripes = check_positive_int(stripes, "stripes")
+        self.stripes = min(stripes, self.capacity)
+        shard_capacity = -(-self.capacity // self.stripes)  # ceil division
+        self._shards = [LRUCache(shard_capacity) for _ in range(self.stripes)]
+
+    def _shard(self, key: Hashable) -> LRUCache:
+        return self._shards[hash(key) % self.stripes]
+
+    def __len__(self) -> int:
+        """Total number of cached entries across all shards."""
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Pure containment probe: no recency update, no stats."""
+        return key in self._shard(key)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate snapshot of the per-shard counters."""
+        snapshot = CacheStats()
+        for shard in self._shards:
+            snapshot.hits += shard.stats.hits
+            snapshot.misses += shard.stats.misses
+            snapshot.evictions += shard.stats.evictions
+        return snapshot
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look *key* up in its shard, counting a hit or miss there."""
+        return self._shard(key).get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) *key* in its shard, evicting LRU when full."""
+        self._shard(key).put(key, value)
+
+    def clear(self) -> None:
+        """Drop all entries in every shard (lifetime stats are kept)."""
+        for shard in self._shards:
+            shard.clear()
+
+    def successor(self) -> "StripedLRUCache":
+        """A fresh, empty cache with this one's geometry and counters.
+
+        :meth:`DiversityService.refresh <repro.service.service.DiversityService.refresh>`
+        swaps this in rather than clearing the live cache: writers in
+        flight across the swap keep filling their snapshotted old object
+        (which dies with them) instead of evicting live entries from the
+        new epoch's cache.  Lifetime counters continue from a snapshot of
+        the current aggregate; updates the old object receives after the
+        swap are not folded in.
+        """
+        fresh = StripedLRUCache(self.capacity, stripes=self.stripes)
+        snapshot = self.stats
+        seeded = fresh._shards[0].stats
+        seeded.hits = snapshot.hits
+        seeded.misses = snapshot.misses
+        seeded.evictions = snapshot.evictions
+        return fresh

@@ -27,7 +27,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.coresets.composable import ladder_parameters, practical_coreset_size
+from repro.coresets.composable import (
+    ladder_parameters,
+    merge_coresets,
+    practical_coreset_size,
+)
 from repro.diversity.objectives import Objective, get_objective
 from repro.exceptions import ValidationError
 from repro.mapreduce.algorithm import MRDiversityMaximizer
@@ -66,6 +70,7 @@ class LadderRung:
         return (self.family, self.k_cap, self.k_prime)
 
     def describe(self) -> dict:
+        """JSON-ready rung summary (parameters and core-set size)."""
         return {"family": self.family, "k_cap": self.k_cap,
                 "k_prime": self.k_prime, "coreset_points": len(self.coreset),
                 "build_seconds": self.build_seconds}
@@ -92,9 +97,11 @@ class CoresetIndex:
 
     @property
     def families(self) -> list[str]:
+        """Construction families the index holds ladders for, sorted."""
         return sorted(self.rungs)
 
     def all_rungs(self) -> list[LadderRung]:
+        """Every rung across families, in family-then-cost order."""
         return [rung for family in self.families for rung in self.rungs[family]]
 
     def route(self, objective: str | Objective, k: int,
@@ -135,6 +142,114 @@ class CoresetIndex:
                 return rung
         return candidates[-1]
 
+    def extend(self, new_points: PointSet, *,
+               batch_size: int | None = None,
+               compact_above: int | None = None) -> "CoresetIndex":
+        """A new index covering the grown dataset — no MapReduce rebuild.
+
+        Composability (Definition 2) licenses incremental maintenance:
+        per rung, *new_points* stream through the batched SMM / SMM-EXT
+        sketch (:func:`repro.streaming.algorithm.stream_coreset`) with the
+        rung's own ``(k_cap, k')`` parameters, and the resulting core-set
+        of the new data is merged into the rung by union — a valid
+        core-set of the concatenated dataset.  Rungs whose merged size
+        exceeds *compact_above* (default: the cold-build union bound,
+        ``parallelism`` per-partition core-sets) are re-reduced with the
+        family's construction so repeated extends stay bounded.
+
+        Parameters
+        ----------
+        new_points:
+            Fresh data in the same metric space as the indexed dataset.
+        batch_size:
+            Sketch ingestion block size; ``None`` uses the auto-tuned
+            :func:`repro.tuning.recommend_batch_size` recommendation.
+        compact_above:
+            Per-rung point-count threshold above which the merged
+            core-set is re-reduced; ``None`` derives the cold-build bound
+            per rung.
+
+        Returns
+        -------
+        CoresetIndex
+            A *new* index; ``self`` is left untouched, so a service can
+            swap atomically between the two under concurrent queries.
+
+        Raises
+        ------
+        ValidationError
+            If *new_points* is empty or disagrees with the index on
+            metric or dimensionality.
+        """
+        from repro.streaming.algorithm import stream_coreset
+
+        if not isinstance(new_points, PointSet) or len(new_points) == 0:
+            raise ValidationError(
+                "extend needs a non-empty PointSet of new data")
+        if new_points.metric.name != self.metric_name:
+            raise ValidationError(
+                f"metric mismatch: index uses {self.metric_name!r}, "
+                f"new points use {new_points.metric.name!r}")
+        expected_dim = self.source.get("dim")
+        if expected_dim is not None and new_points.dim != expected_dim:
+            raise ValidationError(
+                f"dimension mismatch: index holds {expected_dim}-d points, "
+                f"new points are {new_points.dim}-d")
+        parallelism = max(int(self.ladder.get("parallelism", 4)), 1)
+        started = time.perf_counter()
+        rungs: dict[str, list[LadderRung]] = {}
+        sketch_builds = 0
+        for family in self.families:
+            objective = _REPRESENTATIVE[family]
+            new_rungs = []
+            for rung in self.rungs[family]:
+                t0 = time.perf_counter()
+                fresh = stream_coreset(new_points, k=rung.k_cap,
+                                       k_prime=rung.k_prime,
+                                       objective=objective,
+                                       batch_size=batch_size)
+                sketch_builds += 1
+                # Re-reduce to the cold build's size class: a cold rung is
+                # the union of `parallelism` per-partition core-sets of k'
+                # kernels each, so compaction targets p*k' kernel points
+                # (GMM-EXT kernels additionally carry up to k_cap
+                # delegates each, for both the trigger and the target).
+                compact_k_prime = parallelism * rung.k_prime
+                if compact_above is None:
+                    per_partition = rung.k_prime
+                    if family == FAMILY_GMM_EXT:
+                        per_partition *= 1 + rung.k_cap
+                    threshold = parallelism * per_partition
+                else:
+                    threshold = compact_above
+                merged = merge_coresets([rung.coreset, fresh], rung.k_cap,
+                                        compact_k_prime, objective,
+                                        max_points=threshold)
+                new_rungs.append(LadderRung(
+                    family=family, k_cap=rung.k_cap, k_prime=rung.k_prime,
+                    coreset=merged,
+                    build_seconds=time.perf_counter() - t0))
+            rungs[family] = new_rungs
+        elapsed = time.perf_counter() - started
+        extra = dict(self.extra)
+        history = list(extra.get("refreshes", []))
+        history.append({"points_added": len(new_points),
+                        "sketch_builds": sketch_builds,
+                        "seconds": elapsed})
+        extra["refreshes"] = history
+        return CoresetIndex(
+            metric_name=self.metric_name,
+            dimension_estimate=self.dimension_estimate,
+            rungs=rungs,
+            ladder=dict(self.ladder),
+            source={**self.source,
+                    "n": int(self.source.get("n", 0)) + len(new_points)},
+            seed=self.seed,
+            build_calls=self.build_calls,
+            build_seconds=self.build_seconds + elapsed,
+            extra=extra,
+        )
+
     def describe(self) -> dict:
         """JSON-ready summary (the metadata block persistence writes)."""
         return {
@@ -145,6 +260,7 @@ class CoresetIndex:
             "source": self.source,
             "build_calls": self.build_calls,
             "build_seconds": self.build_seconds,
+            "extra": self.extra,
             "rungs": {family: [rung.describe() for rung in self.rungs[family]]
                       for family in self.families},
         }

@@ -6,11 +6,20 @@ byte-for-byte), so a reloaded index answers every query with the same bits
 as the index that built it.  The JSON sidecar carries everything routing
 needs (metric, dimension estimate, ladder geometry, per-rung parameters)
 plus a fingerprint of the source dataset for provenance.
+
+Format history:
+
+* **version 1** (PR 3) — metric / ladder / source / rung records;
+* **version 2** (this layer) — adds the ``extra`` block, which records
+  the incremental-refresh history written by
+  :meth:`repro.service.index.CoresetIndex.extend`.  Version-1 files load
+  unchanged (their ``extra`` is empty); writes always produce version 2.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -20,7 +29,10 @@ from repro.metricspace.points import PointSet
 from repro.service.index import FAMILIES, CoresetIndex, LadderRung
 
 #: Format version written into the sidecar; bump on incompatible layout.
-INDEX_FORMAT_VERSION = 1
+INDEX_FORMAT_VERSION = 2
+
+#: Sidecar versions this build can read (v1 = PR 3-era, no ``extra``).
+READABLE_FORMAT_VERSIONS = (1, 2)
 
 
 def _paths(path: str | Path) -> tuple[Path, Path]:
@@ -33,7 +45,14 @@ def _paths(path: str | Path) -> tuple[Path, Path]:
 
 
 def save_index(index: CoresetIndex, path: str | Path) -> None:
-    """Persist *index* as ``<path>.npz`` + ``<path>.json``."""
+    """Persist *index* as ``<path>.npz`` + ``<path>.json``.
+
+    Writes are atomic per file (temp name + ``os.replace``): an
+    in-place re-save — the default of ``repro refresh`` — can crash
+    mid-write without destroying the existing index, the reader at worst
+    sees the old pair or a new-``npz``/old-``json`` mix from the same
+    index lineage, never a truncated file.
+    """
     npz_path, json_path = _paths(path)
     npz_path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
@@ -53,14 +72,26 @@ def save_index(index: CoresetIndex, path: str | Path) -> None:
         "source": index.source,
         "build_calls": index.build_calls,
         "build_seconds": index.build_seconds,
+        "extra": index.extra,
         "rungs": rung_records,
     }
-    np.savez(npz_path, **arrays)
-    json_path.write_text(json.dumps(metadata, indent=2, sort_keys=True) + "\n")
+    # np.savez appends ".npz" unless the name already ends with it, so
+    # the temp names keep the final suffix.
+    npz_tmp = npz_path.parent / f"{npz_path.stem}.tmp{os.getpid()}.npz"
+    json_tmp = json_path.parent / f"{json_path.name}.tmp{os.getpid()}"
+    np.savez(npz_tmp, **arrays)
+    json_tmp.write_text(json.dumps(metadata, indent=2, sort_keys=True) + "\n")
+    os.replace(npz_tmp, npz_path)
+    os.replace(json_tmp, json_path)
 
 
 def load_index(path: str | Path) -> CoresetIndex:
-    """Load an index saved by :func:`save_index` (exact round-trip)."""
+    """Load an index saved by :func:`save_index` (exact round-trip).
+
+    Reads the current format and every older version listed in
+    :data:`READABLE_FORMAT_VERSIONS`; anything else raises
+    :class:`~repro.exceptions.ValidationError`.
+    """
     npz_path, json_path = _paths(path)
     if not npz_path.exists() or not json_path.exists():
         raise ValidationError(
@@ -68,10 +99,10 @@ def load_index(path: str | Path) -> CoresetIndex:
             f"(need both {npz_path.name} and {json_path.name})")
     metadata = json.loads(json_path.read_text())
     version = metadata.get("format_version")
-    if version != INDEX_FORMAT_VERSION:
+    if version not in READABLE_FORMAT_VERSIONS:
         raise ValidationError(
             f"unsupported index format version {version!r} "
-            f"(this build reads version {INDEX_FORMAT_VERSION})")
+            f"(this build reads versions {READABLE_FORMAT_VERSIONS})")
     metric = metadata["metric"]
     rungs: dict[str, list[LadderRung]] = {}
     with np.load(npz_path) as arrays:
@@ -88,6 +119,7 @@ def load_index(path: str | Path) -> CoresetIndex:
             ))
     for family_rungs in rungs.values():
         family_rungs.sort(key=lambda rung: (rung.k_cap, rung.k_prime))
+    extra = metadata.get("extra")
     return CoresetIndex(
         metric_name=metric,
         dimension_estimate=float(metadata["dimension_estimate"]),
@@ -97,4 +129,5 @@ def load_index(path: str | Path) -> CoresetIndex:
         seed=metadata.get("seed"),
         build_calls=int(metadata.get("build_calls", 0)),
         build_seconds=float(metadata.get("build_seconds", 0.0)),
+        extra=extra if isinstance(extra, dict) else {},
     )

@@ -8,24 +8,40 @@ engine — and every subsequent ``(objective, k, eps)`` query is answered
 from cached read-only state:
 
 1. **route**: pick the cheapest ladder rung covering the query;
-2. **result cache**: an LRU keyed on ``(objective, k, seed, rung)`` returns
-   repeated queries without touching a solver;
+2. **result cache**: a lock-striped LRU keyed on
+   ``(epoch, objective, k, seed, rung)`` returns repeated queries without
+   touching a solver;
 3. **distance-matrix reuse**: per rung, the blocked pairwise matrix is
-   computed once and shared by every solver run on that rung —
-   :meth:`DiversityService.query_batch` additionally groups same-rung
-   queries so a mixed batch still computes each matrix at most once;
+   computed once — under a memory budget with LRU eviction
+   (:class:`~repro.service.matrices.MatrixCache`) — and shared by every
+   solver run on that rung; concurrent same-rung queries single-flight on
+   a per-rung lock so the matrix is computed exactly once under
+   contention;
 4. **solve**: the sequential approximation from
    :mod:`repro.diversity.sequential.registry` runs on the tiny core-set.
 
 Queries never rebuild core-sets: :attr:`DiversityService.build_calls`
 counts rung builds performed by this instance and stays frozen across any
 number of queries (the warm-path guarantee the throughput benchmark and
-tests assert).
+tests assert).  Dataset growth is absorbed by :meth:`DiversityService.refresh`,
+which streams the new points through the batched SMM path
+(:meth:`~repro.service.index.CoresetIndex.extend`) and atomically swaps in
+the extended index.
+
+Thread safety: all query entry points (:meth:`~DiversityService.query`,
+:meth:`~DiversityService.query_batch`,
+:meth:`~DiversityService.query_concurrent`) and :meth:`~DiversityService.refresh`
+are safe to call from multiple threads; counters are mutated under locks
+and the index reference is swapped atomically.  Returned
+:class:`QueryResult` arrays are views into shared cached state — treat
+them as read-only.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Union
@@ -36,12 +52,13 @@ from repro.diversity.objectives import Objective, get_objective
 from repro.diversity.sequential.registry import solve_on_matrix
 from repro.exceptions import ValidationError
 from repro.metricspace.points import PointSet
-from repro.service.cache import LRUCache
+from repro.service.cache import StripedLRUCache
 from repro.service.index import (
     CoresetIndex,
     LadderRung,
     build_coreset_index,
 )
+from repro.service.matrices import MatrixCache
 from repro.service.persist import load_index, save_index
 from repro.utils.validation import check_in_range, check_positive_int
 
@@ -100,6 +117,19 @@ class DiversityService:
         ``seed``, ...).
     cache_size:
         Capacity of the LRU result cache.
+    cache_stripes:
+        Lock stripes of the result cache; threads touching different keys
+        contend on different locks.
+    matrix_budget_mb:
+        Byte budget (in MiB) for cached rung distance matrices.  ``None``
+        reads ``REPRO_MATRIX_BUDGET_MB`` from the environment; ``0``
+        forces unbudgeted.  Evicted matrices are recomputed on demand
+        with identical results (solvers are deterministic on a fixed
+        core-set), so the budget trades recompute time for bounded
+        resident memory.
+
+    Thread safety: instances are safe to share across threads; see the
+    module docstring for the locking model.
 
     Example
     -------
@@ -114,7 +144,8 @@ class DiversityService:
 
     def __init__(self, index: CoresetIndex | None = None, *,
                  points: PointSet | None = None, k_max: int | None = None,
-                 cache_size: int = 128, **build_options):
+                 cache_size: int = 128, cache_stripes: int = 8,
+                 matrix_budget_mb: int | None = None, **build_options):
         if index is None and (points is None or k_max is None):
             raise ValidationError(
                 "DiversityService needs either a prebuilt index or "
@@ -124,28 +155,44 @@ class DiversityService:
         self._k_max = (None if k_max is None
                        else check_positive_int(k_max, "k_max"))
         self._build_options = build_options
-        self.cache = LRUCache(cache_size)
+        self.cache = StripedLRUCache(cache_size, stripes=cache_stripes)
+        if matrix_budget_mb is None:
+            budget_bytes: int | None = None  # defer to the environment
+        elif matrix_budget_mb == 0:
+            budget_bytes = 0  # explicit: unbudgeted
+        else:
+            budget_bytes = check_positive_int(
+                matrix_budget_mb, "matrix_budget_mb") * 2**20
+        self._matrices = MatrixCache(budget_bytes)
         #: Rung builds performed by this instance; queries never bump it.
         self.build_calls = 0
         self.queries_answered = 0
         self.batches_answered = 0
-        self._matrices: dict[tuple[str, int, int], np.ndarray] = {}
+        self.concurrent_batches = 0
+        self.refreshes = 0
+        self._epoch = 0
+        self._build_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------------
     @classmethod
     def from_dataset(cls, points: PointSet, k_max: int, *,
-                     cache_size: int = 128, **build_options) -> "DiversityService":
+                     cache_size: int = 128,
+                     matrix_budget_mb: int | None = None,
+                     **build_options) -> "DiversityService":
         """Build the index eagerly and return a warm service."""
         service = cls(points=points, k_max=k_max, cache_size=cache_size,
-                      **build_options)
+                      matrix_budget_mb=matrix_budget_mb, **build_options)
         service.ensure_index()
         return service
 
     @classmethod
-    def from_file(cls, path: str | Path, *,
-                  cache_size: int = 128) -> "DiversityService":
+    def from_file(cls, path: str | Path, *, cache_size: int = 128,
+                  matrix_budget_mb: int | None = None) -> "DiversityService":
         """Warm-start from an index persisted by :meth:`save` — no build."""
-        return cls(load_index(path), cache_size=cache_size)
+        return cls(load_index(path), cache_size=cache_size,
+                   matrix_budget_mb=matrix_budget_mb)
 
     @property
     def index(self) -> CoresetIndex | None:
@@ -153,16 +200,77 @@ class DiversityService:
         return self._index
 
     def ensure_index(self) -> CoresetIndex:
-        """Build the index now if it does not exist yet."""
-        if self._index is None:
-            self._index = build_coreset_index(self._points, self._k_max,
-                                              **self._build_options)
-            self.build_calls += self._index.build_calls
-        return self._index
+        """Build the index now if it does not exist yet.
+
+        Safe under contention: concurrent first queries double-check
+        under a build lock, so the lazy build runs exactly once and
+        :attr:`build_calls` is bumped exactly once.
+        """
+        index = self._index
+        if index is None:
+            with self._build_lock:
+                if self._index is None:
+                    built = build_coreset_index(self._points, self._k_max,
+                                                **self._build_options)
+                    with self._counter_lock:
+                        self.build_calls += built.build_calls
+                    self._index = built
+                index = self._index
+        return index
 
     def save(self, path: str | Path) -> None:
         """Persist the index for a later :meth:`from_file` warm start."""
         save_index(self.ensure_index(), path)
+
+    def refresh(self, new_points: PointSet, *,
+                batch_size: int | None = None) -> CoresetIndex:
+        """Absorb *new_points* into the index without a MapReduce rebuild.
+
+        Streams the new data through the batched SMM path per rung
+        (:meth:`CoresetIndex.extend <repro.service.index.CoresetIndex.extend>`),
+        then atomically swaps the extended index in: the epoch embedded in
+        every cache key is bumped and both the result cache and the matrix
+        cache are replaced with empty successors, so queries in flight
+        during the swap can neither poison the new epoch's caches nor
+        evict its entries.  Queries keep being served (from the old
+        index) while the extension is computed.
+
+        Returns the new index.  :attr:`build_calls` is not affected —
+        refreshes are counted separately in :attr:`refreshes`.
+        """
+        with self._refresh_lock:
+            extended = self.ensure_index().extend(new_points,
+                                                  batch_size=batch_size)
+            with self._counter_lock:
+                # Swap index, epoch and both caches together: _snapshot
+                # readers take the same lock, so no query can ever pair
+                # the new index with the old epoch (or vice versa) in its
+                # cache keys.  The caches are *replaced*, not cleared:
+                # queries in flight keep writing to their snapshotted old
+                # objects, which die with them — a stale epoch can
+                # neither pin matrices in the serving cache nor evict
+                # live results from the new epoch's LRU.
+                self._index = extended
+                self._epoch += 1
+                self.refreshes += 1
+                self.cache = self.cache.successor()
+                self._matrices = self._matrices.successor()
+        return extended
+
+    def _snapshot(self) -> tuple[CoresetIndex, int, StripedLRUCache,
+                                 MatrixCache]:
+        """A consistent ``(index, epoch, cache, matrices)`` serving state.
+
+        Results and matrices are cached under keys embedding the epoch;
+        reading all four values under the lock :meth:`refresh` swaps
+        them under guarantees a query that raced a refresh caches only
+        under its own (now dead) epoch and into its own (now superseded)
+        cache objects — never stale data in, or pressure on, the live
+        ones.
+        """
+        self.ensure_index()  # after this, _index is never None again
+        with self._counter_lock:
+            return self._index, self._epoch, self.cache, self._matrices
 
     # -- queries -----------------------------------------------------------------
     def query(self, objective: str | Objective, k: int,
@@ -172,7 +280,7 @@ class DiversityService:
                                        epsilon)])[0]
 
     def query_batch(self, queries: Iterable[QueryLike]) -> list[QueryResult]:
-        """Answer many requests, sharing work across them.
+        """Answer many requests serially, sharing work across them.
 
         Queries are routed first; same-rung cache misses are grouped so the
         rung's blocked pairwise matrix is computed (or fetched) exactly
@@ -180,16 +288,16 @@ class DiversityService:
         Results come back in input order; exact repeats — within the batch
         or across calls — are served from the LRU.
         """
-        index = self.ensure_index()
+        index, epoch, cache, matrices = self._snapshot()
         normalized = [self._normalize(query) for query in queries]
         results: list[QueryResult | None] = [None] * len(normalized)
         groups: dict[tuple[str, int, int], list[tuple[int, Query, tuple, LadderRung]]] = {}
         pending: set[tuple] = set()
         for i, query in enumerate(normalized):
             rung = index.route(query.objective, query.k, query.epsilon)
-            cache_key = (query.objective, query.k, index.seed, rung.key)
+            cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
             if cache_key not in pending:
-                hit = self.cache.get(cache_key)
+                hit = cache.get(cache_key)
                 if hit is not None:
                     # Echo the caller's own slack: the cached answer is
                     # valid for any epsilon routing to the same rung.
@@ -203,7 +311,7 @@ class DiversityService:
             # agree with the cached flags actually returned.
             groups.setdefault(rung.key, []).append((i, query, cache_key, rung))
         for members in groups.values():
-            dist = self._matrix_for(members[0][3])
+            dist = self._matrix_for(matrices, epoch, members[0][3])
             solved: dict[tuple, QueryResult] = {}
             for i, query, cache_key, rung in members:
                 if cache_key in solved:  # in-batch repeat
@@ -211,7 +319,7 @@ class DiversityService:
                     # evicted it (tiny cache), so fall back to the
                     # batch-local memo — the miss the probe just counted
                     # is then accurate, and no solver runs either way.
-                    hit = self.cache.get(cache_key)
+                    hit = cache.get(cache_key)
                     if hit is None:
                         hit = solved[cache_key]
                     result = replace(hit, epsilon=query.epsilon,
@@ -219,14 +327,64 @@ class DiversityService:
                 else:
                     result = self._solve(query, rung, dist)
                     solved[cache_key] = result
-                    self.cache.put(cache_key, result)
+                    cache.put(cache_key, result)
                 results[i] = result
-        self.queries_answered += len(normalized)
-        self.batches_answered += 1
+        with self._counter_lock:
+            self.queries_answered += len(normalized)
+            self.batches_answered += 1
         return results  # type: ignore[return-value]
+
+    def query_concurrent(self, queries: Iterable[QueryLike],
+                         max_workers: int = 4) -> list[QueryResult]:
+        """Answer many requests on a thread pool, sharing cached state.
+
+        Each query independently routes, probes the lock-striped result
+        cache, fetches its rung matrix through the single-flight
+        :class:`~repro.service.matrices.MatrixCache` (concurrent same-rung
+        queries compute the matrix exactly once), and solves.  Results
+        come back in input order and are identical to
+        :meth:`query_batch` on the same service state — solvers are
+        deterministic on a fixed core-set.
+
+        Unlike :meth:`query_batch`, two *identical* in-flight queries may
+        each run the (deterministic) solver if neither has been cached
+        yet; the LRU still counts every query as exactly one hit or miss.
+        """
+        index, epoch, cache, matrices = self._snapshot()
+        normalized = [self._normalize(query) for query in queries]
+        if not normalized:
+            return []
+        workers = min(check_positive_int(max_workers, "max_workers"),
+                      len(normalized))
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="repro-query") as pool:
+            results = list(pool.map(
+                lambda query: self._answer_one(index, epoch, cache,
+                                               matrices, query),
+                normalized))
+        with self._counter_lock:
+            self.queries_answered += len(normalized)
+            self.concurrent_batches += 1
+        return results
+
+    def _answer_one(self, index: CoresetIndex, epoch: int,
+                    cache: StripedLRUCache, matrices: MatrixCache,
+                    query: Query) -> QueryResult:
+        """Serve one normalized query: route, probe, (maybe) solve, memoize."""
+        rung = index.route(query.objective, query.k, query.epsilon)
+        cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
+        hit = cache.get(cache_key)
+        if hit is not None:
+            return replace(hit, epsilon=query.epsilon, cached=True,
+                           solve_seconds=0.0)
+        dist = self._matrix_for(matrices, epoch, rung)
+        result = self._solve(query, rung, dist)
+        cache.put(cache_key, result)
+        return result
 
     def _solve(self, query: Query, rung: LadderRung,
                dist: np.ndarray) -> QueryResult:
+        """Run the sequential solver for *query* on the rung's matrix."""
         objective = get_objective(query.objective)
         started = time.perf_counter()
         indices = solve_on_matrix(dist, query.k, objective)
@@ -238,16 +396,23 @@ class DiversityService:
             solve_seconds=time.perf_counter() - started,
         )
 
-    def _matrix_for(self, rung: LadderRung) -> np.ndarray:
-        """The rung's pairwise matrix, computed once through blocked kernels."""
-        dist = self._matrices.get(rung.key)
-        if dist is None:
-            dist = rung.coreset.pairwise()
-            self._matrices[rung.key] = dist
-        return dist
+    @staticmethod
+    def _matrix_for(matrices: MatrixCache, epoch: int,
+                    rung: LadderRung) -> np.ndarray:
+        """The rung's pairwise matrix from the budgeted single-flight cache.
+
+        Both the cache object and the epoch in the key come from the
+        query's :meth:`_snapshot`, so a query in flight across a
+        :meth:`refresh` writes only to the superseded cache under its own
+        dead epoch — it can never seed the serving cache with a matrix
+        of the superseded index.
+        """
+        return matrices.get_or_compute((epoch, rung.key),
+                                       rung.coreset.pairwise)
 
     @staticmethod
     def _normalize(query) -> Query:
+        """Coerce a :data:`QueryLike` into a validated :class:`Query`."""
         if isinstance(query, Query):
             objective = get_objective(query.objective).name
             query = Query(objective, query.k, query.epsilon)
@@ -269,8 +434,12 @@ class DiversityService:
         return {
             "queries_answered": self.queries_answered,
             "batches_answered": self.batches_answered,
+            "concurrent_batches": self.concurrent_batches,
             "build_calls": self.build_calls,
+            "refreshes": self.refreshes,
+            "epoch": self._epoch,
             "cache": self.cache.stats.as_dict(),
+            "matrices": self._matrices.describe(),
             "cached_matrices": len(self._matrices),
             "index_built": self._index is not None,
         }

@@ -1,17 +1,22 @@
-"""Multi-query workloads and the cold/warm/cached throughput harness.
+"""Multi-query workloads and the service throughput harnesses.
 
-First genuinely multi-query workload in the repo: a randomized mix of
-``(objective, k)`` requests served three ways —
+A randomized mix of ``(objective, k)`` requests is served several ways —
 
 * **rebuild-per-query** — the pre-service baseline: every query pays a
   fresh core-set build over the full dataset before solving;
 * **warm** — the service path: queries route into a prebuilt index and
   solve on shared, cached distance matrices;
-* **cached** — the same workload replayed, served from the LRU.
+* **cached** — the same workload replayed, served from the LRU;
+* **concurrent** — the same warm workload pushed through
+  :meth:`~repro.service.service.DiversityService.query_concurrent` at
+  several worker counts (:func:`measure_concurrent_throughput`), with the
+  build-calls and matrices-computed-once invariants asserted under
+  contention.
 
 ``repro serve-bench`` and ``benchmarks/bench_service_throughput.py`` both
-run :func:`measure_service_throughput`; the benchmark additionally gates
-the warm-path speedup (>= 5x over rebuild-per-query) in CI.
+run these harnesses; the benchmark additionally gates the warm-path
+speedup (>= 5x over rebuild-per-query) and, on multi-core runners, the
+4-worker concurrent speedup (>= 2x over serial ``query_batch``) in CI.
 """
 
 from __future__ import annotations
@@ -78,9 +83,11 @@ class ThroughputReport:
 
     @property
     def cached_speedup(self) -> float:
+        """LRU-replay queries/sec over the rebuild-per-query baseline."""
         return self.cached_qps / self.rebuild_qps
 
     def as_dict(self) -> dict:
+        """JSON-ready form, with the derived speedups materialized."""
         payload = asdict(self)
         payload["warm_speedup"] = self.warm_speedup
         payload["cached_speedup"] = self.cached_speedup
@@ -94,6 +101,8 @@ def measure_service_throughput(
     rebuild_queries: int = 3,
     objectives: list[str] | None = None,
     seed: int | None = 0,
+    index=None,
+    matrix_budget_mb: int | None = None,
     **build_options,
 ) -> ThroughputReport:
     """Measure rebuild-per-query vs warm vs cached queries/sec.
@@ -104,6 +113,10 @@ def measure_service_throughput(
     prebuilt :class:`DiversityService`; the cached pass replays it.
     *build_options* go to :func:`repro.service.index.build_coreset_index`
     (and the baseline builder inherits ``parallelism``/``executor``).
+    Pass a prebuilt *index* to skip the index build (callers sharing one
+    index across harnesses, e.g. the throughput benchmark); the reported
+    ``index_build_seconds`` is then ~0.  *matrix_budget_mb* configures
+    the measured service's matrix cache (see :class:`DiversityService`).
     """
     workload = make_workload(k_max, num_queries, objectives=objectives,
                              seed=seed)
@@ -127,10 +140,12 @@ def measure_service_throughput(
     rebuild_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    index = build_coreset_index(points, k_max, seed=seed, **build_options)
+    if index is None:
+        index = build_coreset_index(points, k_max, seed=seed, **build_options)
     index_build_seconds = time.perf_counter() - started
 
-    service = DiversityService(index, cache_size=max(128, len(workload)))
+    service = DiversityService(index, cache_size=max(128, len(workload)),
+                               matrix_budget_mb=matrix_budget_mb)
     started = time.perf_counter()
     warm = service.query_batch(workload)
     warm_seconds = time.perf_counter() - started
@@ -156,4 +171,124 @@ def measure_service_throughput(
         cached_qps=_qps(len(workload), cached_seconds),
         build_calls_during_queries=build_calls_during_queries,
         cache=service.cache.stats.as_dict(),
+    )
+
+
+@dataclass
+class ConcurrencyReport:
+    """Serial vs threaded queries/sec over one warm workload.
+
+    ``qps_by_workers`` maps each measured worker count to its
+    ``query_concurrent`` throughput; ``serial_qps`` is the
+    ``query_batch`` baseline on an identically cold service.  The
+    invariants checked during measurement ride along:
+    ``build_calls_during_queries`` (must be 0 — queries never rebuild)
+    and ``matrix_computes`` vs ``distinct_rungs`` (each rung's matrix is
+    computed exactly once under contention when unbudgeted).
+    """
+
+    num_queries: int
+    serial_qps: float
+    qps_by_workers: dict[int, float]
+    build_calls_during_queries: int
+    distinct_rungs: int
+    matrix_computes: int
+    matrices: dict
+
+    def speedup(self, workers: int) -> float:
+        """Concurrent throughput at *workers* over the serial baseline."""
+        return self.qps_by_workers[workers] / self.serial_qps
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``concurrency`` block of the benchmark)."""
+        return {
+            "num_queries": self.num_queries,
+            "serial_qps": self.serial_qps,
+            "workers": {str(workers): {"qps": qps,
+                                       "speedup": self.speedup(workers)}
+                        for workers, qps in self.qps_by_workers.items()},
+            "build_calls_during_queries": self.build_calls_during_queries,
+            "distinct_rungs": self.distinct_rungs,
+            "matrix_computes": self.matrix_computes,
+            "matrices": self.matrices,
+        }
+
+
+def measure_concurrent_throughput(
+    points: PointSet,
+    k_max: int,
+    num_queries: int = 32,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    objectives: list[str] | None = None,
+    seed: int | None = 0,
+    matrix_budget_mb: int | None = None,
+    index=None,
+    **build_options,
+) -> ConcurrencyReport:
+    """Measure ``query_concurrent`` against serial ``query_batch``.
+
+    One index is built (or taken from *index*), then the same workload is
+    served by a fresh, matrix-cold :class:`DiversityService` per mode:
+    once serially through :meth:`~DiversityService.query_batch`, and once
+    per entry of *worker_counts* through
+    :meth:`~DiversityService.query_concurrent`.  Every concurrent run is
+    checked against the serial answers (identical values and rungs — the
+    determinism contract), every service must report zero build calls,
+    and the widest run must have computed each touched rung's matrix
+    exactly once (single-flight; only asserted when unbudgeted).
+
+    Raises
+    ------
+    AssertionError
+        If any of those invariants fails — this harness *is* the test.
+    """
+    workload = make_workload(k_max, num_queries, objectives=objectives,
+                             seed=seed)
+    if index is None:
+        index = build_coreset_index(points, k_max, seed=seed, **build_options)
+    cache_size = max(128, len(workload))
+
+    def _fresh_service() -> DiversityService:
+        return DiversityService(index, cache_size=cache_size,
+                                matrix_budget_mb=matrix_budget_mb)
+
+    serial_service = _fresh_service()
+    started = time.perf_counter()
+    serial_results = serial_service.query_batch(workload)
+    serial_seconds = time.perf_counter() - started
+    expected = [(result.value, result.rung) for result in serial_results]
+
+    qps_by_workers: dict[int, float] = {}
+    build_calls = serial_service.build_calls
+    widest_service = serial_service
+    for workers in sorted(worker_counts):
+        service = _fresh_service()
+        started = time.perf_counter()
+        results = service.query_concurrent(workload, max_workers=workers)
+        seconds = time.perf_counter() - started
+        assert [(result.value, result.rung) for result in results] == expected, \
+            "concurrent answers must be identical to the serial baseline"
+        stats = service.cache.stats
+        assert stats.hits + stats.misses == len(workload), \
+            "every query must count exactly one cache hit or miss"
+        build_calls = max(build_calls, service.build_calls)
+        qps_by_workers[workers] = len(workload) / max(seconds, 1e-9)
+        widest_service = service
+
+    assert build_calls == 0, "queries must never rebuild a core-set"
+    distinct_rungs = len({index.route(q.objective, q.k, q.epsilon).key
+                          for q in workload})
+    matrices = widest_service.stats()["matrices"]
+    if matrices["budget_bytes"] is None:
+        assert matrices["computes"] == distinct_rungs, (
+            f"expected exactly one matrix compute per rung "
+            f"({distinct_rungs}), saw {matrices['computes']}")
+    return ConcurrencyReport(
+        num_queries=len(workload),
+        serial_qps=len(workload) / max(serial_seconds, 1e-9),
+        qps_by_workers=qps_by_workers,
+        build_calls_during_queries=build_calls,
+        distinct_rungs=distinct_rungs,
+        matrix_computes=matrices["computes"],
+        matrices=matrices,
     )

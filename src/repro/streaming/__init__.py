@@ -11,6 +11,7 @@ from repro.streaming.algorithm import (
     StreamingDiversityMaximizer,
     TwoPassStreamingDiversityMaximizer,
     StreamingResult,
+    stream_coreset,
 )
 from repro.streaming.memory import theoretical_memory_points, audit_memory
 from repro.streaming.throughput import measure_throughput, ThroughputReport
@@ -23,6 +24,7 @@ __all__ = [
     "StreamingDiversityMaximizer",
     "TwoPassStreamingDiversityMaximizer",
     "StreamingResult",
+    "stream_coreset",
     "theoretical_memory_points",
     "audit_memory",
     "measure_throughput",

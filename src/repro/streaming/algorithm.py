@@ -28,9 +28,64 @@ from repro.diversity.objectives import Objective, get_objective
 from repro.diversity.sequential.registry import solve_sequential
 from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.points import PointSet
-from repro.streaming.stream import Stream
+from repro.streaming.stream import ArrayStream, Stream
 from repro.streaming.throughput import measure_throughput
 from repro.utils.validation import check_positive_int
+
+
+def stream_coreset(source: Stream | PointSet | np.ndarray, k: int,
+                   k_prime: int, objective: str | Objective = "remote-edge",
+                   metric: str | Metric | None = None,
+                   batch_size: int | None = None) -> PointSet:
+    """One-pass composable core-set of *source* via the batched SMM path.
+
+    Runs the sketch matching *objective* (SMM for the non-injective
+    objectives, SMM-EXT for the injective ones) over the input in blocks
+    of *batch_size* points and returns the finalized core-set — the
+    streaming-model counterpart of
+    :func:`repro.coresets.composable.build_composable_coreset`, and the
+    ingestion kernel behind :meth:`repro.service.index.CoresetIndex.extend`.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.streaming.stream.Stream`, a
+        :class:`~repro.metricspace.points.PointSet`, or a point array.
+    k, k_prime:
+        Sketch parameters (``k' >= k``); the core-set has at least ``k``
+        points, stream length permitting.
+    objective:
+        Diversity objective selecting the sketch family.
+    metric:
+        Metric override; defaults to the point set's own metric
+        (``"euclidean"`` for raw arrays and streams).
+    batch_size:
+        Ingestion block size; when omitted, the auto-tuned
+        :func:`repro.tuning.recommend_batch_size` recommendation is used.
+        Batched and per-point ingestion produce identical sketches.
+    """
+    objective = get_objective(objective)
+    if isinstance(source, PointSet):
+        if metric is None:
+            metric = source.metric
+        stream: Stream = ArrayStream(source.points)
+    elif isinstance(source, Stream):
+        stream = source
+    else:
+        stream = ArrayStream(np.asarray(source, dtype=np.float64))
+    metric = get_metric("euclidean" if metric is None else metric)
+    if batch_size is None:
+        from repro.tuning import DEFAULT_BATCH_SIZE, recommend_batch_size
+
+        batch_size = recommend_batch_size(default=DEFAULT_BATCH_SIZE)
+    maximizer = StreamingDiversityMaximizer(k=k, k_prime=k_prime,
+                                            objective=objective,
+                                            metric=metric,
+                                            batch_size=batch_size)
+    sketch = maximizer.make_sketch()
+    for batch in stream.batches(maximizer.batch_size):
+        sketch.process_batch(batch)
+    return sketch.finalize()
 
 
 @dataclass

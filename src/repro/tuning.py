@@ -136,6 +136,47 @@ def recommend_k_prime(
     )
 
 
+def recommend_matrix_budget_mb(rung_point_counts: list[int],
+                               resident_rungs: int = 2) -> int:
+    """Matrix-cache budget (MiB) keeping the largest rungs resident.
+
+    The service's rung distance matrices cost ``8 * n^2`` bytes for a
+    rung of ``n`` core-set points; this sizes ``REPRO_MATRIX_BUDGET_MB``
+    (or ``DiversityService(matrix_budget_mb=...)``) so the
+    *resident_rungs* largest matrices fit simultaneously while smaller
+    rungs cycle through the remaining headroom.  ``repro index`` prints
+    this next to the rung table so operators can start from a measured
+    number instead of a guess.
+
+    Parameters
+    ----------
+    rung_point_counts:
+        Core-set sizes of the index's rungs (``len(rung.coreset)``).
+    resident_rungs:
+        How many of the largest matrices the budget must hold at once.
+
+    Returns
+    -------
+    int
+        A MiB budget, always at least 1.
+
+    Raises
+    ------
+    ValidationError
+        If *rung_point_counts* is empty or *resident_rungs* is not a
+        positive int.
+    """
+    from repro.exceptions import ValidationError
+
+    if not rung_point_counts:
+        raise ValidationError("rung_point_counts must be non-empty")
+    check_positive_int(resident_rungs, "resident_rungs")
+    sizes = sorted((check_positive_int(n, "rung_point_count")
+                    for n in rung_point_counts), reverse=True)
+    needed = sum(8 * n * n for n in sizes[:resident_rungs])
+    return max(1, -(-needed // 2**20))
+
+
 @dataclass(frozen=True)
 class KernelTuning:
     """Chosen tiling for one blocked-kernel workload.

@@ -184,6 +184,66 @@ class TestServiceVerbs:
         assert "warm service" in out
         assert "LRU-cached replay" in out
         assert "core-set builds during queries: 0" in out
+        assert "worker thread" not in out  # --threads off by default
+
+    def test_serve_bench_threads(self, dataset, capsys):
+        assert main(["serve-bench", "--data", str(dataset), "--k-max", "4",
+                     "--queries", "6", "--rebuild-queries", "2",
+                     "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serial query_batch" in out
+        assert "2 worker threads" in out
+        assert "rung matrices computed" in out
+
+    def test_query_matrix_budget(self, dataset, tmp_path, capsys):
+        idx = tmp_path / "idx"
+        assert main(["index", "--data", str(dataset), "--k-max", "4",
+                     "--out", str(idx)]) == 0
+        out = capsys.readouterr().out
+        assert "suggested REPRO_MATRIX_BUDGET_MB=" in out
+        assert main(["query", "--index", str(idx),
+                     "--objective", "remote-edge", "--k", "4",
+                     "--matrix-budget-mb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "value =" in out
+        assert "MiB budget" in out
+
+    def test_refresh_in_place(self, dataset, tmp_path, capsys):
+        idx = tmp_path / "idx"
+        more = tmp_path / "more"
+        assert main(["generate", "sphere-shell", "--n", "250", "--k", "4",
+                     "--seed", "9", "--out", str(more)]) == 0
+        assert main(["index", "--data", str(dataset), "--k-max", "8",
+                     "--k-min", "4", "--out", str(idx)]) == 0
+        capsys.readouterr()
+        assert main(["refresh", "--index", str(idx),
+                     "--data", str(more)]) == 0
+        out = capsys.readouterr().out
+        assert "400 -> 650 points" in out
+        assert "no MapReduce rebuild" in out
+        assert "refresh #1" in out
+        # The refreshed index still answers queries.
+        assert main(["query", "--index", str(idx),
+                     "--objective", "remote-clique", "--k", "4"]) == 0
+        assert "value =" in capsys.readouterr().out
+
+    def test_refresh_to_new_path(self, dataset, tmp_path, capsys):
+        idx = tmp_path / "idx"
+        out_path = tmp_path / "idx_v2"
+        more = tmp_path / "more"
+        assert main(["generate", "sphere-shell", "--n", "150", "--k", "4",
+                     "--seed", "3", "--out", str(more)]) == 0
+        assert main(["index", "--data", str(dataset), "--k-max", "4",
+                     "--out", str(idx)]) == 0
+        capsys.readouterr()
+        assert main(["refresh", "--index", str(idx), "--data", str(more),
+                     "--out", str(out_path), "--batch-size", "64"]) == 0
+        assert out_path.with_suffix(".npz").exists()
+        # The original index files are untouched by --out.
+        import json
+
+        original = json.loads(idx.with_suffix(".json").read_text())
+        assert "refreshes" not in original.get("extra", {})
 
 
 class TestEstimate:

@@ -1,0 +1,118 @@
+"""Documentation gates: intra-repo links resolve, CLI reference is fresh.
+
+These run in tier-1 (and again in the CI ``docs`` job next to
+``mkdocs build --strict``) so documentation rot fails the build the same
+way a broken unit does:
+
+* every relative Markdown link in ``README.md`` and ``docs/`` must point
+  at a file that exists;
+* ``docs/cli.md`` must match a fresh rendering from the ``argparse``
+  definitions (``repro.cli.render_cli_reference``) — any CLI change
+  without ``python docs/generate_cli.py`` fails here;
+* every page the mkdocs nav references must exist, and every docs page
+  must be reachable from the nav.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import render_cli_reference
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+#: Markdown inline links: [text](target) — excluding images' inner text.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files() -> list[Path]:
+    return [REPO_ROOT / "README.md", *sorted(DOCS.glob("*.md"))]
+
+
+def _relative_links(path: Path) -> list[str]:
+    text = path.read_text()
+    # Strip fenced code blocks: CLI help output is full of [--flag] noise.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    links = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        links.append(target)
+    return links
+
+
+class TestIntraRepoLinks:
+    @pytest.mark.parametrize("path", _markdown_files(),
+                             ids=lambda p: p.name)
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for target in _relative_links(path):
+            file_part = target.split("#", 1)[0]
+            if not file_part:  # pure in-page anchor
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.is_relative_to(REPO_ROOT):
+                # Forge-relative URLs (e.g. the ../../actions CI badge)
+                # point above the checkout; they are not repo files.
+                continue
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"broken relative links in {path.name}: {broken}"
+
+    def test_readme_links_to_every_docs_page(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for page in ("architecture.md", "paper-map.md", "service.md",
+                     "cli.md"):
+            assert f"docs/{page}" in readme, \
+                f"README must link to docs/{page}"
+
+
+class TestCliReference:
+    def test_generated_reference_is_committed_and_fresh(self):
+        committed = (DOCS / "cli.md").read_text()
+        fresh = render_cli_reference()
+        assert committed == fresh, (
+            "docs/cli.md is stale — regenerate with "
+            "`PYTHONPATH=src python docs/generate_cli.py`")
+
+    def test_reference_covers_every_subcommand(self):
+        from repro.cli import _COMMANDS
+
+        reference = (DOCS / "cli.md").read_text()
+        for command in _COMMANDS:
+            assert f"## repro {command}" in reference
+
+
+class TestMkdocsNav:
+    def _nav_pages(self) -> list[str]:
+        # Dependency-free parse: nav entries look like "  - Title: page.md".
+        pages = []
+        in_nav = False
+        for line in (REPO_ROOT / "mkdocs.yml").read_text().splitlines():
+            if line.startswith("nav:"):
+                in_nav = True
+                continue
+            if in_nav:
+                if line and not line.startswith((" ", "-")):
+                    break
+                match = re.search(r":\s*(\S+\.md)\s*$", line)
+                if match:
+                    pages.append(match.group(1))
+        return pages
+
+    def test_nav_pages_exist(self):
+        pages = self._nav_pages()
+        assert pages, "mkdocs.yml must declare a nav"
+        for page in pages:
+            assert (DOCS / page).exists(), f"nav references missing {page}"
+
+    def test_every_docs_page_is_in_nav(self):
+        pages = set(self._nav_pages())
+        on_disk = {path.name for path in DOCS.glob("*.md")}
+        assert on_disk == pages, (
+            f"docs/ pages and mkdocs nav disagree: "
+            f"only on disk {on_disk - pages}, only in nav {pages - on_disk}")

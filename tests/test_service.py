@@ -392,6 +392,15 @@ class TestWorkload:
     def test_workload_reproducible(self):
         assert make_workload(8, 10, seed=3) == make_workload(8, 10, seed=3)
 
+    def test_throughput_harness_accepts_prebuilt_index(self):
+        points = gaussian_clusters(2000, centers=4, dim=3, seed=3)
+        index = build_coreset_index(points, 8, k_min=4, seed=0)
+        report = measure_service_throughput(points, 8, num_queries=6,
+                                            rebuild_queries=1, index=index,
+                                            seed=0)
+        assert report.build_calls_during_queries == 0
+        assert report.index_build_seconds < 0.05  # no rebuild happened
+
     def test_throughput_harness_contract(self):
         points = gaussian_clusters(4000, centers=6, dim=3, seed=2)
         report = measure_service_throughput(points, k_max=8, num_queries=8,

@@ -1,0 +1,344 @@
+"""Tests for incremental index refresh and extended-index persistence.
+
+The contract under test is the incremental form of composability
+(Definition 2): ``CoresetIndex.extend`` streams new points through the
+batched SMM path per rung and merges by union (re-reducing oversized
+rungs), and the result must clear the *same* coreset-quality gates as a
+cold rebuild on the concatenated dataset — while never running the
+MapReduce build.  Persistence of extended indexes (format version 2)
+round-trips bit-exactly and still reads PR 3-era version-1 files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.coresets.composable import merge_coresets
+from repro.coresets.generalized import GeneralizedCoreset
+from repro.datasets.synthetic import gaussian_clusters, sphere_shell
+from repro.diversity.objectives import list_objectives
+from repro.diversity.sequential.registry import solve_sequential
+from repro.exceptions import ValidationError
+from repro.metricspace.points import PointSet
+from repro.service import (
+    INDEX_FORMAT_VERSION,
+    DiversityService,
+    build_coreset_index,
+    load_index,
+    save_index,
+)
+from repro.streaming import stream_coreset
+
+#: One quality gate for cold-built and extended indexes alike — the
+#: "same gates" clause of the refresh acceptance criterion.
+QUALITY_GATE = 0.8
+
+
+@pytest.fixture(scope="module")
+def base():
+    return sphere_shell(1500, 8, dim=3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def growth():
+    return sphere_shell(700, 8, dim=3, seed=9)
+
+
+@pytest.fixture(scope="module")
+def base_index(base):
+    return build_coreset_index(base, k_max=8, k_min=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def extended(base_index, growth):
+    return base_index.extend(growth)
+
+
+# -- stream_coreset (the batched SMM ingestion kernel) ------------------------
+
+class TestStreamCoreset:
+    def test_matches_sketch_family(self, growth):
+        gmm = stream_coreset(growth, k=4, k_prime=16, objective="remote-edge")
+        ext = stream_coreset(growth, k=4, k_prime=16,
+                             objective="remote-clique")
+        assert isinstance(gmm, PointSet) and isinstance(ext, PointSet)
+        assert len(gmm) >= 4
+        # SMM-EXT retains delegates, so the injective family is larger.
+        assert len(ext) >= len(gmm)
+
+    def test_batched_equals_per_point(self, growth):
+        batched = stream_coreset(growth, k=4, k_prime=16, batch_size=64)
+        pointwise = stream_coreset(growth, k=4, k_prime=16, batch_size=1)
+        assert batched.points.tobytes() == pointwise.points.tobytes()
+
+    def test_accepts_raw_arrays(self, rng):
+        data = rng.normal(size=(200, 3))
+        coreset = stream_coreset(data, k=4, k_prime=8)
+        assert isinstance(coreset, PointSet)
+        assert coreset.metric.name == "euclidean"
+
+    def test_tiny_input_is_its_own_coreset(self):
+        data = np.asarray([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        coreset = stream_coreset(data, k=2, k_prime=8)
+        assert len(coreset) == 3
+
+
+# -- merge_coresets -----------------------------------------------------------
+
+class TestMergeCoresets:
+    def test_union_below_threshold(self, rng):
+        a = PointSet(rng.normal(size=(10, 2)))
+        b = PointSet(rng.normal(size=(6, 2)))
+        merged = merge_coresets([a, b], k=2, k_prime=8, objective="remote-edge",
+                                max_points=32)
+        assert len(merged) == 16  # plain union, no reduction
+
+    def test_reduces_when_oversized(self, rng):
+        a = PointSet(rng.normal(size=(40, 2)))
+        b = PointSet(rng.normal(size=(40, 2)))
+        merged = merge_coresets([a, b], k=2, k_prime=16,
+                                objective="remote-edge", max_points=32)
+        assert len(merged) == 16  # reduced to the construction's k'
+
+    def test_rejects_generalized_coresets(self):
+        generalized = GeneralizedCoreset(
+            points=np.zeros((2, 2)), multiplicities=np.ones(2, dtype=np.int64),
+            metric="euclidean")
+        with pytest.raises(ValueError, match="point-subset"):
+            merge_coresets([generalized], k=2, k_prime=4,
+                           objective="remote-edge")
+
+
+# -- CoresetIndex.extend ------------------------------------------------------
+
+class TestExtend:
+    def test_returns_new_index_and_updates_provenance(self, base_index,
+                                                      extended, growth):
+        assert extended is not base_index
+        assert extended.source["n"] == base_index.source["n"] + len(growth)
+        assert extended.build_calls == base_index.build_calls
+        history = extended.extra["refreshes"]
+        assert len(history) == 1
+        assert history[0]["points_added"] == len(growth)
+        assert history[0]["sketch_builds"] == len(base_index.all_rungs())
+        # The original index is untouched.
+        assert "refreshes" not in base_index.extra
+
+    def test_rung_geometry_preserved(self, base_index, extended):
+        assert [r.key for r in extended.all_rungs()] == \
+            [r.key for r in base_index.all_rungs()]
+        for rung in extended.all_rungs():
+            assert len(rung.coreset) >= rung.k_cap
+
+    def test_repeated_extends_stay_bounded(self, base_index):
+        parallelism = base_index.ladder["parallelism"]
+        index = base_index
+        for seed in (11, 12, 13):
+            index = index.extend(sphere_shell(500, 8, dim=3, seed=seed))
+        for rung in index.all_rungs():
+            per_partition = rung.k_prime
+            if rung.family == "gmm-ext":
+                per_partition *= 1 + rung.k_cap
+            assert len(rung.coreset) <= parallelism * per_partition + \
+                rung.k_prime * (1 + rung.k_cap)
+        assert len(index.extra["refreshes"]) == 3
+
+    def test_validation_errors(self, base_index, growth):
+        with pytest.raises(ValidationError, match="non-empty"):
+            base_index.extend(growth.points)  # raw array, not a PointSet
+        cosine = PointSet(np.abs(growth.points) + 0.1, metric="cosine")
+        with pytest.raises(ValidationError, match="metric mismatch"):
+            base_index.extend(cosine)
+        flat = PointSet(growth.points[:, :2], metric="euclidean")
+        with pytest.raises(ValidationError, match="dimension mismatch"):
+            base_index.extend(flat)
+
+    def test_extend_meets_cold_rebuild_quality_gates(self, base, growth,
+                                                     base_index, extended):
+        # The acceptance criterion: extend-then-query must clear the same
+        # coreset-quality gates as a cold rebuild on the concatenation.
+        concat = base.concat(growth)
+        cold = build_coreset_index(concat, k_max=8, k_min=4, seed=0)
+        cold_service = DiversityService(cold)
+        warm_service = DiversityService(extended)
+        for objective in list_objectives():
+            for k in (4, 8):
+                _, reference = solve_sequential(concat, k, objective)
+                cold_ratio = cold_service.query(objective, k).value / reference
+                warm_ratio = warm_service.query(objective, k).value / reference
+                assert cold_ratio >= QUALITY_GATE, \
+                    f"cold rebuild below gate: {objective} k={k} {cold_ratio:.3f}"
+                assert warm_ratio >= QUALITY_GATE, \
+                    f"extended index below gate: {objective} k={k} {warm_ratio:.3f}"
+
+
+# -- DiversityService.refresh -------------------------------------------------
+
+class TestServiceRefresh:
+    def test_refresh_swaps_index_and_invalidates_caches(self, base_index,
+                                                        growth):
+        service = DiversityService(base_index)
+        before = service.query("remote-edge", 4)
+        assert service.query("remote-edge", 4).cached
+        refreshed = service.refresh(growth)
+        assert service.index is refreshed is not base_index
+        stats = service.stats()
+        assert stats["refreshes"] == 1 and stats["epoch"] == 1
+        assert stats["cached_matrices"] == 0
+        after = service.query("remote-edge", 4)
+        assert not after.cached  # caches were dropped with the old epoch
+        assert after.value >= 0 and before.value >= 0
+        assert service.build_calls == 0  # refresh is not a build
+
+    def test_refresh_swaps_caches_and_carries_stats(self, base_index,
+                                                    growth):
+        # refresh replaces both caches (in-flight old-epoch queries keep
+        # their snapshotted objects, which die with them) but the
+        # lifetime counters carry over to the successors.
+        service = DiversityService(base_index)
+        service.query("remote-edge", 4)
+        service.query("remote-edge", 4)  # one LRU hit
+        before_matrices = service.stats()["matrices"]
+        before_cache = service.stats()["cache"]
+        assert before_matrices["computes"] == 1
+        assert before_cache["hits"] == 1
+        old_matrices, old_results = service._matrices, service.cache
+        service.refresh(growth)
+        assert service._matrices is not old_matrices
+        assert service.cache is not old_results
+        assert len(service.cache) == 0  # empty successor, live entries safe
+        after_matrices = service.stats()["matrices"]
+        after_cache = service.stats()["cache"]
+        assert after_matrices["computes"] == before_matrices["computes"]
+        assert after_matrices["cached"] == 0
+        assert after_cache["hits"] == before_cache["hits"]
+        assert after_cache["misses"] == before_cache["misses"]
+        assert service._matrices.budget_bytes == old_matrices.budget_bytes
+        assert service.cache.capacity == old_results.capacity
+
+    def test_refresh_on_lazy_service_builds_once(self, base, growth):
+        service = DiversityService(points=base, k_max=8, k_min=8, seed=0)
+        service.refresh(growth)
+        builds = service.build_calls
+        assert builds > 0  # the lazy cold build, counted as usual
+        service.query("remote-edge", 4)
+        assert service.build_calls == builds
+
+    def test_concurrent_queries_during_refresh_are_safe(self, base_index,
+                                                        growth):
+        import threading
+
+        service = DiversityService(base_index)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    service.query_concurrent(
+                        [("remote-edge", 4), ("remote-clique", 5)],
+                        max_workers=2)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for _ in range(3):
+                service.refresh(growth.subset(range(100)))
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+        assert service.stats()["epoch"] == 3
+
+
+# -- persistence of extended indexes ------------------------------------------
+
+class TestExtendedPersistence:
+    def test_round_trip_is_bit_identical_with_history(self, extended,
+                                                      tmp_path):
+        path = tmp_path / "ext_idx"
+        save_index(extended, path)
+        metadata = json.loads((tmp_path / "ext_idx.json").read_text())
+        assert metadata["format_version"] == INDEX_FORMAT_VERSION == 2
+        loaded = load_index(path)
+        assert loaded.extra == extended.extra
+        assert loaded.source == extended.source
+        for ours, theirs in zip(extended.all_rungs(), loaded.all_rungs()):
+            assert ours.key == theirs.key
+            assert ours.coreset.points.tobytes() == \
+                theirs.coreset.points.tobytes()
+
+    def test_refresh_persist_load_query_round_trip(self, base_index, growth,
+                                                   tmp_path):
+        service = DiversityService(base_index)
+        service.refresh(growth)
+        path = tmp_path / "svc_idx"
+        service.save(path)
+        warm = DiversityService.from_file(path)
+        assert warm.build_calls == 0
+        for objective, k in (("remote-edge", 6), ("remote-tree", 5)):
+            ours = service.query(objective, k)
+            theirs = warm.query(objective, k)
+            assert ours.value == theirs.value
+            assert np.array_equal(ours.indices, theirs.indices)
+
+    def test_in_place_resave_is_atomic_and_clean(self, base_index, extended,
+                                                 tmp_path):
+        # The refresh default overwrites the index in place; writes go
+        # through temp files + os.replace, so no temp residue remains
+        # and the result is the new index in full.
+        path = tmp_path / "idx"
+        save_index(base_index, path)
+        save_index(extended, path)
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+        loaded = load_index(path)
+        assert loaded.extra == extended.extra
+        assert [r.key for r in loaded.all_rungs()] == \
+            [r.key for r in extended.all_rungs()]
+
+    def test_loads_version_1_files(self, base_index, tmp_path):
+        # A PR 3-era file: version 1, no "extra" block.
+        path = tmp_path / "v1_idx"
+        save_index(base_index, path)
+        sidecar = tmp_path / "v1_idx.json"
+        metadata = json.loads(sidecar.read_text())
+        metadata["format_version"] = 1
+        del metadata["extra"]
+        sidecar.write_text(json.dumps(metadata))
+        loaded = load_index(path)
+        assert loaded.extra == {}
+        assert loaded.seed == base_index.seed
+        service = DiversityService(loaded)
+        assert service.query("remote-edge", 4).value == \
+            DiversityService(base_index).query("remote-edge", 4).value
+
+    def test_unknown_version_rejected(self, base_index, tmp_path):
+        path = tmp_path / "vx_idx"
+        save_index(base_index, path)
+        sidecar = tmp_path / "vx_idx.json"
+        metadata = json.loads(sidecar.read_text())
+        metadata["format_version"] = 99
+        sidecar.write_text(json.dumps(metadata))
+        with pytest.raises(ValidationError, match="format version"):
+            load_index(path)
+
+
+# -- quality gate sanity on a second data family ------------------------------
+
+def test_extend_quality_on_clustered_data():
+    base = gaussian_clusters(1200, centers=5, dim=3, seed=2)
+    growth = gaussian_clusters(600, centers=5, dim=3, seed=7)
+    index = build_coreset_index(base, k_max=8, k_min=4, seed=0)
+    extended = index.extend(growth)
+    concat = base.concat(growth)
+    service = DiversityService(extended)
+    for objective in ("remote-edge", "remote-clique"):
+        _, reference = solve_sequential(concat, 6, objective)
+        ratio = service.query(objective, 6).value / reference
+        assert ratio >= QUALITY_GATE, f"{objective}: {ratio:.3f}"

@@ -15,6 +15,7 @@ from repro.tuning import (
     load_tile_profile,
     recommend_batch_size,
     recommend_k_prime,
+    recommend_matrix_budget_mb,
     recommend_tile_rows,
     save_tile_profile,
     tile_profile_path,
@@ -205,6 +206,39 @@ class TestRecommendBatchSize:
                         {"per_point_pps": 100.0, "batched_pps": 250.0}]})
         # Only the last cell is usable; it shows batching winning.
         assert recommend_batch_size(tmp_path) == 512
+
+
+class TestMatrixBudgetRecommendation:
+    def test_sizes_for_largest_rungs(self):
+        # Two largest rungs: 1024 and 512 points -> 8*(1024^2 + 512^2)
+        # bytes = 10 MiB.
+        assert recommend_matrix_budget_mb([64, 512, 1024]) == 10
+
+    def test_resident_rungs_widens_budget(self):
+        small = recommend_matrix_budget_mb([256, 256, 256], resident_rungs=1)
+        large = recommend_matrix_budget_mb([256, 256, 256], resident_rungs=3)
+        assert large > small
+
+    def test_minimum_is_one_mib(self):
+        assert recommend_matrix_budget_mb([4]) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            recommend_matrix_budget_mb([])
+        with pytest.raises(ValidationError):
+            recommend_matrix_budget_mb([128], resident_rungs=0)
+        with pytest.raises(ValidationError):
+            recommend_matrix_budget_mb([0])
+
+    def test_budget_really_holds_the_rungs(self):
+        from repro.service import MatrixCache
+
+        counts = [100, 200, 300]
+        budget = recommend_matrix_budget_mb(counts) * 2**20
+        cache = MatrixCache(budget_bytes=budget)
+        for n in sorted(counts)[-2:]:
+            cache.get_or_compute(n, lambda n=n: np.zeros((n, n)))
+        assert cache.stats.evictions == 0  # both largest fit together
 
 
 class TestRecommendationPipeline:
