@@ -28,9 +28,18 @@ Gates (the acceptance criteria of the service PRs):
   serial throughput — the warm workload is dominated by numpy reductions
   over the large rung matrices, which release the GIL.  With fewer cores
   the sweep is recorded without the speed gate — threads cannot beat
-  serial on one core.
+  serial on one core;
+* a second sweep runs the same workload through ``executor="process"``
+  (worker processes over the shared-memory data plane) at 1 / 2 / 4
+  workers, recorded as the ``process_concurrency`` block; on >= 4-cpu
+  runners 4 process workers must reach
+  ``REPRO_SERVICE_PROCESS_MIN_SPEEDUP`` (default 2.5) x serial — the GIL
+  is out of the picture entirely, so the bar is higher than the thread
+  gate.  Pools are warmed before the timed region (spawn cost is not
+  serving cost); 1-cpu machines record the sweep without the speed gate.
 
-Machine-readable results (including the ``concurrency`` block) land in
+Machine-readable results (including the ``concurrency`` and
+``process_concurrency`` blocks) land in
 ``benchmarks/results/BENCH_service_throughput.json`` for the CI artifact.
 Dataset size via ``REPRO_SERVICE_N`` (default 100,000 — the CI smoke size;
 the rebuild baseline scales with ``n`` while the warm path does not, so
@@ -83,7 +92,7 @@ def _measure():
         rebuild_queries=REBUILD_QUERIES, parallelism=4, executor="serial",
         seed=0, index=index,
     )
-    # matrix_budget_mb=0 pins the gated run to unbudgeted regardless of
+    # matrix_budget_mb=0 pins the gated runs to unbudgeted regardless of
     # any REPRO_MATRIX_BUDGET_MB in the environment: under a binding
     # budget, evictions trigger recomputes and the exactly-once matrix
     # gate below would fail spuriously.
@@ -92,11 +101,17 @@ def _measure():
         worker_counts=WORKER_COUNTS, seed=0, index=index,
         matrix_budget_mb=0,
     )
-    return n, index_build_seconds, report, concurrency
+    process_concurrency = measure_concurrent_throughput(
+        points, K_MAX, num_queries=NUM_QUERIES,
+        worker_counts=WORKER_COUNTS, seed=0, index=index,
+        matrix_budget_mb=0, executor="process",
+    )
+    return n, index_build_seconds, report, concurrency, process_concurrency
 
 
 def test_service_throughput(benchmark):
-    n, index_build_seconds, report, concurrency = run_once(benchmark, _measure)
+    (n, index_build_seconds, report, concurrency,
+     process_concurrency) = run_once(benchmark, _measure)
     emit("service_throughput", format_table(
         ["serving mode", "queries/s", "speedup"],
         [["rebuild-per-query", f"{report.rebuild_qps:.1f}", "1.0x"],
@@ -105,9 +120,13 @@ def test_service_throughput(benchmark):
          ["LRU-cached replay", f"{report.cached_qps:.1f}",
           f"{report.cached_speedup:.1f}x"],
          ["serial query_batch", f"{concurrency.serial_qps:.1f}", "—"],
-         *[[f"query_concurrent x{workers}", f"{qps:.1f}",
+         *[[f"query_concurrent x{workers} threads", f"{qps:.1f}",
             f"{concurrency.speedup(workers):.2f}x vs serial"]
-           for workers, qps in sorted(concurrency.qps_by_workers.items())]],
+           for workers, qps in sorted(concurrency.qps_by_workers.items())],
+         *[[f"query_concurrent x{workers} processes", f"{qps:.1f}",
+            f"{process_concurrency.speedup(workers):.2f}x vs serial"]
+           for workers, qps in sorted(
+               process_concurrency.qps_by_workers.items())]],
         title=f"Query service throughput (n={n}, k_max={K_MAX}, "
               f"{report.num_queries} queries, "
               f"{_available_cpus()} cpu)",
@@ -117,6 +136,7 @@ def test_service_throughput(benchmark):
         "k_max": K_MAX,
         "cpu_count": _available_cpus(),
         "concurrency": concurrency.as_dict(),
+        "process_concurrency": process_concurrency.as_dict(),
         **report.as_dict(),
     }
     payload["index_build_seconds"] = index_build_seconds  # the shared build
@@ -145,3 +165,19 @@ def test_service_throughput(benchmark):
             f"query_concurrent x{GATED_WORKERS} only {speedup:.2f}x over "
             f"serial query_batch (gate: {min_speedup:.2f}x on "
             f"{_available_cpus()} schedulable cpus)")
+    # Gate 6: the process sweep shares the correctness invariants
+    # unconditionally (bit-identical answers, zero builds, exactly-once
+    # matrix fills across processes — asserted by the harness), and on
+    # multi-core runners 4 GIL-free workers must beat the thread gate.
+    assert process_concurrency.build_calls_during_queries == 0
+    assert (process_concurrency.matrix_computes
+            == process_concurrency.distinct_rungs)
+    process_min = float(os.environ.get(
+        "REPRO_SERVICE_PROCESS_MIN_SPEEDUP", "2.5"))
+    process_speedup = process_concurrency.speedup(GATED_WORKERS)
+    if _available_cpus() >= GATED_WORKERS:
+        assert process_speedup >= process_min, (
+            f"query_concurrent x{GATED_WORKERS} processes only "
+            f"{process_speedup:.2f}x over serial query_batch "
+            f"(gate: {process_min:.2f}x on {_available_cpus()} "
+            f"schedulable cpus)")

@@ -17,7 +17,9 @@ Seven subcommands cover the common workflows without writing any code:
   SMM per rung + composable re-merge), no MapReduce rebuild;
 * ``serve-bench`` — measure queries/sec: rebuild-per-query vs the warm
   service path vs the LRU-cached path, optionally with a concurrent
-  thread sweep (``--threads``).
+  worker sweep (``--threads``, and ``--executor {serial,thread,process}``
+  to pick the query-execution backend — process workers solve over a
+  shared-memory data plane with answers bit-identical to serial).
 
 The generated reference in ``docs/cli.md`` (see ``docs/generate_cli.py``)
 is kept in sync with these parsers by ``tests/test_docs.py`` and the CI
@@ -207,12 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload prefix measured under the "
                           "rebuild-per-query baseline")
     srv.add_argument("--parallelism", type=int, default=4)
-    srv.add_argument("--executor", choices=("serial", "process"),
-                     default="serial")
+    srv.add_argument("--executor", choices=("serial", "thread", "process"),
+                     default="serial",
+                     help="query-execution backend for the concurrency "
+                          "sweep ('process' also builds the index through "
+                          "the MapReduce process executor); all backends "
+                          "return answers bit-identical to serial "
+                          "query_batch")
     srv.add_argument("--threads", type=int, default=0,
                      help="also measure query_concurrent with this many "
-                          "worker threads against serial query_batch "
-                          "(0: skip the concurrency sweep)")
+                          "workers against serial query_batch (0: skip "
+                          "the sweep unless --executor is thread/process, "
+                          "which defaults it to 4)")
     srv.add_argument("--matrix-budget-mb", type=int, default=None,
                      help="matrix-cache budget (MiB) for the measured "
                           "services; default: $REPRO_MATRIX_BUDGET_MB, "
@@ -386,6 +394,12 @@ def _refresh(args: argparse.Namespace) -> int:
     print(f"refreshed index: {n_before} -> {extended.source.get('n')} points "
           f"({refresh['sketch_builds']} streaming sketch builds, "
           f"{refresh['seconds']:.2f}s, no MapReduce rebuild)")
+    reestimates = extended.extra.get("dimension_reestimates", [])
+    if reestimates and reestimates[-1]["n"] == extended.source.get("n"):
+        latest = reestimates[-1]
+        print(f"  routing dimension re-estimated: "
+              f"{latest['previous']:.2f} -> {latest['estimate']:.2f} "
+              f"(data grew >=2x since the last estimate)")
     for rung in extended.all_rungs():
         print(f"  rung {rung.family:8s} k<={rung.k_cap:<4d} "
               f"k'={rung.k_prime:<5d} {len(rung.coreset):6d} pts")
@@ -398,21 +412,25 @@ def _serve_bench(args: argparse.Namespace) -> int:
     import time
 
     points = load_points(args.data)
+    # The index build goes through the MapReduce process executor only
+    # when the query backend is 'process' too; 'thread' concerns query
+    # execution alone.
+    build_executor = "process" if args.executor == "process" else "serial"
     # One ladder build, shared by the throughput and concurrency
     # harnesses — the build is the dominant cost of this command.
     started = time.perf_counter()
     index = build_coreset_index(points, args.k_max,
                                 parallelism=args.parallelism,
-                                executor=args.executor, seed=args.seed)
+                                executor=build_executor, seed=args.seed)
     index_build_seconds = time.perf_counter() - started
     report = measure_service_throughput(
         points, args.k_max, num_queries=args.queries,
         rebuild_queries=args.rebuild_queries, parallelism=args.parallelism,
-        executor=args.executor, seed=args.seed, index=index,
+        executor=build_executor, seed=args.seed, index=index,
         matrix_budget_mb=args.matrix_budget_mb,
     )
     print(f"serve-bench: {report.num_queries} queries, k_max={args.k_max}, "
-          f"index build {index_build_seconds:.2f}s [{args.executor}]")
+          f"index build {index_build_seconds:.2f}s [{build_executor}]")
     print(f"  rebuild-per-query : {report.rebuild_qps:10.1f} queries/s "
           f"(measured over {report.rebuild_queries} queries)")
     print(f"  warm service      : {report.warm_qps:10.1f} queries/s "
@@ -421,20 +439,26 @@ def _serve_bench(args: argparse.Namespace) -> int:
           f"({report.cached_speedup:.1f}x)")
     print(f"  core-set builds during queries: "
           f"{report.build_calls_during_queries}")
-    if args.threads > 0:
-        worker_counts = tuple(sorted({1, args.threads}))
+    if args.threads > 0 or args.executor != "serial":
+        query_executor = ("thread" if args.executor == "serial"
+                          else args.executor)
+        workers = args.threads if args.threads > 0 else 4
+        worker_counts = tuple(sorted({1, workers}))
         concurrency = measure_concurrent_throughput(
             points, args.k_max, num_queries=args.queries,
             worker_counts=worker_counts, seed=args.seed,
             matrix_budget_mb=args.matrix_budget_mb, index=index,
+            executor=query_executor,
         )
         print(f"  serial query_batch: {concurrency.serial_qps:10.1f} queries/s")
         for workers, qps in sorted(concurrency.qps_by_workers.items()):
-            print(f"  {workers} worker thread{'s' if workers > 1 else ' '}  "
-                  f" : {qps:10.1f} queries/s "
+            label = f"{workers} {query_executor} worker"
+            label += "s" if workers > 1 else ""
+            print(f"  {label:18s}: {qps:10.1f} queries/s "
                   f"({concurrency.speedup(workers):.2f}x vs serial)")
         print(f"  rung matrices computed: {concurrency.matrix_computes} "
-              f"(distinct rungs touched: {concurrency.distinct_rungs})")
+              f"(distinct rungs touched: {concurrency.distinct_rungs}, "
+              f"executor: {query_executor})")
     return 0
 
 

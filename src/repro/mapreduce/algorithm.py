@@ -80,6 +80,7 @@ class MRResult:
 
     @property
     def k(self) -> int:
+        """Size of the returned solution."""
         return len(self.solution)
 
 

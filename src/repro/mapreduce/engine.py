@@ -102,8 +102,11 @@ class MapReduceEngine:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; the engine stays usable —
-        the next process round starts a fresh pool)."""
+        """Shut down the worker pool (idempotent).
+
+        The engine stays usable: the next process round starts a fresh
+        pool.
+        """
         if self._pool is not None:
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()

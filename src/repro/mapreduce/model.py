@@ -34,6 +34,7 @@ class JobStats:
 
     @property
     def num_rounds(self) -> int:
+        """Rounds recorded so far."""
         return len(self.rounds)
 
     @property
@@ -48,7 +49,9 @@ class JobStats:
 
     @property
     def total_wall_seconds(self) -> float:
+        """Wall time summed over all recorded rounds."""
         return sum(r.wall_seconds for r in self.rounds)
 
     def add(self, stats: RoundStats) -> None:
+        """Record one completed round."""
         self.rounds.append(stats)

@@ -1,16 +1,17 @@
-"""Zero-copy partition shipping over POSIX shared memory.
+"""Zero-copy partition shipping over the shared-memory data plane.
 
 The process-pool executor must get each reducer its partition without
 pickling point arrays through the IPC pipe — at 100k+ points the pickle
 bytes, not the algorithm, dominate round wall time.  The protocol here:
 
-* the driver publishes the dataset array **once** into a
-  :class:`multiprocessing.shared_memory.SharedMemory` block
-  (:class:`SharedDataset`);
+* the driver publishes the dataset array **once** into a shared-memory
+  segment (:class:`SharedDataset`, backed by
+  :class:`repro.shm.SharedNDArray`);
 * each reducer receives a :class:`SharedPartition` — a tiny picklable
   descriptor ``(shm name, shape, dtype, row selector, metric)`` — and
   attaches to the block on first use (attachments are cached per worker
-  process, so a multi-round job maps the segment once per worker);
+  process by :mod:`repro.shm`, so a multi-round job maps the segment once
+  per worker);
 * contiguous selectors resolve to true zero-copy views; fancy-index
   selectors copy *inside the worker*, off the IPC critical path;
 * round outputs travel back as index arrays into the shared block wherever
@@ -21,53 +22,25 @@ Lifecycle: ``SharedDataset`` is a context manager; the driver unlinks the
 segment when the job is done (on Linux, workers holding attachments keep
 the mapping alive until they drop it).  A ``weakref.finalize`` backstop
 unlinks on garbage collection so crashed drivers do not leak ``/dev/shm``
-segments.
+segments.  Worker attachments keep the historical cache limit of one
+segment — jobs touch exactly one dataset-sized block at a time, and a
+stale unlinked segment kept mapped is a dataset's worth of RAM pinned.
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
-from multiprocessing import shared_memory
 from typing import Sequence, Union
 
 import numpy as np
 
 from repro.metricspace.distance import Metric
 from repro.metricspace.points import PointSet
+from repro.shm import SharedArrayRef, SharedNDArray
 
 #: A partition row selector: a contiguous ``(start, stop)`` span (zero-copy
 #: in the worker) or an explicit index array (gathered in the worker).
 Selector = Union[tuple[int, int], np.ndarray]
-
-# Worker-process cache of attached segments, keyed by shm name.  Attaching
-# costs a syscall + resource-tracker round trip; a multi-round job touches
-# the same block every round, so caching matters.  Only the most recent
-# segment is kept: jobs (and recursion levels) use exactly one segment at
-# a time, and a dataset-sized unlinked segment kept mapped is a dataset's
-# worth of RAM pinned — attaching to a fresh name evicts the old one.
-_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
-_ATTACH_CACHE_LIMIT = 1
-
-
-def _attach(name: str) -> shared_memory.SharedMemory:
-    segment = _ATTACHED.get(name)
-    if segment is None:
-        while len(_ATTACHED) >= _ATTACH_CACHE_LIMIT:
-            oldest = next(iter(_ATTACHED))
-            stale = _ATTACHED.pop(oldest)
-            try:
-                stale.close()
-            except BufferError:  # pragma: no cover - a view still lives
-                pass
-        # Note on the resource tracker: CPython < 3.13 registers attachments
-        # too, but the tracker process is shared across the pool and its
-        # per-name cache is a set, so worker attachments collapse into the
-        # driver's own registration and the driver's unlink balances it.
-        # (Explicitly unregistering here would *break* that accounting.)
-        segment = shared_memory.SharedMemory(name=name)
-        _ATTACHED[name] = segment
-    return segment
 
 
 @dataclass(frozen=True)
@@ -95,9 +68,8 @@ class SharedPartition:
 
     def materialize(self) -> PointSet:
         """Resolve the descriptor against shared memory (worker side)."""
-        segment = _attach(self.shm_name)
-        block = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
-                           buffer=segment.buf)
+        block = SharedArrayRef(name=self.shm_name, shape=self.shape,
+                               dtype=self.dtype).resolve()
         if isinstance(self.selector, tuple):
             start, stop = self.selector
             rows = block[start:stop]  # zero-copy view of the shared block
@@ -148,19 +120,12 @@ class SharedDataset:
         self.shape: tuple[int, int] = array.shape
         self.dtype = array.dtype.str
         self.metric = points.metric
-        self._segment = shared_memory.SharedMemory(
-            create=True, size=max(array.nbytes, 1))
-        self._view = np.ndarray(self.shape, dtype=array.dtype,
-                                buffer=self._segment.buf)
-        self._view[...] = array
-        self._closed = False
-        self._finalizer = weakref.finalize(
-            self, _release_segment, self._segment)
+        self._owner = SharedNDArray.publish(array)
 
     @property
     def name(self) -> str:
         """Name of the backing shared-memory segment."""
-        return self._segment.name
+        return self._owner.ref.name
 
     def partition(self, selector: Selector) -> SharedPartition:
         """A :class:`SharedPartition` descriptor for *selector*'s rows."""
@@ -176,9 +141,7 @@ class SharedDataset:
 
     def take(self, indices: np.ndarray) -> np.ndarray:
         """Gather rows by global index (driver side, one local copy)."""
-        if self._closed:
-            raise RuntimeError("SharedDataset is closed")
-        return self._view[np.asarray(indices, dtype=np.intp)].copy()
+        return self._owner.array[np.asarray(indices, dtype=np.intp)].copy()
 
     def point_set(self, indices: np.ndarray) -> PointSet:
         """The gathered rows as a :class:`PointSet` over the dataset metric."""
@@ -186,22 +149,10 @@ class SharedDataset:
 
     def close(self) -> None:
         """Release and unlink the segment (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            self._view = None
-            self._finalizer.detach()
-            _release_segment(self._segment)
+        self._owner.close()
 
     def __enter__(self) -> "SharedDataset":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-
-def _release_segment(segment: shared_memory.SharedMemory) -> None:
-    try:
-        segment.close()
-        segment.unlink()
-    except FileNotFoundError:  # pragma: no cover - already unlinked
-        pass

@@ -14,6 +14,13 @@ for the layer diagram.
 """
 
 from repro.service.cache import CacheStats, LRUCache, StripedLRUCache
+from repro.service.executors import (
+    EXECUTOR_NAMES,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
 from repro.service.index import (
     FAMILIES,
     CoresetIndex,
@@ -21,7 +28,13 @@ from repro.service.index import (
     build_coreset_index,
     family_of,
 )
-from repro.service.matrices import MatrixCache, MatrixStats, matrix_budget_from_env
+from repro.service.matrices import (
+    MatrixCache,
+    MatrixLease,
+    MatrixStats,
+    SharedMatrixCache,
+    matrix_budget_from_env,
+)
 from repro.service.persist import INDEX_FORMAT_VERSION, load_index, save_index
 from repro.service.service import DiversityService, Query, QueryResult
 from repro.service.workload import (
@@ -36,13 +49,20 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "StripedLRUCache",
+    "EXECUTOR_NAMES",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "create_executor",
     "FAMILIES",
     "CoresetIndex",
     "LadderRung",
     "build_coreset_index",
     "family_of",
     "MatrixCache",
+    "MatrixLease",
     "MatrixStats",
+    "SharedMatrixCache",
     "matrix_budget_from_env",
     "INDEX_FORMAT_VERSION",
     "load_index",

@@ -106,6 +106,18 @@ class LRUCache:
             self.stats.hits += 1
             return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look *key* up without counting stats or refreshing recency.
+
+        The epsilon-aware reuse probe of the query service uses this: a
+        secondary lookup must not distort the one-hit-or-miss-per-query
+        accounting of :meth:`get`, nor promote an entry the caller did
+        not actually request.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) *key*, evicting the LRU entry when full."""
         with self._lock:
@@ -175,6 +187,10 @@ class StripedLRUCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look *key* up in its shard, counting a hit or miss there."""
         return self._shard(key).get(key, default)
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look *key* up in its shard without stats or recency effects."""
+        return self._shard(key).peek(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) *key* in its shard, evicting LRU when full."""

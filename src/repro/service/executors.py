@@ -1,0 +1,497 @@
+"""Pluggable query-execution backends: ``serial`` / ``thread`` / ``process``.
+
+:class:`~repro.service.service.DiversityService` routes, caches and
+accounts for queries; *how* the cache-missed solves actually run is this
+module's concern.  Three backends share one contract — answers are
+bit-identical to serial ``query_batch`` on the same service state, queries
+never build core-sets, and per-rung matrices are computed exactly once:
+
+* :class:`SerialExecutor` — the reference path: same-rung misses are
+  grouped so the rung matrix is fetched once, then each solver runs in
+  the calling thread.
+* :class:`ThreadExecutor` — a thread pool over the same cached state;
+  scales while the solve is numpy-dominated (the GIL is released inside
+  the kernels) but gates at ~2x for the Python-heavy solvers.
+* :class:`ProcessExecutor` — real processes over a **shared-memory data
+  plane** (:mod:`repro.shm`): the driver publishes each serving rung's
+  core-set rows once per epoch and leases zero-filled matrix segments
+  from a :class:`~repro.service.matrices.SharedMatrixCache`; workers
+  attach by descriptor, fill each matrix exactly once under a striped
+  cross-process lock (:func:`repro.shm.fill_once`) and reply with
+  index-based answers — point rows never cross the IPC pipe in either
+  direction.
+
+Epoch semantics: the process executor keeps one :class:`_EpochPlane` per
+index epoch.  A refresh retires superseded planes, but a batch in flight
+holds a pin on its plane, so its workers finish against the old epoch's
+segments while new queries route to the new epoch's plane; the retired
+plane's segments are unlinked when the last pin releases.
+:meth:`ProcessExecutor.close` (with GC finalizers on every segment as
+backstop) leaves zero ``/dev/shm`` entries behind.
+
+Thread safety: executors are owned by one service and may be invoked from
+many threads; plane bookkeeping is lock-guarded and the worker pool is
+``concurrent.futures``-managed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import shm
+from repro.diversity.objectives import get_objective
+from repro.diversity.sequential.registry import solve_on_matrix
+from repro.exceptions import ValidationError
+from repro.metricspace.distance import Metric
+from repro.metricspace.points import PointSet
+from repro.service.matrices import MatrixLease, SharedMatrixCache
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.service.index import LadderRung
+    from repro.service.service import DiversityService, Query, QueryResult
+
+#: Names accepted by ``DiversityService(executor=...)`` and the CLI.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: Cross-process single-flight stripes (locks shared with every worker).
+DEFAULT_LOCK_STRIPES = 8
+
+#: Attached-segment cache capacity inside query workers: batches revisit
+#: several small core-set and matrix segments, unlike MapReduce workers.
+WORKER_ATTACH_CACHE = 64
+
+# -- worker-process side -------------------------------------------------------
+
+_WORKER_LOCKS: list | None = None
+
+
+def _init_worker(stripe_locks: list, attach_cache_limit: int) -> None:
+    """Pool initializer: install the stripe locks and attach-cache limit."""
+    global _WORKER_LOCKS
+    _WORKER_LOCKS = stripe_locks
+    shm.set_attachment_cache_limit(attach_cache_limit)
+
+
+def _warm_worker(seconds: float) -> int:
+    """Warmup task: hold a worker long enough to force the pool to spawn."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def _solve_query(coreset_ref: shm.SharedArrayRef,
+                 matrix_ref: shm.SharedArrayRef, stripe: int,
+                 metric: Metric, objective_name: str,
+                 k: int) -> tuple[np.ndarray, float, float, bool]:
+    """Solve one routed query against the shared data plane (worker side).
+
+    Attaches the rung's core-set rows and matrix segment by descriptor;
+    the first caller per segment fills the matrix under its stripe lock
+    (identical bytes to the driver's own ``pairwise`` — same rows, same
+    blocked kernel, same tile sizing), everyone else reads it.  Returns
+    ``(indices, value, solve_seconds, computed_matrix)`` — indices into
+    the rung core-set, never point rows.
+    """
+    rows = coreset_ref.resolve()
+
+    def compute() -> np.ndarray:
+        """Blocked pairwise matrix of the attached core-set rows."""
+        return PointSet(rows, metric).pairwise()
+
+    dist, computed = shm.fill_once(matrix_ref, _WORKER_LOCKS[stripe], compute)
+    objective = get_objective(objective_name)
+    started = time.perf_counter()
+    indices = solve_on_matrix(dist, k, objective)
+    value = float(objective.value(dist[np.ix_(indices, indices)]))
+    return (np.asarray(indices, dtype=np.intp), value,
+            time.perf_counter() - started, computed)
+
+
+# -- driver side ---------------------------------------------------------------
+
+class SerialExecutor:
+    """The reference backend: grouped, in-thread solves (PR 3 semantics)."""
+
+    name = "serial"
+
+    def run(self, service: "DiversityService", snapshot,
+            normalized: "list[Query]", max_workers: int,
+            rungs: "list[LadderRung]", reuse: dict):
+        """Delegate to the service's grouped serial solve path."""
+        return service._solve_grouped(snapshot, normalized, rungs, reuse)
+
+    def warm(self, max_workers: int) -> None:
+        """Nothing to pre-start for in-thread execution."""
+
+    def close(self) -> None:
+        """Nothing to shut down for in-thread execution."""
+
+
+class ThreadExecutor:
+    """Thread-pool backend over the shared in-process caches."""
+
+    name = "thread"
+
+    def run(self, service: "DiversityService", snapshot,
+            normalized: "list[Query]", max_workers: int,
+            rungs: "list[LadderRung]", reuse: dict):
+        """Fan the queries over a thread pool (one ``_answer_one`` each)."""
+        workers = min(max_workers, len(normalized))
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="repro-query") as pool:
+            index, epoch, cache, matrices = snapshot
+            return list(pool.map(
+                lambda pair: service._answer_one(index, epoch, cache,
+                                                 matrices, pair[0], pair[1],
+                                                 reuse),
+                zip(normalized, rungs)))
+
+    def warm(self, max_workers: int) -> None:
+        """Threads start instantly; nothing to pre-start."""
+
+    def close(self) -> None:
+        """Per-call pools are already torn down; nothing persists."""
+
+
+class _EpochPlane:
+    """One epoch's shared-memory serving state: core-sets plus matrices.
+
+    Created lazily on the first process batch of an epoch; rung core-sets
+    publish once on demand and matrices are leased from the epoch's
+    :class:`~repro.service.matrices.SharedMatrixCache`.  Batches pin the
+    plane for their duration (:meth:`acquire` / :meth:`release`); a
+    :meth:`retire` from a newer epoch defers the actual unlink until the
+    last pin drains, which is how an in-flight worker finishes on the old
+    epoch's segments while new queries route to the new epoch.
+    """
+
+    def __init__(self, epoch: int, budget_bytes: int | None,
+                 previous_matrices: SharedMatrixCache | None = None):
+        self.epoch = epoch
+        self.matrices = (previous_matrices.successor()
+                         if previous_matrices is not None
+                         else SharedMatrixCache(budget_bytes))
+        self._coresets: dict[tuple, shm.SharedNDArray] = {}
+        self._lock = threading.Lock()
+        self._pins = 0
+        self._retired = False
+        self._closed = False
+
+    def coreset_ref(self, rung: "LadderRung") -> shm.SharedArrayRef:
+        """The rung's published core-set rows (publishing on first use)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("epoch plane is closed")
+            owner = self._coresets.get(rung.key)
+            if owner is None:
+                owner = shm.SharedNDArray.publish(rung.coreset.points)
+                self._coresets[rung.key] = owner
+            return owner.ref
+
+    def acquire(self) -> None:
+        """Pin the plane for one in-flight batch."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("epoch plane is closed")
+            self._pins += 1
+
+    def release(self) -> None:
+        """Drop a batch's pin; a retired plane closes on the last one."""
+        with self._lock:
+            self._pins = max(self._pins - 1, 0)
+            drain = self._retired and self._pins == 0 and not self._closed
+        if drain:
+            self.close()
+
+    def retire(self) -> None:
+        """Mark superseded; unlink now or when the last pin releases."""
+        with self._lock:
+            self._retired = True
+            drain = self._pins == 0 and not self._closed
+        if drain:
+            self.close()
+
+    def close(self) -> None:
+        """Unlink every segment this plane published (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            owners = list(self._coresets.values())
+            self._coresets.clear()
+        for owner in owners:
+            owner.close()
+        self.matrices.close()
+
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of the core-set segments currently published (testing)."""
+        with self._lock:
+            return [owner.ref.name for owner in self._coresets.values()]
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=False)
+
+
+class ProcessExecutor:
+    """Process-pool backend over the shared-memory data plane.
+
+    Parameters
+    ----------
+    matrix_budget_bytes:
+        Budget convention of :class:`~repro.service.matrices.MatrixCache`
+        (``None`` environment, ``0`` unbudgeted, else bytes), applied to
+        each epoch plane's shared matrix segments.
+    stripes:
+        Cross-process single-flight lock stripes.
+
+    The worker pool uses the **spawn** context: workers never inherit the
+    driver's threads or locks mid-state, and the resource-tracker
+    accounting stays with the driver's tracker (see :mod:`repro.shm`).
+    The pool persists across batches; it is (re)created lazily for the
+    requested worker count and shut down by :meth:`close` or a GC
+    finalizer.
+    """
+
+    name = "process"
+
+    def __init__(self, matrix_budget_bytes: int | None = None,
+                 stripes: int = DEFAULT_LOCK_STRIPES):
+        self._budget = matrix_budget_bytes
+        self._stripes = stripes
+        self._ctx = multiprocessing.get_context("spawn")
+        self._locks = [self._ctx.Lock() for _ in range(stripes)]
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        self._pool_finalizer: weakref.finalize | None = None
+        self._planes: dict[int, _EpochPlane] = {}
+        #: Matrix cache of the most recently retired plane: the next
+        #: epoch's plane continues its lifetime stats (successor
+        #: semantics, matching the in-process MatrixCache across
+        #: refreshes).
+        self._retired_matrices: SharedMatrixCache | None = None
+        #: Highest epoch this executor has seen (batches or refresh
+        #: notifications); batches snapshotted below it get a transient,
+        #: self-retiring plane instead of resurrecting a dead epoch.
+        self._ceiling_epoch = -1
+        self._lock = threading.Lock()
+        self.closed = False
+
+    # -- pool lifecycle ----------------------------------------------------------
+    def _ensure_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        # Grow-only: a request below the current pool size reuses the
+        # larger pool (tearing down and respawning interpreters on every
+        # width change would cost hundreds of milliseconds per worker —
+        # e.g. a service alternating query_batch with a narrower
+        # query_concurrent).  Sweeps wanting an exact width use a fresh
+        # service per width, as the throughput harness does.
+        with self._lock:
+            if self._pool is not None and self._pool_workers >= max_workers:
+                return self._pool
+            self._drop_pool()
+            self._pool = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=self._ctx,
+                initializer=_init_worker,
+                initargs=(self._locks, WORKER_ATTACH_CACHE))
+            self._pool_workers = max_workers
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool,
+                                                    self._pool)
+            self.closed = False
+            return self._pool
+
+    def _drop_pool(self) -> None:
+        # Caller holds self._lock.
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def warm(self, max_workers: int) -> None:
+        """Spawn (and wait for) all *max_workers* workers up front.
+
+        Worker spawn costs hundreds of milliseconds each (a fresh
+        interpreter imports numpy and this package); benchmarks call this
+        before the timed region so measured queries/sec reflect serving,
+        not cold starts.
+        """
+        pool = self._ensure_pool(max_workers)
+        futures = [pool.submit(_warm_worker, 0.2) for _ in range(max_workers)]
+        for future in futures:
+            future.result()
+
+    # -- plane lifecycle ---------------------------------------------------------
+    def _plane_for(self, epoch: int) -> _EpochPlane:
+        with self._lock:
+            if epoch < self._ceiling_epoch and epoch not in self._planes:
+                # A batch that snapshotted an epoch already superseded by
+                # a refresh (and whose plane has been retired): give it a
+                # private plane that is never registered — it drains with
+                # the batch instead of resurrecting a dead epoch's
+                # segments.
+                plane = _EpochPlane(epoch, self._budget, None)
+                plane.acquire()
+                plane.retire()  # pinned, so this defers close to release
+                return plane
+            self._ceiling_epoch = max(self._ceiling_epoch, epoch)
+            plane = self._planes.get(epoch)
+            if plane is None:
+                previous = (self._planes[max(self._planes)].matrices
+                            if self._planes else self._retired_matrices)
+                plane = _EpochPlane(epoch, self._budget, previous)
+                self._planes[epoch] = plane
+            stale = [self._planes.pop(e) for e in list(self._planes)
+                     if e < epoch]
+            if stale:
+                self._retired_matrices = stale[-1].matrices
+            plane.acquire()
+        for old in stale:
+            old.retire()
+        return plane
+
+    def on_epoch(self, epoch: int) -> None:
+        """Retire planes superseded by *epoch* (refresh notification)."""
+        with self._lock:
+            self._ceiling_epoch = max(self._ceiling_epoch, epoch)
+            stale = [self._planes.pop(e) for e in list(self._planes)
+                     if e < epoch]
+            if stale:
+                self._retired_matrices = stale[-1].matrices
+        for old in stale:
+            old.retire()
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, service: "DiversityService", snapshot,
+            normalized: "list[Query]", max_workers: int,
+            rungs: "list[LadderRung]", reuse: dict):
+        """Serve a batch: probe driver-side, solve misses in workers.
+
+        Mirrors the serial grouped path exactly — per-query counted cache
+        probes (in-batch repeats defer theirs until after the solve),
+        one dispatched solve per distinct cache key, results memoized in
+        the driver's LRU — so answers, ``cached`` flags and cache stats
+        are all identical to ``query_batch`` on the same state.
+        """
+        from repro.service.service import QueryResult  # lazy: avoids a cycle
+
+        _, epoch, cache, _ = snapshot
+        plane = self._plane_for(epoch)
+        leases: dict[tuple, tuple[shm.SharedArrayRef, MatrixLease]] = {}
+        try:
+            results, groups = service._probe_batch(snapshot, normalized,
+                                                   rungs, reuse)
+            pool = self._ensure_pool(max_workers)
+            futures = {}
+            for cache_key, (rung, members) in groups.items():
+                pair = leases.get(rung.key)
+                if pair is None:
+                    coreset_ref = plane.coreset_ref(rung)
+                    lease = plane.matrices.lease((epoch,) + rung.key,
+                                                 len(rung.coreset))
+                    pair = (coreset_ref, lease)
+                    leases[rung.key] = pair
+                coreset_ref, lease = pair
+                stripe = hash(lease.ref.name) % self._stripes
+                query = members[0][1]
+                futures[cache_key] = pool.submit(
+                    _solve_query, coreset_ref, lease.ref, stripe,
+                    rung.coreset.metric, query.objective, query.k)
+            for cache_key, (rung, members) in groups.items():
+                indices, value, seconds, computed = futures[cache_key].result()
+                if computed:
+                    plane.matrices.note_computed((epoch,) + rung.key)
+                first_query = members[0][1]
+                result = QueryResult(
+                    objective=first_query.objective, k=first_query.k,
+                    epsilon=first_query.epsilon, indices=indices,
+                    points=rung.coreset.points[indices], value=value,
+                    rung=rung.key, cached=False, solve_seconds=seconds)
+                service._finish_group(cache, cache_key, result, members,
+                                      results)
+            return results
+        finally:
+            for _, lease in leases.values():
+                plane.matrices.release(lease)
+            plane.release()
+
+    # -- observability / shutdown ------------------------------------------------
+    def segment_names(self) -> list[str]:
+        """Every shared segment currently published across all planes.
+
+        The leak tests assert these names disappear from ``/dev/shm``
+        after :meth:`close` (and after an epoch retirement drains).
+        """
+        with self._lock:
+            planes = list(self._planes.values())
+        names: list[str] = []
+        for plane in planes:
+            names.extend(plane.segment_names)
+            names.extend(plane.matrices.segment_names())
+        return names
+
+    def stats(self) -> dict:
+        """The newest plane's shared-matrix block plus plane bookkeeping.
+
+        Between a refresh (which retires every plane) and the next
+        process batch, the block falls back to the retired plane's cache
+        so lifetime counters never appear to reset; before any batch has
+        run it reports an empty cache at the configured budget.
+        """
+        with self._lock:
+            planes = dict(self._planes)
+            retired = self._retired_matrices
+        newest = planes.get(max(planes)) if planes else None
+        if newest is not None:
+            payload = newest.matrices.describe()
+        elif retired is not None:
+            payload = retired.describe()
+        else:
+            payload = SharedMatrixCache(self._budget).describe()
+        payload["planes"] = len(planes)
+        payload["epoch"] = newest.epoch if newest is not None else None
+        return payload
+
+    def close(self) -> None:
+        """Shut down the pool and unlink every plane segment (idempotent).
+
+        Planes are *retired*, not force-closed: a batch concurrently in
+        flight keeps its pins and drains on its own plane (segments
+        unlink on its last release); with no batch in flight — the usual
+        case — retirement unlinks immediately, so a quiesced service
+        leaves zero segments behind the moment this returns.
+        """
+        with self._lock:
+            self._drop_pool()
+            planes = [self._planes.pop(e) for e in list(self._planes)]
+            self.closed = True
+        for plane in planes:
+            plane.retire()
+
+
+def create_executor(name: str, *,
+                    matrix_budget_bytes: int | None = None):
+    """Instantiate the execution backend called *name*.
+
+    Raises
+    ------
+    ValidationError
+        If *name* is not one of :data:`EXECUTOR_NAMES`.
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor()
+    if name == "process":
+        return ProcessExecutor(matrix_budget_bytes=matrix_budget_bytes)
+    raise ValidationError(
+        f"unknown executor {name!r}; known: {', '.join(EXECUTOR_NAMES)}")

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.coresets.composable import (
     ladder_parameters,
     merge_coresets,
@@ -104,20 +106,21 @@ class CoresetIndex:
         """Every rung across families, in family-then-cost order."""
         return [rung for family in self.families for rung in self.rungs[family]]
 
-    def route(self, objective: str | Objective, k: int,
-              epsilon: float = 1.0) -> LadderRung:
-        """The cheapest rung that covers an ``(objective, k, eps)`` query.
+    def covering_rungs(self, objective: str | Objective,
+                       k: int) -> list[LadderRung]:
+        """Every rung able to serve ``(objective, k)``, cheapest first.
 
-        A rung covers the query when its capacity admits ``k``
-        (``k_cap >= k`` and the core-set holds at least ``k`` points) and
-        its kernel size meets the practical sizing
-        ``k' >= practical_coreset_size(k, eps, D)`` — which starts at the
-        ladder's own multiplier for the default slack (so ``eps = 1``
-        routes to the first covering rung, the Section 7 sweet spot) and
-        climbs the ladder as ``eps`` tightens.  Rungs are scanned in
-        ascending cost; if none meets the sizing (an aggressive ``eps``),
-        the largest admissible rung is the best the index can do and is
-        returned rather than failing the query.
+        A rung covers the query when its capacity admits ``k``: its
+        ``k_cap >= k`` and its core-set holds at least ``k`` points.
+        :meth:`route` narrows this list by the epsilon sizing; the
+        epsilon-aware result reuse of the query service scans it for
+        cached answers of larger (tighter-eps) rungs.
+
+        Raises
+        ------
+        ValidationError
+            If the index holds no ladder for the objective's family, or
+            no rung admits ``k``.
         """
         objective = get_objective(objective)
         check_positive_int(k, "k")
@@ -134,6 +137,25 @@ class CoresetIndex:
                 f"no ladder rung serves k={k} for {objective.name} "
                 f"(largest k_cap is {ladder[-1].k_cap}); "
                 "rebuild the index with a larger k_max")
+        return candidates
+
+    def route(self, objective: str | Objective, k: int,
+              epsilon: float = 1.0) -> LadderRung:
+        """The cheapest rung that covers an ``(objective, k, eps)`` query.
+
+        A rung covers the query when its capacity admits ``k``
+        (``k_cap >= k`` and the core-set holds at least ``k`` points) and
+        its kernel size meets the practical sizing
+        ``k' >= practical_coreset_size(k, eps, D)`` — which starts at the
+        ladder's own multiplier for the default slack (so ``eps = 1``
+        routes to the first covering rung, the Section 7 sweet spot) and
+        climbs the ladder as ``eps`` tightens.  Rungs are scanned in
+        ascending cost; if none meets the sizing (an aggressive ``eps``),
+        the largest admissible rung is the best the index can do and is
+        returned rather than failing the query.
+        """
+        objective = get_objective(objective)
+        candidates = self.covering_rungs(objective, k)
         required = practical_coreset_size(
             k, epsilon, self.dimension_estimate, objective,
             base_multiplier=int(self.ladder.get("multiplier", 4)))
@@ -156,6 +178,17 @@ class CoresetIndex:
         exceeds *compact_above* (default: the cold-build union bound,
         ``parallelism`` per-partition core-sets) are re-reduced with the
         family's construction so repeated extends stay bounded.
+
+        Routing-dimension maintenance: the doubling-dimension estimate
+        that drives :func:`~repro.coresets.composable.practical_coreset_size`
+        is computed once at build time, which goes stale when refreshes
+        shift the data distribution.  When the refresh history shows the
+        dataset has grown to at least **2x** its size at the last
+        estimate, the dimension is re-estimated from a sample of the
+        grown dataset — the fresh points concatenated with the largest
+        rung core-sets, which are by construction a geometric summary of
+        everything ingested before — and recorded in
+        ``extra["dimension_reestimates"]``.
 
         Parameters
         ----------
@@ -237,9 +270,12 @@ class CoresetIndex:
                         "sketch_builds": sketch_builds,
                         "seconds": elapsed})
         extra["refreshes"] = history
+        n_after = int(self.source.get("n", 0)) + len(new_points)
+        dimension = self._maybe_reestimate_dimension(new_points, rungs,
+                                                     n_after, extra)
         return CoresetIndex(
             metric_name=self.metric_name,
-            dimension_estimate=self.dimension_estimate,
+            dimension_estimate=dimension,
             rungs=rungs,
             ladder=dict(self.ladder),
             source={**self.source,
@@ -249,6 +285,46 @@ class CoresetIndex:
             build_seconds=self.build_seconds + elapsed,
             extra=extra,
         )
+
+    def _maybe_reestimate_dimension(self, new_points: PointSet,
+                                    rungs: dict[str, list[LadderRung]],
+                                    n_after: int, extra: dict) -> float:
+        """Re-estimate the routing dimension when the data has grown >= 2x.
+
+        Called by :meth:`extend` with the already-extended rungs and the
+        mutable ``extra`` block of the index under construction.  The
+        growth baseline is the dataset size at the last estimate (build
+        time, or the last re-estimate recorded in
+        ``extra["dim_estimate_n"]``); below the 2x threshold the current
+        estimate is kept unchanged.  The sample combines *new_points*
+        with the largest rung core-set of each family — the core-sets
+        summarize every previously ingested point, so the sample reflects
+        the concatenated dataset without the index having to retain it.
+        """
+        history = extra.get("refreshes", [])
+        previously_added = sum(int(entry.get("points_added", 0))
+                               for entry in history[:-1])
+        build_n = max(int(self.source.get("n", 0)) - previously_added, 1)
+        n_at_estimate = int(extra.get("dim_estimate_n", build_n))
+        if n_after < 2 * n_at_estimate:
+            return self.dimension_estimate
+        summaries = [rungs[family][-1].coreset.points
+                     for family in sorted(rungs) if rungs[family]]
+        pool = np.vstack([new_points.points, *summaries])
+        rng = ensure_rng(self.seed)
+        sample_size = min(len(pool), 2048)
+        sample = PointSet(pool[rng.choice(len(pool), size=sample_size,
+                                          replace=False)],
+                          metric=new_points.metric)
+        dimension = float(estimate_doubling_dimension(sample, num_balls=24,
+                                                      quantile=0.9, seed=rng))
+        reestimates = list(extra.get("dimension_reestimates", []))
+        reestimates.append({"n": n_after,
+                            "previous": self.dimension_estimate,
+                            "estimate": dimension})
+        extra["dimension_reestimates"] = reestimates
+        extra["dim_estimate_n"] = n_after
+        return dimension
 
     def describe(self) -> dict:
         """JSON-ready summary (the metadata block persistence writes)."""

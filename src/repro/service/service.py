@@ -18,7 +18,17 @@ from cached read-only state:
    a per-rung lock so the matrix is computed exactly once under
    contention;
 4. **solve**: the sequential approximation from
-   :mod:`repro.diversity.sequential.registry` runs on the tiny core-set.
+   :mod:`repro.diversity.sequential.registry` runs on the tiny core-set —
+   in the calling thread, on a thread pool, or on worker *processes* over
+   a shared-memory data plane, depending on the pluggable execution
+   backend (:mod:`repro.service.executors`).  All three backends return
+   bit-identical answers.
+
+Result-cache lookups are **epsilon-aware**: a cached answer solved on a
+*larger* covering rung (i.e. for a tighter ``eps``) is valid for any
+looser request with the same ``(objective, k, seed)`` — the core-set
+guarantee only improves with ``k'`` — so such probes are served from
+cache without a solve and counted in :attr:`DiversityService.eps_hits`.
 
 Queries never rebuild core-sets: :attr:`DiversityService.build_calls`
 counts rung builds performed by this instance and stays frozen across any
@@ -41,7 +51,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Union
@@ -53,6 +62,7 @@ from repro.diversity.sequential.registry import solve_on_matrix
 from repro.exceptions import ValidationError
 from repro.metricspace.points import PointSet
 from repro.service.cache import StripedLRUCache
+from repro.service.executors import EXECUTOR_NAMES, create_executor
 from repro.service.index import (
     CoresetIndex,
     LadderRung,
@@ -126,7 +136,20 @@ class DiversityService:
         forces unbudgeted.  Evicted matrices are recomputed on demand
         with identical results (solvers are deterministic on a fixed
         core-set), so the budget trades recompute time for bounded
-        resident memory.
+        resident memory.  In process mode the same budget governs the
+        shared-memory matrix segments of each epoch's data plane.
+    executor:
+        Default execution backend for :meth:`query` / :meth:`query_batch`
+        — ``"serial"`` (default), ``"thread"`` or ``"process"`` (see
+        :mod:`repro.service.executors`); all three produce bit-identical
+        answers.  :meth:`query_concurrent` defaults to ``"thread"`` when
+        the service default is serial.  Services using the process
+        backend should be :meth:`close`\\ d (or used as a context
+        manager) so the worker pool and shared segments are torn down
+        deterministically; GC finalizers back that up.
+    executor_workers:
+        Worker fan-out used when the default backend is ``thread`` or
+        ``process`` and the call does not pass ``max_workers``.
 
     Thread safety: instances are safe to share across threads; see the
     module docstring for the locking model.
@@ -145,11 +168,17 @@ class DiversityService:
     def __init__(self, index: CoresetIndex | None = None, *,
                  points: PointSet | None = None, k_max: int | None = None,
                  cache_size: int = 128, cache_stripes: int = 8,
-                 matrix_budget_mb: int | None = None, **build_options):
+                 matrix_budget_mb: int | None = None,
+                 executor: str = "serial", executor_workers: int = 4,
+                 **build_options):
         if index is None and (points is None or k_max is None):
             raise ValidationError(
                 "DiversityService needs either a prebuilt index or "
                 "points + k_max for a lazy build")
+        if executor not in EXECUTOR_NAMES:
+            raise ValidationError(
+                f"unknown executor {executor!r}; "
+                f"known: {', '.join(EXECUTOR_NAMES)}")
         self._index = index
         self._points = points
         self._k_max = (None if k_max is None
@@ -163,12 +192,21 @@ class DiversityService:
         else:
             budget_bytes = check_positive_int(
                 matrix_budget_mb, "matrix_budget_mb") * 2**20
+        self._matrix_budget_bytes = budget_bytes
         self._matrices = MatrixCache(budget_bytes)
+        self.default_executor = executor
+        self.executor_workers = check_positive_int(executor_workers,
+                                                   "executor_workers")
+        self._executors: dict[str, object] = {}
+        self._executors_lock = threading.Lock()
         #: Rung builds performed by this instance; queries never bump it.
         self.build_calls = 0
         self.queries_answered = 0
         self.batches_answered = 0
         self.concurrent_batches = 0
+        #: Queries served from a cached tighter-eps answer (epsilon-aware
+        #: reuse); a subset of the result cache's counted misses.
+        self.eps_hits = 0
         self.refreshes = 0
         self._epoch = 0
         self._build_lock = threading.Lock()
@@ -253,8 +291,18 @@ class DiversityService:
                 self._index = extended
                 self._epoch += 1
                 self.refreshes += 1
+                epoch = self._epoch
                 self.cache = self.cache.successor()
                 self._matrices = self._matrices.successor()
+            # Retire superseded process-executor planes promptly: batches
+            # in flight hold pins, so their workers still finish on the
+            # old epoch's segments; the unlink happens when they drain.
+            with self._executors_lock:
+                backends = list(self._executors.values())
+        for backend in backends:
+            on_epoch = getattr(backend, "on_epoch", None)
+            if on_epoch is not None:
+                on_epoch(epoch)
         return extended
 
     def _snapshot(self) -> tuple[CoresetIndex, int, StripedLRUCache,
@@ -279,108 +327,279 @@ class DiversityService:
         return self.query_batch([Query(get_objective(objective).name, k,
                                        epsilon)])[0]
 
-    def query_batch(self, queries: Iterable[QueryLike]) -> list[QueryResult]:
-        """Answer many requests serially, sharing work across them.
+    def query_batch(self, queries: Iterable[QueryLike], *,
+                    executor: str | None = None) -> list[QueryResult]:
+        """Answer many requests, sharing work across them.
 
         Queries are routed first; same-rung cache misses are grouped so the
         rung's blocked pairwise matrix is computed (or fetched) exactly
-        once per batch, then each solver runs on the shared matrix.
-        Results come back in input order; exact repeats — within the batch
-        or across calls — are served from the LRU.
+        once per batch, then each solver runs on the shared matrix —
+        in this thread (``serial``, the default), or on the requested
+        execution backend (*executor* overrides the service default; the
+        ``process`` backend dispatches solves to worker processes over
+        the shared-memory data plane with identical answers).  Results
+        come back in input order; exact repeats — within the batch or
+        across calls — are served from the LRU.
         """
-        index, epoch, cache, matrices = self._snapshot()
-        normalized = [self._normalize(query) for query in queries]
-        results: list[QueryResult | None] = [None] * len(normalized)
-        groups: dict[tuple[str, int, int], list[tuple[int, Query, tuple, LadderRung]]] = {}
-        pending: set[tuple] = set()
-        for i, query in enumerate(normalized):
-            rung = index.route(query.objective, query.k, query.epsilon)
-            cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
-            if cache_key not in pending:
-                hit = cache.get(cache_key)
-                if hit is not None:
-                    # Echo the caller's own slack: the cached answer is
-                    # valid for any epsilon routing to the same rung.
-                    results[i] = replace(hit, epsilon=query.epsilon,
-                                         cached=True, solve_seconds=0.0)
-                    continue
-                pending.add(cache_key)
-            # Either the first (to-solve) occurrence of this key or an
-            # in-batch repeat of it: repeats defer their cache probe to
-            # after the solve, so stats count each query exactly once and
-            # agree with the cached flags actually returned.
-            groups.setdefault(rung.key, []).append((i, query, cache_key, rung))
-        for members in groups.values():
-            dist = self._matrix_for(matrices, epoch, members[0][3])
-            solved: dict[tuple, QueryResult] = {}
-            for i, query, cache_key, rung in members:
-                if cache_key in solved:  # in-batch repeat
-                    # Normally an LRU hit; interleaved solves may have
-                    # evicted it (tiny cache), so fall back to the
-                    # batch-local memo — the miss the probe just counted
-                    # is then accurate, and no solver runs either way.
-                    hit = cache.get(cache_key)
-                    if hit is None:
-                        hit = solved[cache_key]
-                    result = replace(hit, epsilon=query.epsilon,
-                                     cached=True, solve_seconds=0.0)
-                else:
-                    result = self._solve(query, rung, dist)
-                    solved[cache_key] = result
-                    cache.put(cache_key, result)
-                results[i] = result
-        with self._counter_lock:
-            self.queries_answered += len(normalized)
-            self.batches_answered += 1
-        return results  # type: ignore[return-value]
+        return self._execute(queries, executor or self.default_executor,
+                             self.executor_workers, concurrent=False)
 
     def query_concurrent(self, queries: Iterable[QueryLike],
-                         max_workers: int = 4) -> list[QueryResult]:
-        """Answer many requests on a thread pool, sharing cached state.
+                         max_workers: int = 4,
+                         executor: str | None = None) -> list[QueryResult]:
+        """Answer many requests on a worker pool, sharing cached state.
 
-        Each query independently routes, probes the lock-striped result
-        cache, fetches its rung matrix through the single-flight
+        With the default ``thread`` backend each query independently
+        routes, probes the lock-striped result cache, fetches its rung
+        matrix through the single-flight
         :class:`~repro.service.matrices.MatrixCache` (concurrent same-rung
-        queries compute the matrix exactly once), and solves.  Results
-        come back in input order and are identical to
-        :meth:`query_batch` on the same service state — solvers are
-        deterministic on a fixed core-set.
+        queries compute the matrix exactly once), and solves.  With
+        ``executor="process"`` the batch fans out to worker processes
+        over the shared-memory data plane instead, sidestepping the GIL
+        for the Python-heavy solvers.  Results come back in input order
+        and are identical to :meth:`query_batch` on the same service
+        state — solvers are deterministic on a fixed core-set.
 
-        Unlike :meth:`query_batch`, two *identical* in-flight queries may
-        each run the (deterministic) solver if neither has been cached
-        yet; the LRU still counts every query as exactly one hit or miss.
+        Unlike :meth:`query_batch`, two *identical* in-flight thread
+        queries may each run the (deterministic) solver if neither has
+        been cached yet; the LRU still counts every query as exactly one
+        hit or miss.
         """
-        index, epoch, cache, matrices = self._snapshot()
+        if executor is None:
+            executor = ("thread" if self.default_executor == "serial"
+                        else self.default_executor)
+        check_positive_int(max_workers, "max_workers")
+        return self._execute(queries, executor, max_workers, concurrent=True)
+
+    def _execute(self, queries: Iterable[QueryLike], executor: str,
+                 max_workers: int, concurrent: bool) -> list[QueryResult]:
+        """Common query funnel: normalize, snapshot, dispatch, count.
+
+        The epsilon-reuse candidates are resolved here, against the
+        cache state *at batch start*, and handed to the backend: every
+        executor then sees the same reuse set regardless of solve order
+        or thread timing, which is what keeps concurrent answers
+        bit-identical to ``query_batch`` on mixed-eps workloads.
+        """
         normalized = [self._normalize(query) for query in queries]
         if not normalized:
+            if not concurrent:
+                with self._counter_lock:
+                    self.batches_answered += 1
             return []
-        workers = min(check_positive_int(max_workers, "max_workers"),
-                      len(normalized))
-        with ThreadPoolExecutor(max_workers=workers,
-                                thread_name_prefix="repro-query") as pool:
-            results = list(pool.map(
-                lambda query: self._answer_one(index, epoch, cache,
-                                               matrices, query),
-                normalized))
+        snapshot = self._snapshot()
+        backend = self._executor_obj(executor)
+        rungs, reuse = self._plan_batch(snapshot, normalized)
+        results = backend.run(self, snapshot, normalized, max_workers,
+                              rungs, reuse)
         with self._counter_lock:
             self.queries_answered += len(normalized)
-            self.concurrent_batches += 1
+            if concurrent:
+                self.concurrent_batches += 1
+            else:
+                self.batches_answered += 1
         return results
+
+    def _probe_batch(self, snapshot, normalized: list[Query],
+                     rungs: list[LadderRung],
+                     reuse: dict) -> tuple[list, dict]:
+        """Resolve cache hits and group the misses by cache key.
+
+        The one probe loop every batch-shaped backend shares — keeping
+        it in a single place is what keeps the serial and process
+        executors' probe, stats and in-batch-repeat semantics in
+        lockstep (the bit-identity contract).  Returns ``(results,
+        groups)``: *results* in input order with hits filled (``None``
+        marks a slot to solve), and *groups* mapping each missed cache
+        key to ``(rung, members)`` where the first member is the
+        occurrence to solve and the rest are in-batch repeats.  Repeats
+        defer their counted cache probe to :meth:`_finish_group`, so
+        stats count each query exactly once and agree with the cached
+        flags actually returned.
+        """
+        index, epoch, cache, _ = snapshot
+        results: list[QueryResult | None] = [None] * len(normalized)
+        groups: dict[tuple, tuple[LadderRung, list[tuple[int, Query]]]] = {}
+        pending: set[tuple] = set()
+        for i, query in enumerate(normalized):
+            rung = rungs[i]
+            cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
+            if cache_key not in pending:
+                _, hit = self._lookup(cache, epoch, index, query, rung,
+                                      reuse)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+                pending.add(cache_key)
+            entry = groups.get(cache_key)
+            if entry is None:
+                groups[cache_key] = entry = (rung, [])
+            entry[1].append((i, query))
+        return results, groups
+
+    def _finish_group(self, cache: StripedLRUCache, cache_key: tuple,
+                      result: QueryResult, members: list,
+                      results: list) -> None:
+        """Memoize one solved group and fill its member result slots.
+
+        In-batch repeats run their deferred, counted probe here.
+        Normally that is an LRU hit; interleaved puts may have evicted
+        the entry (tiny cache), so the batch-local *result* is the
+        fallback — the miss the probe just counted is then accurate,
+        and no solver runs either way.
+        """
+        cache.put(cache_key, result)
+        results[members[0][0]] = result
+        for i, query in members[1:]:
+            hit = cache.get(cache_key)
+            if hit is None:
+                hit = result
+            results[i] = replace(hit, epsilon=query.epsilon, cached=True,
+                                 solve_seconds=0.0)
+
+    def _solve_grouped(self, snapshot, normalized: list[Query],
+                       rungs: list[LadderRung],
+                       reuse: dict) -> list[QueryResult]:
+        """The serial grouped solve path (the reference executor's body)."""
+        _, epoch, cache, matrices = snapshot
+        results, groups = self._probe_batch(snapshot, normalized, rungs,
+                                            reuse)
+        by_rung: dict[tuple, tuple[LadderRung, list[tuple]]] = {}
+        for cache_key, (rung, _members) in groups.items():
+            entry = by_rung.get(rung.key)
+            if entry is None:
+                by_rung[rung.key] = entry = (rung, [])
+            entry[1].append(cache_key)
+        for rung, cache_keys in by_rung.values():
+            dist = self._matrix_for(matrices, epoch, rung)
+            for cache_key in cache_keys:
+                _, members = groups[cache_key]
+                result = self._solve(members[0][1], rung, dist)
+                self._finish_group(cache, cache_key, result, members,
+                                   results)
+        return results  # type: ignore[return-value]
 
     def _answer_one(self, index: CoresetIndex, epoch: int,
                     cache: StripedLRUCache, matrices: MatrixCache,
-                    query: Query) -> QueryResult:
-        """Serve one normalized query: route, probe, (maybe) solve, memoize."""
-        rung = index.route(query.objective, query.k, query.epsilon)
-        cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
-        hit = cache.get(cache_key)
+                    query: Query, rung: LadderRung,
+                    reuse: dict) -> QueryResult:
+        """Serve one pre-routed query: probe, (maybe) solve, memoize."""
+        cache_key, hit = self._lookup(cache, epoch, index, query, rung, reuse)
         if hit is not None:
-            return replace(hit, epsilon=query.epsilon, cached=True,
-                           solve_seconds=0.0)
+            return hit
         dist = self._matrix_for(matrices, epoch, rung)
         result = self._solve(query, rung, dist)
         cache.put(cache_key, result)
         return result
+
+    def _plan_batch(self, snapshot,
+                    normalized: list[Query]) -> tuple[list, dict]:
+        """Route the batch and resolve its epsilon-reuse answers up front.
+
+        Returns ``(rungs, reuse)``: the rung serving each query (in
+        input order — backends consume these instead of re-routing), and
+        the epsilon-reuse answers available at batch start keyed by
+        cache key.  For each query routing to a rung whose own key is
+        absent, cached answers of *larger* covering rungs — solved for a
+        tighter ``eps``, hence valid for this looser one by the core-set
+        guarantee — are peeked without touching stats or recency.
+        Resolving the whole batch up front (instead of peeking live
+        during execution) pins the reuse set to the batch-start cache
+        state, so answers do not depend on solve order or thread timing
+        and every backend returns identical results.
+        """
+        index, epoch, cache, _ = snapshot
+        rungs = [index.route(query.objective, query.k, query.epsilon)
+                 for query in normalized]
+        reuse: dict[tuple, QueryResult] = {}
+        for query, rung in zip(normalized, rungs):
+            cache_key = (epoch, query.objective, query.k, index.seed,
+                         rung.key)
+            if cache_key in reuse or cache.peek(cache_key) is not None:
+                continue
+            for other in index.covering_rungs(query.objective, query.k):
+                if other.k_prime <= rung.k_prime:
+                    continue
+                reusable = cache.peek((epoch, query.objective, query.k,
+                                       index.seed, other.key))
+                if reusable is not None:
+                    reuse[cache_key] = reusable
+                    break
+        return rungs, reuse
+
+    def _lookup(self, cache: StripedLRUCache, epoch: int,
+                index: CoresetIndex, query: Query, rung: LadderRung,
+                reuse: dict) -> tuple[tuple, QueryResult | None]:
+        """Counted result-cache probe with epsilon-aware reuse fallback.
+
+        Returns ``(cache_key, hit-or-None)``.  The primary probe counts
+        exactly one hit or miss for the query; on a miss, the
+        batch-start reuse set from :meth:`_reuse_candidates` may serve a
+        tighter-eps answer (counted in :attr:`eps_hits`).
+        """
+        cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
+        hit = cache.get(cache_key)
+        if hit is not None:
+            # Echo the caller's own slack: the cached answer is valid
+            # for any epsilon routing to the same rung.
+            return cache_key, replace(hit, epsilon=query.epsilon,
+                                      cached=True, solve_seconds=0.0)
+        reusable = reuse.get(cache_key)
+        if reusable is not None:
+            with self._counter_lock:
+                self.eps_hits += 1
+            return cache_key, replace(reusable, epsilon=query.epsilon,
+                                      cached=True, solve_seconds=0.0)
+        return cache_key, None
+
+    # -- execution backends ------------------------------------------------------
+    def _executor_obj(self, name: str):
+        """The (lazily created, cached) execution backend called *name*."""
+        if name not in EXECUTOR_NAMES:
+            raise ValidationError(
+                f"unknown executor {name!r}; "
+                f"known: {', '.join(EXECUTOR_NAMES)}")
+        with self._executors_lock:
+            backend = self._executors.get(name)
+            if backend is None or getattr(backend, "closed", False):
+                backend = create_executor(
+                    name, matrix_budget_bytes=self._matrix_budget_bytes)
+                self._executors[name] = backend
+            return backend
+
+    def warm_executor(self, executor: str | None = None,
+                      max_workers: int | None = None) -> None:
+        """Pre-start an execution backend's workers.
+
+        Spawning process workers costs noticeable wall time (a fresh
+        interpreter per worker); benchmarks call this before their timed
+        region so measured queries/sec reflect serving, not cold starts.
+        No-op for the serial and thread backends.
+        """
+        name = executor or self.default_executor
+        workers = (self.executor_workers if max_workers is None
+                   else check_positive_int(max_workers, "max_workers"))
+        self._executor_obj(name).warm(workers)
+
+    def close(self) -> None:
+        """Shut down execution backends and unlink shared serving state.
+
+        After this returns, the process backend's worker pool is gone and
+        zero shared-memory segments published by this service remain (the
+        leak invariant the tests assert).  The service stays usable —
+        backends are recreated lazily on the next query.
+        """
+        with self._executors_lock:
+            backends = list(self._executors.values())
+            self._executors.clear()
+        for backend in backends:
+            backend.close()
+
+    def __enter__(self) -> "DiversityService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _solve(self, query: Query, rung: LadderRung,
                dist: np.ndarray) -> QueryResult:
@@ -430,16 +649,28 @@ class DiversityService:
 
     # -- observability -----------------------------------------------------------
     def stats(self) -> dict:
-        """Service counters: queries, cache behaviour, builds, matrices."""
+        """Service counters: queries, cache behaviour, builds, matrices.
+
+        ``shared_matrices`` reports the process backend's shared-memory
+        matrix segments (``None`` until the process backend has been
+        created); ``eps_hits`` counts queries served from a cached
+        tighter-eps answer.
+        """
+        with self._executors_lock:
+            process_backend = self._executors.get("process")
         return {
             "queries_answered": self.queries_answered,
             "batches_answered": self.batches_answered,
             "concurrent_batches": self.concurrent_batches,
             "build_calls": self.build_calls,
             "refreshes": self.refreshes,
+            "eps_hits": self.eps_hits,
             "epoch": self._epoch,
+            "executor": self.default_executor,
             "cache": self.cache.stats.as_dict(),
             "matrices": self._matrices.describe(),
             "cached_matrices": len(self._matrices),
+            "shared_matrices": (process_backend.stats()
+                                if process_backend is not None else None),
             "index_built": self._index is not None,
         }

@@ -176,15 +176,17 @@ def measure_service_throughput(
 
 @dataclass
 class ConcurrencyReport:
-    """Serial vs threaded queries/sec over one warm workload.
+    """Serial vs concurrent queries/sec over one warm workload.
 
     ``qps_by_workers`` maps each measured worker count to its
-    ``query_concurrent`` throughput; ``serial_qps`` is the
+    ``query_concurrent`` throughput on the measured *executor* backend
+    (``"thread"`` or ``"process"``); ``serial_qps`` is the
     ``query_batch`` baseline on an identically cold service.  The
     invariants checked during measurement ride along:
     ``build_calls_during_queries`` (must be 0 — queries never rebuild)
     and ``matrix_computes`` vs ``distinct_rungs`` (each rung's matrix is
-    computed exactly once under contention when unbudgeted).
+    computed exactly once under contention when unbudgeted — across
+    processes, in process mode).
     """
 
     num_queries: int
@@ -194,6 +196,7 @@ class ConcurrencyReport:
     distinct_rungs: int
     matrix_computes: int
     matrices: dict
+    executor: str = "thread"
 
     def speedup(self, workers: int) -> float:
         """Concurrent throughput at *workers* over the serial baseline."""
@@ -203,6 +206,7 @@ class ConcurrencyReport:
         """JSON-ready form (the ``concurrency`` block of the benchmark)."""
         return {
             "num_queries": self.num_queries,
+            "executor": self.executor,
             "serial_qps": self.serial_qps,
             "workers": {str(workers): {"qps": qps,
                                        "speedup": self.speedup(workers)}
@@ -223,6 +227,7 @@ def measure_concurrent_throughput(
     seed: int | None = 0,
     matrix_budget_mb: int | None = None,
     index=None,
+    executor: str = "thread",
     **build_options,
 ) -> ConcurrencyReport:
     """Measure ``query_concurrent`` against serial ``query_batch``.
@@ -231,11 +236,16 @@ def measure_concurrent_throughput(
     served by a fresh, matrix-cold :class:`DiversityService` per mode:
     once serially through :meth:`~DiversityService.query_batch`, and once
     per entry of *worker_counts* through
-    :meth:`~DiversityService.query_concurrent`.  Every concurrent run is
-    checked against the serial answers (identical values and rungs — the
-    determinism contract), every service must report zero build calls,
-    and the widest run must have computed each touched rung's matrix
-    exactly once (single-flight; only asserted when unbudgeted).
+    :meth:`~DiversityService.query_concurrent` on the requested
+    *executor* backend (``"thread"`` or ``"process"``).  Every concurrent
+    run is checked against the serial answers (identical values and rungs
+    — the determinism contract), every service must report zero build
+    calls, and the widest run must have computed each touched rung's
+    matrix exactly once (single-flight; only asserted when unbudgeted —
+    for process runs that is the cross-process invariant over the shared
+    segments).  Process pools are warmed before the timed region so
+    measured queries/sec exclude worker spawn, and every measured
+    service is closed afterwards (no leaked segments).
 
     Raises
     ------
@@ -261,28 +271,41 @@ def measure_concurrent_throughput(
     qps_by_workers: dict[int, float] = {}
     build_calls = serial_service.build_calls
     widest_service = serial_service
-    for workers in sorted(worker_counts):
-        service = _fresh_service()
-        started = time.perf_counter()
-        results = service.query_concurrent(workload, max_workers=workers)
-        seconds = time.perf_counter() - started
-        assert [(result.value, result.rung) for result in results] == expected, \
-            "concurrent answers must be identical to the serial baseline"
-        stats = service.cache.stats
-        assert stats.hits + stats.misses == len(workload), \
-            "every query must count exactly one cache hit or miss"
-        build_calls = max(build_calls, service.build_calls)
-        qps_by_workers[workers] = len(workload) / max(seconds, 1e-9)
-        widest_service = service
+    try:
+        for workers in sorted(worker_counts):
+            service = _fresh_service()
+            service.warm_executor(executor, max_workers=workers)
+            started = time.perf_counter()
+            results = service.query_concurrent(workload, max_workers=workers,
+                                               executor=executor)
+            seconds = time.perf_counter() - started
+            # Hand the just-measured service to the cleanup slot *before*
+            # asserting, so a failed invariant cannot leak its worker
+            # pool or shared segments.
+            if widest_service is not serial_service:
+                widest_service.close()
+            widest_service = service
+            assert [(result.value, result.rung) for result in results] == expected, \
+                "concurrent answers must be identical to the serial baseline"
+            stats = service.cache.stats
+            assert stats.hits + stats.misses == len(workload), \
+                "every query must count exactly one cache hit or miss"
+            build_calls = max(build_calls, service.build_calls)
+            qps_by_workers[workers] = len(workload) / max(seconds, 1e-9)
 
-    assert build_calls == 0, "queries must never rebuild a core-set"
-    distinct_rungs = len({index.route(q.objective, q.k, q.epsilon).key
-                          for q in workload})
-    matrices = widest_service.stats()["matrices"]
-    if matrices["budget_bytes"] is None:
-        assert matrices["computes"] == distinct_rungs, (
-            f"expected exactly one matrix compute per rung "
-            f"({distinct_rungs}), saw {matrices['computes']}")
+        assert build_calls == 0, "queries must never rebuild a core-set"
+        distinct_rungs = len({index.route(q.objective, q.k, q.epsilon).key
+                              for q in workload})
+        stats_block = ("shared_matrices" if executor == "process"
+                       else "matrices")
+        matrices = widest_service.stats()[stats_block]
+        if matrices["budget_bytes"] is None:
+            assert matrices["computes"] == distinct_rungs, (
+                f"expected exactly one matrix compute per rung "
+                f"({distinct_rungs}), saw {matrices['computes']}")
+    finally:
+        if widest_service is not serial_service:
+            widest_service.close()
     return ConcurrencyReport(
         num_queries=len(workload),
         serial_qps=len(workload) / max(serial_seconds, 1e-9),
@@ -291,4 +314,5 @@ def measure_concurrent_throughput(
         distinct_rungs=distinct_rungs,
         matrix_computes=matrices["computes"],
         matrices=matrices,
+        executor=executor,
     )

@@ -184,7 +184,7 @@ class TestServiceVerbs:
         assert "warm service" in out
         assert "LRU-cached replay" in out
         assert "core-set builds during queries: 0" in out
-        assert "worker thread" not in out  # --threads off by default
+        assert "worker" not in out  # --threads off by default
 
     def test_serve_bench_threads(self, dataset, capsys):
         assert main(["serve-bench", "--data", str(dataset), "--k-max", "4",
@@ -192,8 +192,21 @@ class TestServiceVerbs:
                      "--threads", "2"]) == 0
         out = capsys.readouterr().out
         assert "serial query_batch" in out
-        assert "2 worker threads" in out
+        assert "2 thread workers" in out
         assert "rung matrices computed" in out
+        assert "executor: thread" in out
+
+    def test_serve_bench_process_executor(self, dataset, capsys):
+        # The acceptance-criterion path: the query sweep runs on worker
+        # processes over the shared-memory plane (the harness itself
+        # asserts bit-identity to serial query_batch and zero builds).
+        assert main(["serve-bench", "--data", str(dataset), "--k-max", "4",
+                     "--queries", "6", "--rebuild-queries", "1",
+                     "--threads", "1", "--executor", "process"]) == 0
+        out = capsys.readouterr().out
+        assert "index build" in out and "[process]" in out
+        assert "1 process worker" in out
+        assert "executor: process" in out
 
     def test_query_matrix_budget(self, dataset, tmp_path, capsys):
         idx = tmp_path / "idx"

@@ -16,7 +16,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.coresets.composable import merge_coresets
+from repro.coresets.composable import merge_coresets, practical_coreset_size
 from repro.coresets.generalized import GeneralizedCoreset
 from repro.datasets.synthetic import gaussian_clusters, sphere_shell
 from repro.diversity.objectives import list_objectives
@@ -327,6 +327,84 @@ class TestExtendedPersistence:
         sidecar.write_text(json.dumps(metadata))
         with pytest.raises(ValidationError, match="format version"):
             load_index(path)
+
+
+# -- routing-dimension re-estimation ------------------------------------------
+
+class TestDimensionReestimate:
+    """``extend`` must refresh the routing dimension after >= 2x growth.
+
+    The build-time doubling-dimension estimate drives
+    ``practical_coreset_size`` forever after; a distribution shift (here:
+    a near-1-d line swamped by a 3-d cube) must not leave tight-eps
+    queries routed by the stale low-dimensional estimate.
+    """
+
+    @pytest.fixture(scope="class")
+    def line_index(self):
+        rng = np.random.default_rng(0)
+        t = rng.uniform(0.0, 100.0, size=(900, 1))
+        line = np.hstack([t, 1e-3 * rng.normal(size=(900, 2))])
+        points = PointSet(line, metric="euclidean")
+        return points, build_coreset_index(points, k_max=8, k_min=4, seed=0)
+
+    @staticmethod
+    def _shifted_cube(n: int, seed: int) -> PointSet:
+        # Scale-matched to the line's 0..100 extent: the doubling
+        # estimator works at the data's own scale, so a unit cube would
+        # just look like one tight cluster on the line's yardstick.
+        rng = np.random.default_rng(seed)
+        return PointSet(100.0 * rng.uniform(size=(n, 3)))
+
+    def test_distribution_shift_reestimates_and_reroutes(self, line_index):
+        points, index = line_index
+        shifted = self._shifted_cube(1000, seed=3)
+        # 900 -> 1900 points: past the 2x-growth trigger.
+        extended = index.extend(shifted)
+        assert extended.dimension_estimate > index.dimension_estimate + 0.5
+        history = extended.extra["dimension_reestimates"]
+        assert len(history) == 1
+        assert history[0]["previous"] == index.dimension_estimate
+        assert history[0]["estimate"] == extended.dimension_estimate
+        assert history[0]["n"] == 1900
+        assert extended.extra["dim_estimate_n"] == 1900
+        # The stale estimate under-routed tight-eps queries; with the
+        # refreshed dimension the same query demands a bigger kernel and
+        # climbs the ladder.
+        stale = practical_coreset_size(2, 0.4, index.dimension_estimate,
+                                       "remote-edge")
+        fresh = practical_coreset_size(2, 0.4, extended.dimension_estimate,
+                                       "remote-edge")
+        assert fresh > stale
+        assert extended.route("remote-edge", 2, 0.4).k_prime \
+            > index.route("remote-edge", 2, 0.4).k_prime
+
+    def test_below_threshold_keeps_estimate(self, line_index):
+        points, index = line_index
+        small = self._shifted_cube(300, seed=4)  # 900 -> 1200 < 2x
+        extended = index.extend(small)
+        assert extended.dimension_estimate == index.dimension_estimate
+        assert "dimension_reestimates" not in extended.extra
+
+    def test_growth_baseline_accumulates_across_extends(self, line_index):
+        points, index = line_index
+        first = index.extend(self._shifted_cube(300, seed=5))   # 1200
+        assert "dimension_reestimates" not in first.extra
+        second = first.extend(self._shifted_cube(700, seed=6))  # 1900 >= 2x
+        assert len(second.extra["dimension_reestimates"]) == 1
+        # The next trigger point is 2x the size at *this* estimate.
+        third = second.extend(self._shifted_cube(400, seed=8))  # 2300 < 2x
+        assert len(third.extra["dimension_reestimates"]) == 1
+
+    def test_reestimated_index_round_trips(self, line_index, tmp_path):
+        points, index = line_index
+        extended = index.extend(self._shifted_cube(1000, seed=3))
+        path = tmp_path / "reest"
+        save_index(extended, path)
+        loaded = load_index(path)
+        assert loaded.dimension_estimate == extended.dimension_estimate
+        assert loaded.extra["dimension_reestimates"] \
+            == extended.extra["dimension_reestimates"]
 
 
 # -- quality gate sanity on a second data family ------------------------------
