@@ -1,0 +1,122 @@
+"""Serving-daemon latency under open-loop load — the ``serve-smoke`` gate.
+
+``repro serve`` promises that putting a network front-end over the
+:class:`~repro.service.DiversityService` costs only transport and
+queueing, never correctness: daemon answers are bit-identical to
+in-process ``query_batch``, backpressure is explicit, and micro-batching
+coalesces concurrent requests into shared dispatches.  This benchmark
+drives a real daemon (ephemeral TCP port) with
+:func:`~repro.service.workload.measure_serve_latency`'s open-loop
+client — send times follow a fixed schedule independent of completions,
+so server slowness surfaces as tail latency rather than silently
+throttling the generator.
+
+Gates (the acceptance criteria of the serving PR):
+
+* zero ``errors`` and zero ``mismatches`` — every request is answered,
+  and every answer matches the in-process oracle bit-exactly;
+* zero rejections: the offered rate is deliberately under capacity, so
+  any ``overloaded`` response means admission control misfired;
+* ``batched_requests > 0`` — micro-batching demonstrably coalesced
+  requests into shared ``query_batch`` dispatches;
+* on runners with >= 4 schedulable cpus, client-observed p99 stays
+  under ``REPRO_SERVE_P99_MS`` (default 500).  Single-core machines
+  record the percentiles without the latency gate — the daemon, the
+  load generator, and the solver all compete for one cpu there.
+
+Machine-readable results (client percentiles, admission counters, the
+daemon's final ``server`` stats block) land in
+``benchmarks/results/BENCH_serve_latency.json`` for the CI artifact.
+Knobs: ``REPRO_SERVE_N`` dataset size (default 20,000),
+``REPRO_SERVE_QPS`` offered rate (default 150), ``REPRO_SERVE_REQUESTS``
+request count (default 200).
+"""
+
+from __future__ import annotations
+
+import os
+
+from common import emit, emit_json, run_once
+from repro.datasets.synthetic import sphere_shell
+from repro.experiments.report import format_table
+from repro.service import build_coreset_index, measure_serve_latency
+
+K_MAX = 6
+QUERIES_PER_REQUEST = 2
+BATCH_WINDOW_MS = 10.0
+GATED_CPUS = 4
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually schedule on (cgroup-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def _measure():
+    n = int(os.environ.get("REPRO_SERVE_N", "20000"))
+    rate_qps = float(os.environ.get("REPRO_SERVE_QPS", "150"))
+    num_requests = int(os.environ.get("REPRO_SERVE_REQUESTS", "200"))
+    points = sphere_shell(n, K_MAX, dim=3, seed=7)
+    index = build_coreset_index(points, K_MAX, parallelism=4, seed=0)
+    report = measure_serve_latency(
+        index, num_requests=num_requests,
+        queries_per_request=QUERIES_PER_REQUEST, rate_qps=rate_qps,
+        batch_window_ms=BATCH_WINDOW_MS, seed=0, verify=True,
+    )
+    return n, report
+
+
+def test_serve_latency(benchmark):
+    n, report = run_once(benchmark, _measure)
+    latency = report.latency
+    server = report.server
+    emit("serve_latency", format_table(
+        ["metric", "value"],
+        [["offered rate", f"{report.rate_qps:.0f} req/s"],
+         ["requests (x{} queries)".format(report.queries_per_request),
+          str(report.requests)],
+         ["answered / rejected / errors",
+          f"{report.answered} / {report.rejected} / {report.errors}"],
+         ["mismatches vs in-process oracle", str(report.mismatches)],
+         ["client p50", f"{latency['p50_ms']:.2f} ms"],
+         ["client p95", f"{latency['p95_ms']:.2f} ms"],
+         ["client p99", f"{latency['p99_ms']:.2f} ms"],
+         ["client max", f"{latency['max_ms']:.2f} ms"],
+         ["batches dispatched", str(server["batches_dispatched"])],
+         ["requests sharing a dispatch", str(server["batched_requests"])]],
+        title=f"Serving daemon open-loop latency (n={n}, k_max={K_MAX}, "
+              f"window {BATCH_WINDOW_MS:.0f}ms, {_available_cpus()} cpu)",
+    ))
+    emit_json("serve_latency", {
+        "n": n,
+        "k_max": K_MAX,
+        "cpu_count": _available_cpus(),
+        "batch_window_ms": BATCH_WINDOW_MS,
+        **report.as_dict(),
+    })
+    # Gate 1 (acceptance): the daemon answers everything, bit-exactly.
+    assert report.errors == 0, f"{report.errors} requests failed"
+    assert report.mismatches == 0, (
+        f"{report.mismatches} daemon answers differed from in-process "
+        f"query_batch — the serving layer changed results")
+    assert report.answered == report.requests
+    assert server["internal_errors"] == 0
+    # Gate 2: the offered rate is under capacity — no request may be
+    # rejected; an overload here is an admission-control bug.
+    assert report.rejected == 0, (
+        f"{report.rejected} requests rejected at an under-capacity rate")
+    # Gate 3 (acceptance): micro-batching actually coalesced requests.
+    assert server["batched_requests"] > 0, (
+        "no two requests ever shared a dispatch — micro-batching inactive")
+    assert server["batches_dispatched"] < report.requests
+    # Gate 4 (multi-core only): the latency tail stays bounded.  On a
+    # single cpu the client and server fight for the same core, so the
+    # percentiles are recorded but not gated.
+    p99_bound = float(os.environ.get("REPRO_SERVE_P99_MS", "500"))
+    if _available_cpus() >= GATED_CPUS:
+        assert latency["p99_ms"] <= p99_bound, (
+            f"client p99 {latency['p99_ms']:.1f}ms over the "
+            f"{p99_bound:.0f}ms bound ({_available_cpus()} cpus)")

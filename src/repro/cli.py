@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Seven subcommands cover the common workflows without writing any code:
+Eight subcommands cover the common workflows without writing any code:
 
 * ``generate`` — synthesize a dataset (sphere-shell, cube, clusters,
   bag-of-words) and save it via :mod:`repro.datasets.loaders`;
@@ -15,11 +15,17 @@ Seven subcommands cover the common workflows without writing any code:
   never touching the original dataset;
 * ``refresh`` — absorb new data into a saved index incrementally (batched
   SMM per rung + composable re-merge), no MapReduce rebuild;
-* ``serve-bench`` — measure queries/sec: rebuild-per-query vs the warm
-  service path vs the LRU-cached path, optionally with a concurrent
-  worker sweep (``--threads``, and ``--executor {serial,thread,process}``
-  to pick the query-execution backend — process workers solve over a
-  shared-memory data plane with answers bit-identical to serial).
+* ``serve`` — run the long-lived serving daemon over a saved index:
+  newline-delimited JSON over TCP plus an HTTP/1.1 adapter on one port,
+  with micro-batching, bounded admission queues and graceful SIGTERM
+  drain (see ``docs/serving.md``);
+* ``serve-bench`` — measure queries/sec and per-query latency
+  percentiles: rebuild-per-query vs the warm service path vs the
+  LRU-cached path, optionally with a concurrent worker sweep
+  (``--threads``, and ``--executor {serial,thread,process}`` to pick the
+  query-execution backend — process workers solve over a shared-memory
+  data plane with answers bit-identical to serial) and an open-loop
+  daemon load test (``--serve-qps``).
 
 The generated reference in ``docs/cli.md`` (see ``docs/generate_cli.py``)
 is kept in sync with these parsers by ``tests/test_docs.py`` and the CI
@@ -36,8 +42,9 @@ Examples
     python -m repro index --data /tmp/data --k-max 32 --out /tmp/idx
     python -m repro query --index /tmp/idx --objective remote-clique --k 8
     python -m repro refresh --index /tmp/idx --data /tmp/more_data
+    python -m repro serve --index /tmp/idx --port 7077
     python -m repro serve-bench --data /tmp/data --k-max 16 --queries 24 \
-        --threads 4
+        --threads 4 --serve-qps 100
 """
 
 from __future__ import annotations
@@ -199,6 +206,37 @@ def build_parser() -> argparse.ArgumentParser:
                           "sketches; when omitted, auto-tuned from the "
                           "recorded benchmark trajectory")
 
+    dmn = sub.add_parser(
+        "serve",
+        help="serve diversity queries from a saved index over TCP/HTTP")
+    dmn.add_argument("--index", required=True,
+                     help="index path written by 'index'")
+    dmn.add_argument("--host", default="127.0.0.1")
+    dmn.add_argument("--port", type=int, default=0,
+                     help="TCP port (0: pick an ephemeral port and "
+                          "print it)")
+    dmn.add_argument("--batch-window-ms", type=float, default=20.0,
+                     help="micro-batching window: after the first queued "
+                          "request, wait up to this long to coalesce more "
+                          "into one query_batch call (0 disables)")
+    dmn.add_argument("--max-queue", type=int, default=64,
+                     help="bounded admission queue; beyond it requests "
+                          "are rejected with 'overloaded' + retry-after")
+    dmn.add_argument("--max-batch", type=int, default=16,
+                     help="most requests one dispatch may coalesce")
+    dmn.add_argument("--drain-timeout-s", type=float, default=30.0,
+                     help="longest a SIGTERM drain waits for in-flight "
+                          "work before giving up on dead peers")
+    dmn.add_argument("--executor", choices=("serial", "thread", "process"),
+                     default="serial",
+                     help="service execution backend for dispatched "
+                          "batches (answers are bit-identical across "
+                          "backends)")
+    dmn.add_argument("--matrix-budget-mb", type=int, default=None,
+                     help="matrix-cache budget (MiB) for the served "
+                          "index; default: $REPRO_MATRIX_BUDGET_MB, "
+                          "else unbudgeted")
+
     srv = sub.add_parser(
         "serve-bench",
         help="queries/sec: rebuild-per-query vs warm service vs LRU cache")
@@ -225,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="matrix-cache budget (MiB) for the measured "
                           "services; default: $REPRO_MATRIX_BUDGET_MB, "
                           "else unbudgeted")
+    srv.add_argument("--serve-qps", type=float, default=0.0,
+                     help="also load-test the serving daemon end to end: "
+                          "open-loop NDJSON requests at this rate against "
+                          "an in-process repro-serve instance (0: skip)")
+    srv.add_argument("--serve-requests", type=int, default=64,
+                     help="requests sent by the --serve-qps load test")
     srv.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -370,10 +414,11 @@ def _query(args: argparse.Namespace) -> int:
               f"value = {result.value:.6f}   "
               f"[rung {family} k'={k_prime} (k<={k_cap}), {source}]")
     stats = service.stats()
-    print(f"  cache: {stats['cache']['hits']} hits / "
-          f"{stats['cache']['misses']} misses, "
-          f"builds during queries: {stats['build_calls']}")
-    matrices = stats["matrices"]
+    results_cache = stats["caches"]["results"]
+    print(f"  cache: {results_cache['hits']} hits / "
+          f"{results_cache['misses']} misses, "
+          f"builds during queries: {stats['counters']['build_calls']}")
+    matrices = stats["matrices"]["local"]
     if matrices["budget_bytes"] is not None:
         print(f"  matrices: {matrices['cached']} resident "
               f"({matrices['resident_bytes'] / 2**20:.1f} MiB of "
@@ -408,6 +453,49 @@ def _refresh(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import DiversityServer, ServerConfig
+
+    service = DiversityService(
+        load_index(args.index), matrix_budget_mb=args.matrix_budget_mb,
+        executor=args.executor)
+    server = DiversityServer(service, ServerConfig(
+        host=args.host, port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_queue=args.max_queue, max_batch=args.max_batch,
+        drain_timeout_s=args.drain_timeout_s))
+
+    async def main() -> None:
+        ready = asyncio.Event()
+        daemon = asyncio.ensure_future(server.run_until_shutdown(ready=ready))
+        await ready.wait()
+        host, port = server.address
+        print(f"serving {args.index} on {host}:{port} "
+              f"(NDJSON + HTTP; batch window {args.batch_window_ms}ms, "
+              f"queue {args.max_queue}; SIGTERM drains)", flush=True)
+        await daemon
+        stats = server.stats()["server"]
+        print(f"drained: {stats['accepted']} accepted, "
+              f"{stats['queries_served']} queries served, "
+              f"{stats['rejected_overload']} rejected overloaded, "
+              f"{stats['batches_dispatched']} batches "
+              f"({stats['batched_requests']} requests coalesced)")
+
+    asyncio.run(main())
+    return 0
+
+
+def _print_latency(label: str, block: dict) -> None:
+    """One aligned percentile line of a latency_summary block."""
+    if not block or not block.get("count"):
+        return
+    print(f"  {label:18s}: p50 {block['p50_ms']:8.2f} ms   "
+          f"p99 {block['p99_ms']:8.2f} ms   "
+          f"(mean {block['mean_ms']:.2f} ms, n={block['count']})")
+
+
 def _serve_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -437,6 +525,8 @@ def _serve_bench(args: argparse.Namespace) -> int:
           f"({report.warm_speedup:.1f}x)")
     print(f"  LRU-cached replay : {report.cached_qps:10.1f} queries/s "
           f"({report.cached_speedup:.1f}x)")
+    _print_latency("warm latency", report.warm_latency)
+    _print_latency("cached latency", report.cached_latency)
     print(f"  core-set builds during queries: "
           f"{report.build_calls_during_queries}")
     if args.threads > 0 or args.executor != "serial":
@@ -451,14 +541,32 @@ def _serve_bench(args: argparse.Namespace) -> int:
             executor=query_executor,
         )
         print(f"  serial query_batch: {concurrency.serial_qps:10.1f} queries/s")
+        _print_latency("serial latency", concurrency.serial_latency)
         for workers, qps in sorted(concurrency.qps_by_workers.items()):
             label = f"{workers} {query_executor} worker"
             label += "s" if workers > 1 else ""
             print(f"  {label:18s}: {qps:10.1f} queries/s "
                   f"({concurrency.speedup(workers):.2f}x vs serial)")
+            _print_latency(
+                "  solve time",
+                concurrency.solve_latency_by_workers.get(workers, {}))
         print(f"  rung matrices computed: {concurrency.matrix_computes} "
               f"(distinct rungs touched: {concurrency.distinct_rungs}, "
               f"executor: {query_executor})")
+    if args.serve_qps > 0:
+        from repro.service.workload import measure_serve_latency
+
+        serve = measure_serve_latency(
+            index, num_requests=args.serve_requests,
+            rate_qps=args.serve_qps, seed=args.seed)
+        print(f"  daemon open loop  : {serve.requests} requests at "
+              f"{serve.rate_qps:.0f} req/s -> {serve.answered} answered, "
+              f"{serve.rejected} rejected, {serve.errors} errors, "
+              f"{serve.mismatches} mismatches")
+        _print_latency("daemon latency", serve.latency)
+        print(f"  daemon batching   : "
+              f"{serve.server['batches_dispatched']} dispatches, "
+              f"{serve.server['batched_requests']} requests coalesced")
     return 0
 
 
@@ -469,6 +577,7 @@ _COMMANDS = {
     "index": _index,
     "query": _query,
     "refresh": _refresh,
+    "serve": _serve,
     "serve-bench": _serve_bench,
 }
 

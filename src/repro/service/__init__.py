@@ -36,13 +36,31 @@ from repro.service.matrices import (
     matrix_budget_from_env,
 )
 from repro.service.persist import INDEX_FORMAT_VERSION, load_index, save_index
-from repro.service.service import DiversityService, Query, QueryResult
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+)
+from repro.service.server import DiversityServer, ServerConfig, ServerStats
+from repro.service.service import (
+    SCHEMA_VERSION,
+    DiversityService,
+    Query,
+    QueryResult,
+)
 from repro.service.workload import (
     ConcurrencyReport,
+    ServeLatencyReport,
     ThroughputReport,
+    latency_summary,
     make_workload,
     measure_concurrent_throughput,
+    measure_serve_latency,
     measure_service_throughput,
+    open_loop_load,
 )
 
 __all__ = [
@@ -67,12 +85,26 @@ __all__ = [
     "INDEX_FORMAT_VERSION",
     "load_index",
     "save_index",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "DiversityServer",
+    "ServerConfig",
+    "ServerStats",
+    "SCHEMA_VERSION",
     "DiversityService",
     "Query",
     "QueryResult",
     "ConcurrencyReport",
+    "ServeLatencyReport",
     "ThroughputReport",
+    "latency_summary",
     "make_workload",
     "measure_concurrent_throughput",
+    "measure_serve_latency",
     "measure_service_throughput",
+    "open_loop_load",
 ]

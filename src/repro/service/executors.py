@@ -415,7 +415,8 @@ class ProcessExecutor:
                     objective=first_query.objective, k=first_query.k,
                     epsilon=first_query.epsilon, indices=indices,
                     points=rung.coreset.points[indices], value=value,
-                    rung=rung.key, cached=False, solve_seconds=seconds)
+                    rung=rung.key, cached=False, solve_seconds=seconds,
+                    epoch=epoch)
                 service._finish_group(cache, cache_key, result, members,
                                       results)
             return results

@@ -1,0 +1,671 @@
+"""The ``repro serve`` daemon: asyncio front-end over a DiversityService.
+
+One :class:`DiversityServer` owns one
+:class:`~repro.service.service.DiversityService` and exposes it on a
+single TCP port.  Each accepted connection is sniffed on its first line:
+HTTP request lines (``POST /query HTTP/1.1`` ...) route to a thin
+HTTP/1.1 adapter, anything else is treated as newline-delimited JSON in
+the :mod:`repro.service.protocol` envelope — the native framing, which
+supports pipelining (responses are matched to requests by ``id``, not
+by order).
+
+The serving pipeline, in order:
+
+1. **Admission** — every decoded ``query`` request tries a
+   ``put_nowait`` into one bounded :class:`asyncio.Queue`.  A full queue
+   is an immediate ``overloaded`` rejection carrying ``retry_after_ms``
+   (HTTP 429 + ``Retry-After``); a draining server rejects with
+   ``shutting_down`` (HTTP 503).  The server never buffers unboundedly —
+   backpressure is explicit.
+2. **Micro-batching** — a single collector task takes the oldest admitted
+   request, then keeps collecting until ``batch_window_ms`` elapses or
+   ``max_batch`` requests are gathered, and submits the coalesced query
+   list as ONE :meth:`~repro.service.service.DiversityService.query_batch`
+   call, so same-rung queries from different clients share matrix
+   fetches and LRU probes.  Results are split back per request in order.
+3. **Dispatch** — the blocking ``query_batch`` runs on a two-slot thread
+   pool: one slot for query batches, one for background ``refresh``
+   (dataset absorption swaps epochs atomically service-side, so readers
+   are never stalled and never see a mixed epoch).
+4. **Drain** — on SIGTERM/SIGINT (or :meth:`DiversityServer.shutdown`)
+   the listener stops admitting, in-flight batches finish on the epoch
+   they were admitted against, their responses are written, and only
+   then is the underlying service closed.  Nothing admitted is dropped;
+   nothing is answered twice.
+
+Answers are bit-identical to calling ``service.query_batch`` in-process
+on the same index: coalescing only concatenates query lists, and the
+service's solvers are deterministic on a fixed core-set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.datasets.loaders import load_points
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, Request
+from repro.service.service import DiversityService
+from repro.service.workload import latency_summary
+from repro.utils.validation import check_positive_int
+
+#: HTTP methods whose request line flips a connection into HTTP mode.
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ",
+                 b"OPTIONS ", b"PATCH ")
+
+#: Longest accepted request line / HTTP body, in bytes.
+_MAX_LINE = 1 << 20
+
+_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                 405: "Method Not Allowed", 413: "Payload Too Large",
+                 429: "Too Many Requests", 500: "Internal Server Error",
+                 503: "Service Unavailable"}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`DiversityServer`.
+
+    ``batch_window_ms`` is the micro-batching horizon: after the first
+    request of a batch arrives, the collector waits at most this long
+    for more before dispatching (0 disables coalescing).  ``max_queue``
+    bounds the admission queue — the ``overloaded`` rejection threshold
+    — and ``max_batch`` caps how many admitted requests one dispatch may
+    coalesce.  ``retry_after_ms`` is the hint returned with rejections.
+    ``drain_timeout_s`` caps how long shutdown waits for in-flight work.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_window_ms: float = 20.0
+    max_queue: int = 64
+    max_batch: int = 16
+    retry_after_ms: float = 50.0
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self):
+        """Validate the queue/batch bounds and non-negative windows."""
+        check_positive_int(self.max_queue, "max_queue")
+        check_positive_int(self.max_batch, "max_batch")
+        if self.batch_window_ms < 0 or self.retry_after_ms < 0:
+            raise ValueError("windows must be non-negative")
+
+
+@dataclass
+class _ClientStats:
+    """Per-client admission counters (keyed by peer ``host:port``)."""
+
+    accepted: int = 0
+    rejected: int = 0
+    queries: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready counter triple."""
+        return {"accepted": self.accepted, "rejected": self.rejected,
+                "queries": self.queries}
+
+
+@dataclass
+class ServerStats:
+    """Global serving counters, snapshot under ``stats()["server"]``.
+
+    ``batched_requests`` counts requests that shared a dispatch with at
+    least one other request — the micro-batching-is-actually-happening
+    signal the serve benchmark gates on.  ``rejected_overload`` and
+    ``rejected_draining`` split the two admission-control outcomes;
+    ``internal_errors`` counts request-crashing bugs (gated to zero).
+    """
+
+    connections: int = 0
+    http_requests: int = 0
+    accepted: int = 0
+    rejected_overload: int = 0
+    rejected_draining: int = 0
+    bad_requests: int = 0
+    internal_errors: int = 0
+    batches_dispatched: int = 0
+    batched_requests: int = 0
+    queries_served: int = 0
+    refreshes: int = 0
+    clients: dict[str, _ClientStats] = field(default_factory=dict)
+
+    def client(self, peer: str) -> _ClientStats:
+        """The (created-on-first-use) counter block for *peer*."""
+        if peer not in self.clients:
+            self.clients[peer] = _ClientStats()
+        return self.clients[peer]
+
+
+class _Work:
+    """One admitted query request awaiting dispatch.
+
+    Carries the decoded request, the future its responder awaits, the
+    peer label (for per-client accounting) and the admission timestamp
+    that anchors the server-observed latency sample.
+    """
+
+    __slots__ = ("request", "future", "peer", "admitted_at")
+
+    def __init__(self, request: Request, future: asyncio.Future,
+                 peer: str):
+        self.request = request
+        self.future = future
+        self.peer = peer
+        self.admitted_at = time.perf_counter()
+
+
+#: Queue item that tells the collector to exit after the current batch.
+_SENTINEL = object()
+
+
+class DiversityServer:
+    """Asyncio TCP/HTTP front-end over one :class:`DiversityService`.
+
+    Construct with a ready service (index built or lazy-buildable),
+    then either drive the pieces yourself (``await start()`` ... ``await
+    shutdown()``) or call :meth:`run_until_shutdown`, which also wires
+    SIGTERM/SIGINT to a graceful drain — the ``repro serve`` entry
+    point.  The server owns the service lifecycle from ``start()`` on:
+    shutdown drains in-flight batches, then calls ``service.close()``.
+    """
+
+    def __init__(self, service: DiversityService,
+                 config: ServerConfig | None = None):
+        self.service = service
+        self.config = config or ServerConfig()
+        self.stats_counters = ServerStats()
+        self._queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.max_queue)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-query")
+        self._refresh_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-refresh")
+        self._latencies: list[float] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._collector: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._pending = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._closed = False
+        self._started_at: float | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` ephemerals."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener, start the batch collector, return address."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._collector = asyncio.create_task(self._batch_loop())
+        self._started_at = time.perf_counter()
+        return self.address
+
+    async def shutdown(self) -> None:
+        """Drain gracefully: stop admitting, finish in-flight, close.
+
+        The listener closes first (no new connections), the draining
+        flag flips (queued connections get ``shutting_down``), already
+        admitted batches run to completion on their pinned epoch and
+        their responses are written, then the collector exits via the
+        queue sentinel and the underlying service is closed.  Bounded by
+        ``drain_timeout_s``; idempotent.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(),
+                                   timeout=self.config.drain_timeout_s)
+        except asyncio.TimeoutError:
+            pass
+        await self._queue.put(_SENTINEL)
+        if self._collector is not None:
+            await self._collector
+        if self._conn_tasks:
+            # Admitted work is resolved, but its responders may still be
+            # writing — wait for them so nothing admitted is dropped.
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*list(self._conn_tasks),
+                                   return_exceptions=True),
+                    timeout=self.config.drain_timeout_s)
+            except asyncio.TimeoutError:  # pragma: no cover - dead peers
+                for task in list(self._conn_tasks):
+                    task.cancel()
+        if self._handlers:
+            # Idle keep-alive connections still block in readline();
+            # cancel their handlers so loop teardown stays silent.
+            for task in list(self._handlers):
+                task.cancel()
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self._refresh_pool.shutdown(wait=True)
+        self.service.close()
+
+    async def run_until_shutdown(self, *,
+                                 ready: asyncio.Event | None = None) -> None:
+        """Serve until SIGTERM/SIGINT, then drain — the daemon main loop.
+
+        Sets *ready* (if given) once the socket is bound, so embedding
+        harnesses know when to connect.
+        """
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await self.start()
+        if ready is not None:
+            ready.set()
+        try:
+            await stop.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+            await self.shutdown()
+
+    # -- admission + batching --------------------------------------------------
+
+    def _admit(self, request: Request, peer: str) -> _Work:
+        """Admit a query request into the bounded queue or raise.
+
+        Raises :class:`ProtocolError` with ``shutting_down`` while
+        draining and ``overloaded`` when the queue is full — the two
+        admission-control rejections; both are counted globally and
+        per client.
+        """
+        client = self.stats_counters.client(peer)
+        if self._draining:
+            client.rejected += 1
+            self.stats_counters.rejected_draining += 1
+            raise ProtocolError(protocol.ERROR_SHUTTING_DOWN,
+                                "server is draining; not accepting work")
+        work = _Work(request, asyncio.get_running_loop().create_future(),
+                     peer)
+        try:
+            self._queue.put_nowait(work)
+        except asyncio.QueueFull:
+            client.rejected += 1
+            self.stats_counters.rejected_overload += 1
+            raise ProtocolError(
+                protocol.ERROR_OVERLOADED,
+                f"admission queue full ({self.config.max_queue}); "
+                "retry after the advertised delay") from None
+        self._pending += 1
+        self._idle.clear()
+        client.accepted += 1
+        client.queries += len(request.queries)
+        self.stats_counters.accepted += 1
+        return work
+
+    def _work_done(self) -> None:
+        """Account one resolved request; wake drain when none are left."""
+        self._pending -= 1
+        if self._pending <= 0:
+            self._idle.set()
+
+    async def _batch_loop(self) -> None:
+        """Collect admitted requests into micro-batches and dispatch.
+
+        The single consumer of the admission queue: it blocks on the
+        oldest request, gathers more until the batching window closes
+        (or ``max_batch`` is hit), dispatches the coalesced batch, and
+        repeats until the shutdown sentinel arrives.
+        """
+        loop = asyncio.get_running_loop()
+        window = self.config.batch_window_ms / 1e3
+        while True:
+            first = await self._queue.get()
+            if first is _SENTINEL:
+                return
+            batch = [first]
+            stop_after = False
+            deadline = loop.time() + window
+            while len(batch) < self.config.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(),
+                                                  timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SENTINEL:
+                    stop_after = True
+                    break
+                batch.append(item)
+            await self._dispatch(batch)
+            if stop_after:
+                return
+
+    async def _dispatch(self, batch: list[_Work]) -> None:
+        """Run one coalesced batch on the query slot and split results.
+
+        All requests' queries are concatenated into a single
+        ``query_batch`` call (results come back in input order, so the
+        per-request slices are exact); each request's future is resolved
+        with its slice and its server-observed latency is sampled.  A
+        service-side exception fails every request in the batch with
+        ``internal`` rather than killing the collector.
+        """
+        queries = [query for work in batch for query in work.request.queries]
+        loop = asyncio.get_running_loop()
+        self.stats_counters.batches_dispatched += 1
+        if len(batch) > 1:
+            self.stats_counters.batched_requests += len(batch)
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self.service.query_batch, queries)
+        except Exception as exc:
+            self.stats_counters.internal_errors += len(batch)
+            for work in batch:
+                if not work.future.done():
+                    work.future.set_exception(
+                        ProtocolError(protocol.ERROR_INTERNAL, str(exc)))
+                self._work_done()
+            return
+        offset = 0
+        now = time.perf_counter()
+        for work in batch:
+            count = len(work.request.queries)
+            if not work.future.done():
+                work.future.set_result(results[offset:offset + count])
+            offset += count
+            self.stats_counters.queries_served += count
+            self._latencies.append(now - work.admitted_at)
+            self._work_done()
+        if len(self._latencies) > 65536:
+            del self._latencies[:32768]
+
+    def _refresh_blocking(self, path: str) -> dict:
+        """Load a dataset and absorb it into the index (refresh slot).
+
+        Runs on the dedicated refresh thread so a dataset absorption
+        never occupies the query-dispatch slot; the service-side epoch
+        swap is atomic, so queries keep flowing throughout.
+        """
+        points = load_points(path)
+        self.service.refresh(points)
+        self.stats_counters.refreshes += 1
+        return {"epoch": self.service.stats()["epochs"]["current"],
+                "absorbed": len(points)}
+
+    # -- request handling ------------------------------------------------------
+
+    async def _answer(self, request: Request, peer: str) -> str:
+        """Serve one decoded request; returns the NDJSON response line."""
+        if request.kind == "healthz":
+            return protocol.encode_ok(request.id, status="ok",
+                                      draining=self._draining)
+        if request.kind == "stats":
+            return protocol.encode_ok(request.id, stats=self.stats())
+        if request.kind == "refresh":
+            if self._draining:
+                raise ProtocolError(protocol.ERROR_SHUTTING_DOWN,
+                                    "server is draining")
+            loop = asyncio.get_running_loop()
+            try:
+                summary = await loop.run_in_executor(
+                    self._refresh_pool, self._refresh_blocking,
+                    request.data)
+            except (OSError, ValueError) as exc:
+                raise ProtocolError(
+                    protocol.ERROR_BAD_REQUEST,
+                    f"cannot load dataset {request.data!r}: {exc}") from exc
+            return protocol.encode_ok(request.id, **summary)
+        work = self._admit(request, peer)
+        results = await work.future
+        return protocol.encode_results(request.id, results)
+
+    async def _serve_line(self, line: bytes, peer: str) -> str:
+        """Decode + serve one NDJSON line, mapping failures to errors."""
+        request_id = None
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.id
+            return await self._answer(request, peer)
+        except ProtocolError as exc:
+            retry = None
+            if exc.code == protocol.ERROR_OVERLOADED:
+                retry = self.config.retry_after_ms
+            if exc.code in (protocol.ERROR_BAD_REQUEST,
+                            protocol.ERROR_UNSUPPORTED_VERSION):
+                self.stats_counters.bad_requests += 1
+            return protocol.encode_error(request_id, exc.code, exc.message,
+                                         retry_after_ms=retry)
+        except Exception as exc:  # pragma: no cover - defensive
+            self.stats_counters.internal_errors += 1
+            return protocol.encode_error(request_id, protocol.ERROR_INTERNAL,
+                                         str(exc))
+
+    # -- connection plumbing ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Sniff the first line and route to the NDJSON or HTTP handler."""
+        self.stats_counters.connections += 1
+        peername = writer.get_extra_info("peername") or ("?", 0)
+        peer = f"{peername[0]}:{peername[1]}"
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith(_HTTP_METHODS) and b"HTTP/1." in first:
+                await self._handle_http(first, reader, writer, peer)
+            else:
+                await self._handle_ndjson(first, reader, writer, peer)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels idle handlers; exit quietly so asyncio's
+            # connection callback does not log the cancellation.
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_ndjson(self, first: bytes,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter,
+                             peer: str) -> None:
+        """Pipelined NDJSON loop: one responder task per request line.
+
+        Each line spawns a task that serves the request and writes its
+        response under a per-connection write lock, so slow (batched)
+        queries never block stats/healthz lines behind them and
+        responses are never interleaved mid-line.
+        """
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(line: bytes) -> None:
+            """Serve one line and write its response frame."""
+            payload = await self._serve_line(line, peer)
+            async with lock:
+                writer.write(payload.encode())
+                await writer.drain()
+
+        line = first
+        while line:
+            if line.strip():
+                task = asyncio.create_task(respond(line))
+                tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+            line = await reader.readline()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _handle_http(self, request_line: bytes,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           peer: str) -> None:
+        """One-shot HTTP/1.1 adapter: query/stats/healthz, then close."""
+        try:
+            method, target, _ = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            await self._write_http(writer, 400,
+                                   {"error": "malformed request line"})
+            return
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length") or 0)
+        if length > _MAX_LINE:
+            await self._write_http(writer, 413, {"error": "body too large"})
+            return
+        if length:
+            body = await reader.readexactly(length)
+        self.stats_counters.http_requests += 1
+        await self._route_http(method.upper(), target, body, writer, peer)
+
+    async def _route_http(self, method: str, target: str, body: bytes,
+                          writer: asyncio.StreamWriter, peer: str) -> None:
+        """Map an HTTP request onto the protocol kinds and respond."""
+        target = target.split("?", 1)[0]
+        if method == "GET" and target == "/healthz":
+            await self._write_http(writer, 200,
+                                   {"status": "ok",
+                                    "draining": self._draining})
+            return
+        if method == "GET" and target == "/stats":
+            await self._write_http(writer, 200, self.stats())
+            return
+        if target == "/query" and method != "POST":
+            await self._write_http(writer, 405,
+                                   {"error": "use POST /query"})
+            return
+        if method == "POST" and target == "/query":
+            envelope: dict
+            try:
+                parsed = json.loads(body or b"")
+                if not isinstance(parsed, dict):
+                    raise ValueError("body must be a JSON object")
+                envelope = dict(parsed)
+            except ValueError as exc:
+                self.stats_counters.bad_requests += 1
+                await self._write_http(writer, 400, {"error": str(exc)})
+                return
+            envelope.setdefault("kind", "query")
+            response = json.loads(
+                await self._serve_line(json.dumps(envelope).encode(), peer))
+            if response.get("ok"):
+                await self._write_http(writer, 200, response)
+                return
+            error = response.get("error", {})
+            status = {protocol.ERROR_OVERLOADED: 429,
+                      protocol.ERROR_SHUTTING_DOWN: 503,
+                      protocol.ERROR_INTERNAL: 500}.get(
+                          error.get("code"), 400)
+            extra = {}
+            if error.get("retry_after_ms") is not None:
+                extra["Retry-After"] = str(
+                    max(1, round(error["retry_after_ms"] / 1e3)))
+            await self._write_http(writer, status, response, extra)
+            return
+        await self._write_http(writer, 404,
+                               {"error": f"no route {method} {target}"})
+
+    async def _write_http(self, writer: asyncio.StreamWriter, status: int,
+                          payload: dict,
+                          extra_headers: dict[str, str] | None = None
+                          ) -> None:
+        """Emit one ``Connection: close`` HTTP/1.1 JSON response."""
+        body = json.dumps(payload).encode()
+        reason = _HTTP_REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The service stats snapshot plus this server's ``server`` block.
+
+        The service portion is
+        :meth:`DiversityService.stats <repro.service.service.DiversityService.stats>`
+        verbatim (same versioned schema as the in-process API); the
+        ``server`` section adds admission/batching counters, the
+        server-observed latency percentile block
+        (:func:`~repro.service.workload.latency_summary`) and per-client
+        accounting.  ``GET /stats`` and the NDJSON ``stats`` kind both
+        return exactly this payload.
+        """
+        counters = self.stats_counters
+        payload = self.service.stats()
+        payload["server"] = {
+            "draining": self._draining,
+            "in_flight": self._pending,
+            "uptime_seconds": (
+                time.perf_counter() - self._started_at
+                if self._started_at is not None else 0.0),
+            "config": {
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_queue": self.config.max_queue,
+                "max_batch": self.config.max_batch,
+                "retry_after_ms": self.config.retry_after_ms,
+            },
+            "connections": counters.connections,
+            "http_requests": counters.http_requests,
+            "accepted": counters.accepted,
+            "rejected_overload": counters.rejected_overload,
+            "rejected_draining": counters.rejected_draining,
+            "bad_requests": counters.bad_requests,
+            "internal_errors": counters.internal_errors,
+            "batches_dispatched": counters.batches_dispatched,
+            "batched_requests": counters.batched_requests,
+            "queries_served": counters.queries_served,
+            "refreshes": counters.refreshes,
+            "latency": latency_summary(self._latencies),
+            "clients": {peer: client.as_dict()
+                        for peer, client in counters.clients.items()},
+        }
+        return payload
+
+
+__all__ = ["ServerConfig", "ServerStats", "DiversityServer"]

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Union
@@ -73,20 +74,65 @@ from repro.service.persist import load_index, save_index
 from repro.utils.validation import check_in_range, check_positive_int
 
 
+#: Version of the canonical request/response/stats schemas.  Embedded in
+#: every :meth:`Query.to_dict` / :meth:`QueryResult.to_dict` payload and
+#: in :meth:`DiversityService.stats`, and checked by the matching
+#: ``from_dict`` constructors — the wire protocol of ``repro serve``
+#: (:mod:`repro.service.protocol`) rides on these dicts verbatim.
+SCHEMA_VERSION = 1
+
+
+def _check_schema_version(payload: dict, what: str) -> None:
+    """Reject payloads claiming a schema version we do not speak."""
+    version = payload.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported {what} schema_version {version!r}; "
+            f"this build speaks version {SCHEMA_VERSION}")
+
+
 @dataclass(frozen=True)
 class Query:
     """One diversity request: *k* points maximizing *objective*.
 
     ``epsilon`` is the approximation slack the caller tolerates; a smaller
     value routes to a larger (more accurate, slower) ladder rung.
+
+    This dataclass is the canonical request schema: :meth:`to_dict` /
+    :meth:`from_dict` round-trip it through JSON-ready dicts carrying a
+    ``schema_version`` field, and every query entry point accepts
+    :class:`Query` instances (bare ``(objective, k[, epsilon])`` tuples
+    are still understood but deprecated).
     """
 
     objective: str
     k: int
     epsilon: float = 1.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready form, stamped with :data:`SCHEMA_VERSION`."""
+        return {"schema_version": SCHEMA_VERSION, "objective": self.objective,
+                "k": self.k, "epsilon": self.epsilon}
 
-#: Accepted query spellings: a :class:`Query` or an
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Query":
+        """Rebuild a :class:`Query` from a :meth:`to_dict` payload.
+
+        A missing ``schema_version`` is read as the current version (the
+        ergonomic wire form); an unknown one raises
+        :class:`~repro.exceptions.ValidationError`.
+        """
+        _check_schema_version(payload, "Query")
+        try:
+            objective = str(payload["objective"])
+            k = int(payload["k"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed Query payload {payload!r}: {exc}") from exc
+        return cls(objective, k, float(payload.get("epsilon", 1.0)))
+
+
+#: Accepted query spellings: a :class:`Query` or a deprecated
 #: ``(objective, k[, epsilon])`` tuple/list.
 QueryLike = Union[Query, tuple, list]
 
@@ -97,7 +143,16 @@ class QueryResult:
 
     ``indices`` select rows of the serving rung's core-set; ``points`` are
     those rows (views into cached state — treat as read-only).  ``cached``
-    marks answers served from the LRU without running a solver.
+    marks answers served from the LRU without running a solver;
+    ``eps_hit`` marks the subset of those served from a cached
+    *tighter-epsilon* answer (epsilon-aware reuse).  ``epoch`` records the
+    index epoch the answer was solved on — every result of one batch
+    carries the same epoch (the mixed-epoch safety contract of
+    :meth:`DiversityService.refresh`).
+
+    Like :class:`Query`, this is the canonical response schema:
+    :meth:`to_dict` / :meth:`from_dict` round-trip every field through
+    JSON-ready dicts with a ``schema_version`` stamp.
     """
 
     objective: str
@@ -109,6 +164,53 @@ class QueryResult:
     rung: tuple[str, int, int]
     cached: bool
     solve_seconds: float
+    eps_hit: bool = False
+    epoch: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: arrays become nested lists, rung a list."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "objective": self.objective,
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "indices": np.asarray(self.indices).tolist(),
+            "points": np.asarray(self.points).tolist(),
+            "value": self.value,
+            "rung": list(self.rung),
+            "cached": self.cached,
+            "solve_seconds": self.solve_seconds,
+            "eps_hit": self.eps_hit,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResult":
+        """Rebuild a :class:`QueryResult` from a :meth:`to_dict` payload.
+
+        Bit-exact for every field: JSON serializes float64 via shortest
+        round-trip repr, so values and point coordinates survive the trip
+        unchanged (the daemon's bit-identity contract rests on this).
+        """
+        _check_schema_version(payload, "QueryResult")
+        try:
+            family, k_cap, k_prime = payload["rung"]
+            return cls(
+                objective=str(payload["objective"]),
+                k=int(payload["k"]),
+                epsilon=float(payload["epsilon"]),
+                indices=np.asarray(payload["indices"], dtype=np.intp),
+                points=np.asarray(payload["points"], dtype=np.float64),
+                value=float(payload["value"]),
+                rung=(str(family), int(k_cap), int(k_prime)),
+                cached=bool(payload["cached"]),
+                solve_seconds=float(payload["solve_seconds"]),
+                eps_hit=bool(payload.get("eps_hit", False)),
+                epoch=int(payload.get("epoch", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed QueryResult payload: {exc}") from exc
 
 
 class DiversityService:
@@ -381,6 +483,12 @@ class DiversityService:
         or thread timing, which is what keeps concurrent answers
         bit-identical to ``query_batch`` on mixed-eps workloads.
         """
+        queries = list(queries)
+        if any(isinstance(query, (tuple, list)) for query in queries):
+            warnings.warn(
+                "bare-tuple queries are deprecated; pass "
+                "repro.service.Query objects (schema_version "
+                f"{SCHEMA_VERSION})", DeprecationWarning, stacklevel=3)
         normalized = [self._normalize(query) for query in queries]
         if not normalized:
             if not concurrent:
@@ -474,7 +582,7 @@ class DiversityService:
             dist = self._matrix_for(matrices, epoch, rung)
             for cache_key in cache_keys:
                 _, members = groups[cache_key]
-                result = self._solve(members[0][1], rung, dist)
+                result = self._solve(members[0][1], rung, dist, epoch)
                 self._finish_group(cache, cache_key, result, members,
                                    results)
         return results  # type: ignore[return-value]
@@ -488,7 +596,7 @@ class DiversityService:
         if hit is not None:
             return hit
         dist = self._matrix_for(matrices, epoch, rung)
-        result = self._solve(query, rung, dist)
+        result = self._solve(query, rung, dist, epoch)
         cache.put(cache_key, result)
         return result
 
@@ -549,7 +657,8 @@ class DiversityService:
             with self._counter_lock:
                 self.eps_hits += 1
             return cache_key, replace(reusable, epsilon=query.epsilon,
-                                      cached=True, solve_seconds=0.0)
+                                      cached=True, eps_hit=True,
+                                      solve_seconds=0.0)
         return cache_key, None
 
     # -- execution backends ------------------------------------------------------
@@ -602,7 +711,7 @@ class DiversityService:
         self.close()
 
     def _solve(self, query: Query, rung: LadderRung,
-               dist: np.ndarray) -> QueryResult:
+               dist: np.ndarray, epoch: int = 0) -> QueryResult:
         """Run the sequential solver for *query* on the rung's matrix."""
         objective = get_objective(query.objective)
         started = time.perf_counter()
@@ -612,7 +721,7 @@ class DiversityService:
             objective=objective.name, k=query.k, epsilon=query.epsilon,
             indices=indices, points=rung.coreset.points[indices],
             value=float(value), rung=rung.key, cached=False,
-            solve_seconds=time.perf_counter() - started,
+            solve_seconds=time.perf_counter() - started, epoch=epoch,
         )
 
     @staticmethod
@@ -649,28 +758,60 @@ class DiversityService:
 
     # -- observability -----------------------------------------------------------
     def stats(self) -> dict:
-        """Service counters: queries, cache behaviour, builds, matrices.
+        """The versioned observability snapshot (stats schema v1).
 
-        ``shared_matrices`` reports the process backend's shared-memory
-        matrix segments (``None`` until the process backend has been
-        created); ``eps_hits`` counts queries served from a cached
-        tighter-eps answer.
+        One JSON-ready dict, shared verbatim by this in-process API and
+        the daemon's ``GET /stats`` (:mod:`repro.service.server`), with a
+        ``schema_version`` stamp and five stable sections:
+
+        * ``counters`` — ``queries_answered``, ``batches_answered``,
+          ``concurrent_batches``, ``build_calls`` (frozen across
+          queries), ``eps_hits`` (queries served from a cached
+          tighter-eps answer);
+        * ``caches`` — ``results``: the result-LRU block (``hits`` /
+          ``misses`` / ``evictions`` / ``hit_rate`` / ``entries`` /
+          ``capacity``);
+        * ``matrices`` — ``local``: the in-process
+          :class:`~repro.service.matrices.MatrixCache` block;
+          ``shared``: the process backend's shared-segment block, or
+          ``None`` until that backend exists;
+        * ``executors`` — ``default``, ``workers``, ``active`` (backend
+          names instantiated so far);
+        * ``epochs`` — ``current``, ``refreshes``, ``index_built``.
+
+        The key inventory is documented in ``docs/serving.md`` and
+        drift-gated by ``tests/test_docs.py``.
         """
         with self._executors_lock:
             process_backend = self._executors.get("process")
+            active = sorted(self._executors)
+        cache = self.cache
         return {
-            "queries_answered": self.queries_answered,
-            "batches_answered": self.batches_answered,
-            "concurrent_batches": self.concurrent_batches,
-            "build_calls": self.build_calls,
-            "refreshes": self.refreshes,
-            "eps_hits": self.eps_hits,
-            "epoch": self._epoch,
-            "executor": self.default_executor,
-            "cache": self.cache.stats.as_dict(),
-            "matrices": self._matrices.describe(),
-            "cached_matrices": len(self._matrices),
-            "shared_matrices": (process_backend.stats()
-                                if process_backend is not None else None),
-            "index_built": self._index is not None,
+            "schema_version": SCHEMA_VERSION,
+            "counters": {
+                "queries_answered": self.queries_answered,
+                "batches_answered": self.batches_answered,
+                "concurrent_batches": self.concurrent_batches,
+                "build_calls": self.build_calls,
+                "eps_hits": self.eps_hits,
+            },
+            "caches": {
+                "results": {**cache.stats.as_dict(), "entries": len(cache),
+                            "capacity": cache.capacity},
+            },
+            "matrices": {
+                "local": self._matrices.describe(),
+                "shared": (process_backend.stats()
+                           if process_backend is not None else None),
+            },
+            "executors": {
+                "default": self.default_executor,
+                "workers": self.executor_workers,
+                "active": active,
+            },
+            "epochs": {
+                "current": self._epoch,
+                "refreshes": self.refreshes,
+                "index_built": self._index is not None,
+            },
         }

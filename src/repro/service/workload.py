@@ -1,4 +1,4 @@
-"""Multi-query workloads and the service throughput harnesses.
+"""Multi-query workloads and the service throughput/latency harnesses.
 
 A randomized mix of ``(objective, k)`` requests is served several ways —
 
@@ -22,7 +22,9 @@ speedup (>= 5x over rebuild-per-query) and, on multi-core runners, the
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 from repro.diversity.objectives import list_objectives
 from repro.diversity.sequential.registry import solve_sequential
@@ -63,9 +65,40 @@ def make_workload(k_max: int, num_queries: int,
     return workload
 
 
+def latency_summary(seconds: list[float]) -> dict:
+    """Summarize observed latencies (in seconds) as milliseconds.
+
+    Returns ``{"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+    "max_ms"}`` — the percentile block every latency-reporting surface
+    (``serve-bench``, the serving daemon's stats, the latency benchmark)
+    emits.  Percentiles are linearly interpolated
+    (:func:`numpy.percentile` defaults); an empty sample yields ``count
+    == 0`` with ``None`` everywhere else, so callers can emit the block
+    unconditionally.
+    """
+    samples = np.asarray(list(seconds), dtype=np.float64) * 1e3
+    if samples.size == 0:
+        return {"count": 0, "mean_ms": None, "p50_ms": None,
+                "p95_ms": None, "p99_ms": None, "max_ms": None}
+    return {
+        "count": int(samples.size),
+        "mean_ms": float(samples.mean()),
+        "p50_ms": float(np.percentile(samples, 50)),
+        "p95_ms": float(np.percentile(samples, 95)),
+        "p99_ms": float(np.percentile(samples, 99)),
+        "max_ms": float(samples.max()),
+    }
+
+
 @dataclass
 class ThroughputReport:
-    """Queries/sec for the three serving modes, plus provenance."""
+    """Queries/sec for the three serving modes, plus provenance.
+
+    ``warm_latency`` and ``cached_latency`` are per-query wall-latency
+    percentile blocks (:func:`latency_summary`) for the two service
+    passes — the queries are answered one at a time so every query
+    contributes a client-observed latency sample.
+    """
 
     num_queries: int
     rebuild_queries: int
@@ -75,6 +108,8 @@ class ThroughputReport:
     cached_qps: float
     build_calls_during_queries: int
     cache: dict
+    warm_latency: dict = field(default_factory=dict)
+    cached_latency: dict = field(default_factory=dict)
 
     @property
     def warm_speedup(self) -> float:
@@ -146,14 +181,21 @@ def measure_service_throughput(
 
     service = DiversityService(index, cache_size=max(128, len(workload)),
                                matrix_budget_mb=matrix_budget_mb)
-    started = time.perf_counter()
-    warm = service.query_batch(workload)
-    warm_seconds = time.perf_counter() - started
+
+    def _timed_pass(queries: list[Query]) -> tuple[list, float, list[float]]:
+        """One query at a time, recording per-query wall latency."""
+        results, latencies = [], []
+        started = time.perf_counter()
+        for query in queries:
+            t0 = time.perf_counter()
+            results.extend(service.query_batch([query]))
+            latencies.append(time.perf_counter() - t0)
+        return results, time.perf_counter() - started, latencies
+
+    warm, warm_seconds, warm_latencies = _timed_pass(workload)
     build_calls_during_queries = service.build_calls
 
-    started = time.perf_counter()
-    cached = service.query_batch(workload)
-    cached_seconds = time.perf_counter() - started
+    cached, cached_seconds, cached_latencies = _timed_pass(workload)
 
     assert all(result.cached for result in cached), \
         "replayed workload must be served entirely from the LRU"
@@ -171,6 +213,8 @@ def measure_service_throughput(
         cached_qps=_qps(len(workload), cached_seconds),
         build_calls_during_queries=build_calls_during_queries,
         cache=service.cache.stats.as_dict(),
+        warm_latency=latency_summary(warm_latencies),
+        cached_latency=latency_summary(cached_latencies),
     )
 
 
@@ -186,7 +230,12 @@ class ConcurrencyReport:
     ``build_calls_during_queries`` (must be 0 — queries never rebuild)
     and ``matrix_computes`` vs ``distinct_rungs`` (each rung's matrix is
     computed exactly once under contention when unbudgeted — across
-    processes, in process mode).
+    processes, in process mode).  ``serial_latency`` is the per-query
+    wall-latency percentile block of the serial baseline;
+    ``solve_latency_by_workers`` holds per-worker-count percentile
+    blocks over ``QueryResult.solve_seconds`` (solver time only —
+    client-observed latency is not well-defined inside one
+    ``query_concurrent`` call).
     """
 
     num_queries: int
@@ -197,6 +246,8 @@ class ConcurrencyReport:
     matrix_computes: int
     matrices: dict
     executor: str = "thread"
+    serial_latency: dict = field(default_factory=dict)
+    solve_latency_by_workers: dict[int, dict] = field(default_factory=dict)
 
     def speedup(self, workers: int) -> float:
         """Concurrent throughput at *workers* over the serial baseline."""
@@ -208,9 +259,15 @@ class ConcurrencyReport:
             "num_queries": self.num_queries,
             "executor": self.executor,
             "serial_qps": self.serial_qps,
-            "workers": {str(workers): {"qps": qps,
-                                       "speedup": self.speedup(workers)}
-                        for workers, qps in self.qps_by_workers.items()},
+            "serial_latency": self.serial_latency,
+            "workers": {
+                str(workers): {
+                    "qps": qps,
+                    "speedup": self.speedup(workers),
+                    "solve_latency": self.solve_latency_by_workers.get(
+                        workers, {}),
+                }
+                for workers, qps in self.qps_by_workers.items()},
             "build_calls_during_queries": self.build_calls_during_queries,
             "distinct_rungs": self.distinct_rungs,
             "matrix_computes": self.matrix_computes,
@@ -263,12 +320,18 @@ def measure_concurrent_throughput(
                                 matrix_budget_mb=matrix_budget_mb)
 
     serial_service = _fresh_service()
+    serial_results: list = []
+    serial_latencies: list[float] = []
     started = time.perf_counter()
-    serial_results = serial_service.query_batch(workload)
+    for query in workload:
+        t0 = time.perf_counter()
+        serial_results.extend(serial_service.query_batch([query]))
+        serial_latencies.append(time.perf_counter() - t0)
     serial_seconds = time.perf_counter() - started
     expected = [(result.value, result.rung) for result in serial_results]
 
     qps_by_workers: dict[int, float] = {}
+    solve_latency_by_workers: dict[int, dict] = {}
     build_calls = serial_service.build_calls
     widest_service = serial_service
     try:
@@ -292,13 +355,14 @@ def measure_concurrent_throughput(
                 "every query must count exactly one cache hit or miss"
             build_calls = max(build_calls, service.build_calls)
             qps_by_workers[workers] = len(workload) / max(seconds, 1e-9)
+            solve_latency_by_workers[workers] = latency_summary(
+                [result.solve_seconds for result in results])
 
         assert build_calls == 0, "queries must never rebuild a core-set"
         distinct_rungs = len({index.route(q.objective, q.k, q.epsilon).key
                               for q in workload})
-        stats_block = ("shared_matrices" if executor == "process"
-                       else "matrices")
-        matrices = widest_service.stats()[stats_block]
+        stats_block = "shared" if executor == "process" else "local"
+        matrices = widest_service.stats()["matrices"][stats_block]
         if matrices["budget_bytes"] is None:
             assert matrices["computes"] == distinct_rungs, (
                 f"expected exactly one matrix compute per rung "
@@ -315,4 +379,193 @@ def measure_concurrent_throughput(
         matrix_computes=matrices["computes"],
         matrices=matrices,
         executor=executor,
+        serial_latency=latency_summary(serial_latencies),
+        solve_latency_by_workers=solve_latency_by_workers,
+    )
+
+
+@dataclass
+class ServeLatencyReport:
+    """Open-loop load-test results against a running serving daemon.
+
+    ``latency`` is the client-observed percentile block
+    (:func:`latency_summary`): each sample runs from the request's
+    *scheduled* send time to its response — so queueing delay from an
+    overloaded server shows up in the tail instead of silently slowing
+    the arrival process (the open-loop property).  ``rejected`` counts
+    ``overloaded``/``shutting_down`` responses (explicit backpressure),
+    ``errors`` everything else that was not an answer, ``mismatches``
+    answers that differed from the in-process expectation (must be 0 —
+    the harness *is* the bit-identity test).  ``server`` is the daemon's
+    final ``stats()["server"]`` block; its ``batched_requests`` counter
+    is the proof that micro-batching actually coalesced requests.
+    """
+
+    rate_qps: float
+    requests: int
+    queries_per_request: int
+    answered: int
+    rejected: int
+    errors: int
+    mismatches: int
+    duration_seconds: float
+    latency: dict
+    server: dict
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the payload of ``BENCH_serve_latency.json``)."""
+        return asdict(self)
+
+
+async def open_loop_load(host: str, port: int, requests: list[list[Query]],
+                         rate_qps: float,
+                         expected: dict | None = None) -> dict:
+    """Drive an open-loop request schedule at a serving daemon.
+
+    Sends one NDJSON ``query`` request per entry of *requests* on a
+    single pipelined connection, at fixed ``1 / rate_qps`` intervals
+    anchored to the wall clock — send times never wait for responses, so
+    a slow server accumulates queueing delay rather than throttling the
+    generator.  A concurrent reader matches responses to requests by
+    ``id`` and samples scheduled-send-to-response latency.  When
+    *expected* maps request index to the in-process ``(value, indices)``
+    list, every answer is checked against it.
+
+    Returns ``{"answered", "rejected", "errors", "mismatches",
+    "latencies", "duration_seconds"}`` — raw material for
+    :class:`ServeLatencyReport`.
+    """
+    import asyncio
+
+    from repro.service import protocol
+
+    interval = 1.0 / rate_qps
+    reader, writer = await asyncio.open_connection(host, port)
+    loop = asyncio.get_running_loop()
+    sent_at: dict[int, float] = {}
+    counts = {"answered": 0, "rejected": 0, "errors": 0, "mismatches": 0}
+    latencies: list[float] = []
+
+    async def produce() -> None:
+        """Write each request at its scheduled (open-loop) instant."""
+        start = loop.time()
+        for index, queries in enumerate(requests):
+            scheduled = start + index * interval
+            delay = scheduled - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            sent_at[index] = scheduled
+            writer.write(protocol.encode_request(
+                "query", index, queries=queries).encode())
+            await writer.drain()
+
+    async def consume() -> None:
+        """Match responses to requests by id; sample and classify."""
+        for _ in range(len(requests)):
+            line = await reader.readline()
+            if not line:
+                counts["errors"] += len(requests) - sum(
+                    (counts["answered"], counts["rejected"],
+                     counts["errors"]))
+                return
+            response = protocol.decode_response(line)
+            index = response.get("id")
+            if response.get("ok"):
+                counts["answered"] += 1
+                latencies.append(loop.time() - sent_at[index])
+                if expected is not None and index in expected:
+                    got = [(result.value, tuple(result.indices))
+                           for result in protocol.results_of(response)]
+                    if got != expected[index]:
+                        counts["mismatches"] += 1
+            elif response["error"]["code"] in ("overloaded",
+                                               "shutting_down"):
+                counts["rejected"] += 1
+            else:
+                counts["errors"] += 1
+
+    started = loop.time()
+    producer = asyncio.ensure_future(produce())
+    try:
+        await consume()
+    finally:
+        producer.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):  # pragma: no cover
+            pass
+    return {**counts, "latencies": latencies,
+            "duration_seconds": loop.time() - started}
+
+
+def measure_serve_latency(index, *, num_requests: int = 64,
+                          queries_per_request: int = 1,
+                          rate_qps: float = 100.0,
+                          batch_window_ms: float = 20.0,
+                          max_queue: int = 256,
+                          seed: int | None = 0,
+                          verify: bool = True) -> ServeLatencyReport:
+    """End-to-end serve latency: daemon + open-loop client, one call.
+
+    Starts a :class:`~repro.service.server.DiversityServer` over *index*
+    on an ephemeral localhost port, drives it with
+    :func:`open_loop_load` at *rate_qps*, drains the server, and folds
+    the client samples and the daemon's final ``server`` stats block
+    into a :class:`ServeLatencyReport`.  With *verify* (the default)
+    every answer is compared against an in-process
+    ``DiversityService.query_batch`` on the same index — daemon answers
+    must be bit-identical.  ``repro serve-bench --serve`` and
+    ``benchmarks/bench_serve_latency.py`` are thin wrappers over this.
+    """
+    import asyncio
+
+    # Imported lazily: server.py imports latency_summary from this
+    # module, so a top-level import here would be circular.
+    from repro.service.server import DiversityServer, ServerConfig
+
+    check_positive_int(num_requests, "num_requests")
+    check_positive_int(queries_per_request, "queries_per_request")
+    k_max = int(index.ladder.get("k_max", 4))
+    workload = make_workload(k_max, num_requests * queries_per_request,
+                             seed=seed)
+    requests = [workload[i * queries_per_request:
+                         (i + 1) * queries_per_request]
+                for i in range(num_requests)]
+    expected = None
+    if verify:
+        with DiversityService(index,
+                              cache_size=max(128, len(workload))) as oracle:
+            answers = oracle.query_batch(workload)
+        expected = {
+            i: [(result.value, tuple(result.indices))
+                for result in answers[i * queries_per_request:
+                                      (i + 1) * queries_per_request]]
+            for i in range(num_requests)}
+
+    async def run() -> tuple[dict, dict]:
+        """Start the daemon, run the open loop, drain, snapshot stats."""
+        service = DiversityService(index, cache_size=max(128, len(workload)))
+        server = DiversityServer(service, ServerConfig(
+            batch_window_ms=batch_window_ms, max_queue=max_queue))
+        host, port = await server.start()
+        try:
+            outcome = await open_loop_load(host, port, requests, rate_qps,
+                                           expected)
+        finally:
+            await server.shutdown()
+        return outcome, server.stats()["server"]
+
+    outcome, server_stats = asyncio.run(run())
+    return ServeLatencyReport(
+        rate_qps=rate_qps,
+        requests=num_requests,
+        queries_per_request=queries_per_request,
+        answered=outcome["answered"],
+        rejected=outcome["rejected"],
+        errors=outcome["errors"],
+        mismatches=outcome["mismatches"],
+        duration_seconds=outcome["duration_seconds"],
+        latency=latency_summary(outcome["latencies"]),
+        server=server_stats,
     )

@@ -10,7 +10,9 @@ way a broken unit does:
   definitions (``repro.cli.render_cli_reference``) — any CLI change
   without ``python docs/generate_cli.py`` fails here;
 * every page the mkdocs nav references must exist, and every docs page
-  must be reachable from the nav.
+  must be reachable from the nav;
+* the stats-schema table in ``docs/serving.md`` must list exactly the
+  keys a live daemon emits — stats drift without a doc update fails here.
 """
 
 from __future__ import annotations
@@ -116,3 +118,51 @@ class TestMkdocsNav:
         assert on_disk == pages, (
             f"docs/ pages and mkdocs nav disagree: "
             f"only on disk {on_disk - pages}, only in nav {pages - on_disk}")
+
+
+class TestStatsSchemaTable:
+    """``docs/serving.md``'s key table must match what a daemon emits."""
+
+    def _documented_keys(self) -> set[str]:
+        text = (DOCS / "serving.md").read_text()
+        table = text.split("<!-- stats-keys:start -->", 1)[1]
+        table = table.split("<!-- stats-keys:end -->", 1)[0]
+        keys = set()
+        for line in table.splitlines():
+            match = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+            if match and match.group(1) != "Key":
+                keys.add(match.group(1))
+        return keys
+
+    @staticmethod
+    def _flatten(payload: dict, prefix: str = "") -> set[str]:
+        keys = set()
+        for name, value in payload.items():
+            path = f"{prefix}{name}"
+            if isinstance(value, dict) and value:
+                keys |= TestStatsSchemaTable._flatten(value, f"{path}.")
+            else:
+                keys.add(path)
+        return keys
+
+    def test_table_matches_emitted_keys(self):
+        import numpy as np
+
+        from repro.metricspace.points import PointSet
+        from repro.service import (
+            DiversityServer,
+            DiversityService,
+            build_coreset_index,
+        )
+
+        rng = np.random.default_rng(0)
+        index = build_coreset_index(PointSet(rng.normal(size=(40, 3))), 3,
+                                    seed=0)
+        with DiversityService(index, cache_size=8) as service:
+            emitted = self._flatten(DiversityServer(service).stats())
+        documented = self._documented_keys()
+        assert documented, "serving.md stats table markers missing or empty"
+        assert emitted == documented, (
+            f"docs/serving.md stats table drifted from the live payload: "
+            f"undocumented {sorted(emitted - documented)}, "
+            f"stale {sorted(documented - emitted)}")

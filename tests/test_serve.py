@@ -1,0 +1,333 @@
+"""Lifecycle tests for the ``repro serve`` daemon.
+
+Each test drives a real :class:`~repro.service.server.DiversityServer`
+over loopback TCP inside ``asyncio.run`` (no pytest-asyncio in the
+toolchain).  Covered contracts:
+
+* daemon answers — NDJSON and HTTP — are bit-identical to in-process
+  ``query_batch`` on the same index;
+* micro-batching coalesces pipelined requests (and the batched-request
+  counter proves it);
+* a full admission queue rejects cleanly with ``overloaded`` +
+  ``retry_after_ms`` while every admitted request is still answered;
+* graceful drain answers everything admitted, exactly once, and a
+  SIGTERM'd CLI daemon exits 0 the same way;
+* a mid-load ``refresh`` swaps epochs without ever mixing epochs inside
+  one response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import save_points
+from repro.metricspace.points import PointSet
+from repro.service import (
+    DiversityServer,
+    DiversityService,
+    Query,
+    ServerConfig,
+    build_coreset_index,
+    make_workload,
+)
+from repro.service import protocol
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(11)
+    points = PointSet(rng.normal(size=(150, 3)))
+    return build_coreset_index(points, 5, seed=0)
+
+
+def fresh_server(index, **config) -> DiversityServer:
+    service = DiversityService(index, cache_size=256)
+    return DiversityServer(service, ServerConfig(**config))
+
+
+async def send_lines(host, port, lines):
+    """Open one connection, pipeline *lines*, return decoded responses."""
+    reader, writer = await asyncio.open_connection(host, port)
+    for line in lines:
+        writer.write(line.encode())
+    await writer.drain()
+    responses = []
+    for _ in range(len(lines)):
+        responses.append(protocol.decode_response(await reader.readline()))
+    writer.close()
+    await writer.wait_closed()
+    return responses
+
+
+def result_key(result) -> tuple:
+    return (result.value, tuple(result.indices), result.rung)
+
+
+def test_tcp_answers_bit_identical_to_in_process(index):
+    workload = make_workload(5, 12, seed=3)
+    with DiversityService(index, cache_size=256) as oracle:
+        expected = [result_key(r) for r in oracle.query_batch(workload)]
+
+    async def run():
+        server = fresh_server(index, batch_window_ms=5.0)
+        host, port = await server.start()
+        try:
+            lines = [protocol.encode_request("query", i, queries=[query])
+                     for i, query in enumerate(workload)]
+            responses = await send_lines(host, port, lines)
+        finally:
+            await server.shutdown()
+        return responses, server.stats()
+
+    responses, stats = asyncio.run(run())
+    by_id = {response["id"]: response for response in responses}
+    assert all(by_id[i]["ok"] for i in range(len(workload)))
+    got = [result_key(protocol.results_of(by_id[i])[0])
+           for i in range(len(workload))]
+    assert got == expected
+    # Pipelined requests were coalesced by the micro-batching window.
+    assert stats["server"]["batched_requests"] > 0
+    assert stats["server"]["batches_dispatched"] < len(workload)
+    assert stats["server"]["accepted"] == len(workload)
+    assert stats["server"]["internal_errors"] == 0
+    # The latency block sampled every request.
+    assert stats["server"]["latency"]["count"] == len(workload)
+    assert stats["server"]["latency"]["p50_ms"] <= \
+        stats["server"]["latency"]["p99_ms"]
+
+
+def test_http_adapter_matches_in_process(index):
+    query = Query("remote-clique", 4, 1.0)
+    with DiversityService(index, cache_size=16) as oracle:
+        expected = result_key(oracle.query_batch([query])[0])
+
+    async def http(host, port, method, target, body=b""):
+        reader, writer = await asyncio.open_connection(host, port)
+        head = (f"{method} {target} HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode()
+        writer.write(head + body)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        status = int(raw.split(b" ", 2)[1])
+        return status, json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+    async def run():
+        server = fresh_server(index, batch_window_ms=1.0)
+        host, port = await server.start()
+        try:
+            answered = await http(
+                host, port, "POST", "/query",
+                json.dumps({"queries": [query.to_dict()]}).encode())
+            health = await http(host, port, "GET", "/healthz")
+            stats = await http(host, port, "GET", "/stats")
+            missing = await http(host, port, "GET", "/nope")
+            wrong_verb = await http(host, port, "GET", "/query")
+            bad_body = await http(host, port, "POST", "/query", b"{oops")
+        finally:
+            await server.shutdown()
+        return answered, health, stats, missing, wrong_verb, bad_body
+
+    answered, health, stats, missing, wrong_verb, bad_body = asyncio.run(run())
+    assert answered[0] == 200
+    assert result_key(protocol.results_of(answered[1])[0]) == expected
+    assert health == (200, {"status": "ok", "draining": False})
+    assert stats[0] == 200
+    assert stats[1]["schema_version"] == protocol.SCHEMA_VERSION
+    assert stats[1]["server"]["http_requests"] >= 2
+    assert missing[0] == 404
+    assert wrong_verb[0] == 405
+    assert bad_body[0] == 400
+
+
+def test_full_queue_rejects_cleanly_with_retry_after(index):
+    # window=0 + burst in one segment: every request line is admitted
+    # before the collector runs, so the tiny queue must overflow.
+    async def run():
+        server = fresh_server(index, batch_window_ms=0.0, max_queue=2,
+                              max_batch=2, retry_after_ms=25.0)
+        host, port = await server.start()
+        try:
+            lines = [protocol.encode_request(
+                "query", i, queries=[Query("remote-edge", 3, 1.0)])
+                for i in range(12)]
+            responses = await send_lines(host, port, lines)
+        finally:
+            await server.shutdown()
+        return responses, server.stats()["server"]
+
+    responses, stats = asyncio.run(run())
+    accepted = [r for r in responses if r["ok"]]
+    rejected = [r for r in responses if not r["ok"]]
+    assert rejected, "queue of 2 must overflow under a burst of 12"
+    assert len(accepted) + len(rejected) == 12
+    assert len(accepted) == stats["accepted"]
+    for response in rejected:
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["retry_after_ms"] == 25.0
+    # Every accepted request was answered (none dropped on shutdown).
+    assert all(r["results"] for r in accepted)
+    assert stats["rejected_overload"] == len(rejected)
+    assert stats["internal_errors"] == 0
+    client = next(iter(stats["clients"].values()))
+    assert client["accepted"] == len(accepted)
+    assert client["rejected"] == len(rejected)
+
+
+def test_drain_answers_admitted_work_and_rejects_new(index):
+    async def run():
+        server = fresh_server(index, batch_window_ms=50.0, max_queue=32)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for i in range(6):
+            writer.write(protocol.encode_request(
+                "query", i, queries=[Query("remote-edge", 2 + i % 3, 1.0)]
+            ).encode())
+        await writer.drain()
+        # Begin draining while the batch window is still open.
+        await asyncio.sleep(0.005)
+        shutdown = asyncio.ensure_future(server.shutdown())
+        responses = [protocol.decode_response(await reader.readline())
+                     for _ in range(6)]
+        await shutdown
+        writer.close()
+        await writer.wait_closed()
+
+        # The drained server accepts no new connections.
+        with pytest.raises(OSError):
+            await asyncio.open_connection(host, port)
+        return responses, server.stats()["server"]
+
+    responses, stats = asyncio.run(run())
+    assert [r["id"] for r in responses] == sorted(r["id"] for r in responses)
+    assert all(r["ok"] for r in responses), \
+        "everything admitted before drain must be answered"
+    assert {r["id"] for r in responses} == set(range(6))  # no drops/dupes
+    assert stats["accepted"] == 6 and stats["queries_served"] == 6
+
+
+def test_draining_server_rejects_with_shutting_down(index):
+    async def run():
+        server = fresh_server(index)
+        host, port = await server.start()
+        server._draining = True  # simulate mid-drain admission attempt
+        try:
+            responses = await send_lines(host, port, [
+                protocol.encode_request(
+                    "query", 1, queries=[Query("remote-edge", 3, 1.0)]),
+                protocol.encode_request("healthz", 2),
+            ])
+        finally:
+            server._draining = False
+            await server.shutdown()
+        return responses
+
+    responses = asyncio.run(run())
+    by_id = {r["id"]: r for r in responses}
+    assert by_id[1]["error"]["code"] == "shutting_down"
+    assert by_id[2]["ok"] and by_id[2]["draining"]
+
+
+def test_refresh_under_load_never_mixes_epochs(index, tmp_path):
+    rng = np.random.default_rng(23)
+    extra = PointSet(rng.normal(size=(60, 3)))
+    data_path = tmp_path / "extra"
+    save_points(extra, data_path)
+
+    async def run():
+        server = fresh_server(index, batch_window_ms=2.0, max_queue=256)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        workload = make_workload(5, 30, seed=9)
+        refresh_id = "refresh"
+        sent = 0
+        try:
+            for i, query in enumerate(workload):
+                writer.write(protocol.encode_request(
+                    "query", i, queries=[query, query]).encode())
+                sent += 1
+                if i == 8:  # refresh while queries are in flight
+                    writer.write(protocol.encode_request(
+                        "refresh", refresh_id, data=str(data_path)).encode())
+                    sent += 1
+                await writer.drain()
+                await asyncio.sleep(0.001)
+            responses = [protocol.decode_response(await reader.readline())
+                         for _ in range(sent)]
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+        return responses
+
+    responses = asyncio.run(run())
+    refresh = next(r for r in responses if r["id"] == "refresh")
+    assert refresh["ok"] and refresh["epoch"] == 1
+    assert refresh["absorbed"] == 60
+    epochs_seen = set()
+    for response in responses:
+        if response["id"] == "refresh":
+            continue
+        assert response["ok"], response
+        epochs = {result["epoch"] for result in response["results"]}
+        assert len(epochs) == 1, \
+            "one response must never mix results from two epochs"
+        epochs_seen |= epochs
+    assert epochs_seen == {0, 1}, \
+        "load spanning the swap must observe both epochs"
+
+
+def test_sigterm_drains_cli_daemon_cleanly(index, tmp_path):
+    """End-to-end: ``repro serve`` answers over TCP and drains on SIGTERM."""
+    rng = np.random.default_rng(5)
+    points = PointSet(rng.normal(size=(120, 3)))
+    data = tmp_path / "data"
+    idx = tmp_path / "idx"
+    save_points(points, data)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    build = subprocess.run(
+        [sys.executable, "-m", "repro", "index", "--data", str(data),
+         "--k-max", "4", "--out", str(idx)],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert build.returncode == 0, build.stderr
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--index", str(idx),
+         "--port", "0", "--batch-window-ms", "5"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        ready = proc.stdout.readline()
+        assert "serving" in ready, ready
+        host_port = ready.split(" on ", 1)[1].split(" ", 1)[0]
+        host, port = host_port.rsplit(":", 1)
+
+        async def chat():
+            lines = [protocol.encode_request(
+                "query", i, queries=[Query("remote-edge", 3, 1.0)])
+                for i in range(4)]
+            return await send_lines(host, int(port), lines)
+
+        responses = asyncio.run(chat())
+        assert all(r["ok"] for r in responses)
+        values = {r["results"][0]["value"] for r in responses}
+        assert len(values) == 1  # deterministic answers across requests
+
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, stderr
+    assert "drained:" in stdout
+    assert "Traceback" not in stderr

@@ -1,0 +1,198 @@
+"""Versioned request/response schema and wire-protocol tests.
+
+Covers the API-redesign contract: ``Query``/``QueryResult`` round-trip
+through their canonical dict forms bit-exactly (every field, including
+``cached``/``eps_hit``/``epoch``), unknown schema versions are rejected,
+bare-tuple queries warn with ``DeprecationWarning``, and the NDJSON
+envelope decoder classifies malformed input with the right error codes.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.service import SCHEMA_VERSION, DiversityService, Query, QueryResult
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+from repro.service.workload import latency_summary
+
+
+# ---------------------------------------------------------------- Query
+
+
+def test_query_round_trips_every_field():
+    query = Query("remote-clique", 7, 0.25)
+    payload = query.to_dict()
+    assert payload == {"schema_version": SCHEMA_VERSION,
+                       "objective": "remote-clique", "k": 7,
+                       "epsilon": 0.25}
+    assert Query.from_dict(payload) == query
+    # JSON round trip is lossless too.
+    assert Query.from_dict(json.loads(json.dumps(payload))) == query
+
+
+def test_query_from_dict_defaults_schema_version_and_epsilon():
+    query = Query.from_dict({"objective": "remote-edge", "k": 3})
+    assert query == Query("remote-edge", 3, 1.0)
+
+
+def test_query_from_dict_rejects_unknown_schema_version():
+    with pytest.raises(ValidationError, match="schema_version"):
+        Query.from_dict({"schema_version": SCHEMA_VERSION + 1,
+                         "objective": "remote-edge", "k": 3})
+
+
+def test_query_from_dict_rejects_malformed_payload():
+    with pytest.raises(ValidationError, match="malformed"):
+        Query.from_dict({"objective": "remote-edge"})  # no k
+
+
+# ----------------------------------------------------------- QueryResult
+
+
+@pytest.fixture(scope="module")
+def service():
+    rng = np.random.default_rng(7)
+    from repro.metricspace.points import PointSet
+    points = PointSet(rng.normal(size=(80, 3)))
+    with DiversityService(points=points, k_max=5, seed=0) as svc:
+        yield svc
+
+
+def test_query_result_round_trips_every_field(service):
+    solved = service.query("remote-edge", 4)
+    cached = service.query("remote-edge", 4)  # LRU hit
+    # Epsilon-aware reuse: solve on a large rung under a tight eps, then
+    # ask again under a loose eps that routes to a smaller, uncached rung.
+    tight = service.query("remote-star", 4, epsilon=0.2)
+    assert service.index.route("remote-star", 4, 1.0).key != tight.rung, \
+        "test needs eps to route to different rungs"
+    eps_hit = service.query("remote-star", 4, epsilon=1.0)
+    assert not solved.cached and cached.cached
+    assert eps_hit.eps_hit and eps_hit.cached
+    for result in (solved, cached, eps_hit):
+        payload = json.loads(json.dumps(result.to_dict()))
+        back = QueryResult.from_dict(payload)
+        assert back.objective == result.objective
+        assert back.k == result.k
+        assert back.epsilon == result.epsilon
+        assert back.value == result.value  # bit-exact through JSON
+        assert back.rung == result.rung
+        assert back.cached == result.cached
+        assert back.eps_hit == result.eps_hit
+        assert back.epoch == result.epoch
+        assert back.solve_seconds == result.solve_seconds
+        np.testing.assert_array_equal(back.indices, result.indices)
+        np.testing.assert_array_equal(back.points, result.points)
+
+
+def test_query_result_from_dict_rejects_bad_version_and_shape(service):
+    payload = service.query("remote-edge", 3).to_dict()
+    bad_version = dict(payload, schema_version=99)
+    with pytest.raises(ValidationError, match="schema_version"):
+        QueryResult.from_dict(bad_version)
+    with pytest.raises(ValidationError, match="malformed"):
+        QueryResult.from_dict({k: v for k, v in payload.items()
+                               if k != "value"})
+
+
+def test_bare_tuple_queries_warn_deprecation(service):
+    with pytest.warns(DeprecationWarning, match="bare-tuple"):
+        results = service.query_batch([("remote-edge", 3)])
+    assert results[0].k == 3
+    with pytest.warns(DeprecationWarning, match="bare-tuple"):
+        service.query_concurrent([("remote-edge", 3, 1.0)], max_workers=1)
+
+
+def test_query_objects_do_not_warn(service):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        results = service.query_batch([Query("remote-edge", 3, 1.0)])
+    assert results[0].cached  # warmed by the tuple test above
+
+
+# -------------------------------------------------------- wire envelope
+
+
+def test_decode_request_query_with_dict_and_legacy_payloads():
+    line = protocol.encode_request(
+        "query", 5, queries=[Query("remote-edge", 4, 1.0),
+                             {"objective": "remote-clique", "k": 3},
+                             ["remote-edge", 2]])
+    request = protocol.decode_request(line)
+    assert request.kind == "query" and request.id == 5
+    assert request.queries == (Query("remote-edge", 4, 1.0),
+                               Query("remote-clique", 3, 1.0),
+                               Query("remote-edge", 2, 1.0))
+
+
+def test_decode_request_single_query_sugar():
+    request = protocol.decode_request(json.dumps(
+        {"kind": "query", "query": {"objective": "remote-edge", "k": 2}}))
+    assert request.queries == (Query("remote-edge", 2, 1.0),)
+
+
+def test_decode_request_error_codes():
+    with pytest.raises(ProtocolError) as exc:
+        protocol.decode_request("{not json")
+    assert exc.value.code == protocol.ERROR_BAD_REQUEST
+    with pytest.raises(ProtocolError) as exc:
+        protocol.decode_request(json.dumps({"v": 99, "kind": "stats"}))
+    assert exc.value.code == protocol.ERROR_UNSUPPORTED_VERSION
+    with pytest.raises(ProtocolError) as exc:
+        protocol.decode_request(json.dumps({"kind": "frobnicate"}))
+    assert exc.value.code == protocol.ERROR_BAD_REQUEST
+    with pytest.raises(ProtocolError) as exc:
+        protocol.decode_request(json.dumps({"kind": "query", "queries": []}))
+    assert exc.value.code == protocol.ERROR_BAD_REQUEST
+    with pytest.raises(ProtocolError) as exc:
+        protocol.decode_request(json.dumps(
+            {"kind": "query",
+             "queries": [{"objective": "remote-edge", "k": 2,
+                          "schema_version": 99}]}))
+    assert exc.value.code == protocol.ERROR_BAD_REQUEST
+    with pytest.raises(ProtocolError) as exc:
+        protocol.decode_request(json.dumps({"kind": "refresh"}))
+    assert exc.value.code == protocol.ERROR_BAD_REQUEST
+
+
+def test_response_encoding_round_trip(service):
+    results = service.query_batch([Query("remote-clique", 4, 1.0)])
+    line = protocol.encode_results("abc", results)
+    response = protocol.decode_response(line)
+    assert response["ok"] and response["id"] == "abc"
+    assert response["v"] == protocol.PROTOCOL_VERSION
+    back = protocol.results_of(response)
+    assert back[0].value == results[0].value
+    np.testing.assert_array_equal(back[0].indices, results[0].indices)
+
+    error = protocol.decode_response(protocol.encode_error(
+        7, protocol.ERROR_OVERLOADED, "full", retry_after_ms=50.0))
+    assert not error["ok"]
+    assert error["error"]["code"] == "overloaded"
+    assert error["error"]["retry_after_ms"] == 50.0
+    plain = protocol.decode_response(protocol.encode_error(
+        8, protocol.ERROR_BAD_REQUEST, "nope"))
+    assert "retry_after_ms" not in plain["error"]
+
+    with pytest.raises(ValueError):
+        protocol.decode_response(json.dumps({"no": "ok-field"}))
+
+
+# ------------------------------------------------------ latency summary
+
+
+def test_latency_summary_percentiles_and_empty():
+    empty = latency_summary([])
+    assert empty["count"] == 0 and empty["p99_ms"] is None
+    block = latency_summary([0.001 * (i + 1) for i in range(100)])
+    assert block["count"] == 100
+    assert block["p50_ms"] == pytest.approx(50.5, abs=0.5)
+    assert block["p99_ms"] == pytest.approx(99.01, abs=0.5)
+    assert block["max_ms"] == pytest.approx(100.0)
+    assert block["p50_ms"] <= block["p95_ms"] <= block["p99_ms"]

@@ -226,8 +226,8 @@ class TestDiversityService:
 
     def test_batch_preserves_order_and_shares_matrices(self, index):
         service = DiversityService(index)
-        queries = [("remote-edge", 3), ("remote-clique", 3),
-                   ("remote-edge", 5), ("remote-clique", 3),
+        queries = [Query("remote-edge", 3), Query("remote-clique", 3),
+                   Query("remote-edge", 5), Query("remote-clique", 3),
                    Query("remote-cycle", 4)]
         results = service.query_batch(queries)
         assert [(r.objective, r.k) for r in results] == \
@@ -238,20 +238,20 @@ class TestDiversityService:
         assert results[3].value == results[1].value
         # One pairwise matrix per distinct rung touched, not per query.
         rungs_touched = {r.rung for r in results}
-        assert service.stats()["cached_matrices"] == len(rungs_touched)
+        assert service.stats()["matrices"]["local"]["cached"] == len(rungs_touched)
 
     def test_batch_reuses_matrices_across_calls(self, index):
         service = DiversityService(index)
         first = service.query("remote-edge", 5)
-        matrices = service.stats()["cached_matrices"]
+        matrices = service.stats()["matrices"]["local"]["cached"]
         second = service.query("remote-edge", 7)  # same rung, different k
         assert second.rung == first.rung
-        assert service.stats()["cached_matrices"] == matrices
+        assert service.stats()["matrices"]["local"]["cached"] == matrices
 
     def test_in_batch_repeat_counts_as_one_hit_one_miss(self, index):
         service = DiversityService(index)
-        results = service.query_batch([("remote-edge", 4),
-                                       ("remote-edge", 4)])
+        results = service.query_batch([Query("remote-edge", 4),
+                                       Query("remote-edge", 4)])
         assert not results[0].cached and results[1].cached
         # Stats agree with the flags: one solve (miss), one LRU hit.
         assert service.cache.stats.misses == 1
@@ -262,9 +262,9 @@ class TestDiversityService:
         # repeat's entry, which must then be served from the batch-local
         # memo instead of crashing.
         service = DiversityService(index, cache_size=1)
-        results = service.query_batch([("remote-edge", 4),
-                                       ("remote-cycle", 4),
-                                       ("remote-edge", 4)])
+        results = service.query_batch([Query("remote-edge", 4),
+                                       Query("remote-cycle", 4),
+                                       Query("remote-edge", 4)])
         assert results[2].cached
         assert results[2].value == results[0].value
         assert np.array_equal(results[2].indices, results[0].indices)
@@ -277,14 +277,21 @@ class TestDiversityService:
             service.query("remote-edge", 4, epsilon=0.0)
 
     def test_stats_shape(self, index):
+        from repro.service.service import SCHEMA_VERSION
+
         service = DiversityService(index)
         service.query("remote-edge", 4)
         stats = service.stats()
-        assert stats["queries_answered"] == 1
-        assert stats["batches_answered"] == 1
-        assert stats["index_built"] is True
-        assert set(stats["cache"]) == {"hits", "misses", "evictions",
-                                       "hit_rate"}
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert set(stats) == {"schema_version", "counters", "caches",
+                              "matrices", "executors", "epochs"}
+        assert stats["counters"]["queries_answered"] == 1
+        assert stats["counters"]["batches_answered"] == 1
+        assert stats["epochs"]["index_built"] is True
+        assert stats["matrices"]["shared"] is None  # no process backend yet
+        assert stats["executors"]["default"] == "serial"
+        assert set(stats["caches"]["results"]) == {
+            "hits", "misses", "evictions", "hit_rate", "entries", "capacity"}
 
 
 # -- persistence --------------------------------------------------------------

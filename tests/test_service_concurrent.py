@@ -29,6 +29,7 @@ from repro.metricspace.points import PointSet
 from repro.service import (
     DiversityService,
     MatrixCache,
+    Query,
     StripedLRUCache,
     build_coreset_index,
     make_workload,
@@ -279,8 +280,8 @@ class TestQueryConcurrent:
 
     def test_rejects_bad_worker_count(self, index):
         with pytest.raises(ValidationError):
-            DiversityService(index).query_concurrent([("remote-edge", 4)],
-                                                     max_workers=0)
+            DiversityService(index).query_concurrent(
+                [Query("remote-edge", 4)], max_workers=0)
 
     def test_build_calls_frozen_and_stats_exact_under_stress(self, index):
         # N threads x M mixed-rung queries: every query counts exactly one
@@ -308,9 +309,9 @@ class TestQueryConcurrent:
         assert not errors
         total = threads * rounds * len(workload)
         stats = service.stats()
-        assert stats["queries_answered"] == total
-        assert stats["cache"]["hits"] + stats["cache"]["misses"] == total
-        assert stats["build_calls"] == 0
+        assert stats["counters"]["queries_answered"] == total
+        assert stats["caches"]["results"]["hits"] + stats["caches"]["results"]["misses"] == total
+        assert stats["counters"]["build_calls"] == 0
 
     def test_lazy_build_happens_once_under_contention(self, dataset):
         service = DiversityService(points=dataset, k_max=8, k_min=8, seed=0)
@@ -342,12 +343,12 @@ class TestQueryConcurrent:
         monkeypatch.setattr(PointSet, "pairwise", counting_pairwise)
         service = DiversityService(index)
         # Distinct k on one rung: no result-cache dedup, shared matrix.
-        queries = [("remote-edge", k) for k in range(2, 10)]
-        rungs = {index.route(q[0], q[1]).key for q in queries}
+        queries = [Query("remote-edge", k) for k in range(2, 10)]
+        rungs = {index.route(q.objective, q.k).key for q in queries}
         assert len(rungs) >= 2  # spans several gmm rungs
         service.query_concurrent(queries, max_workers=8)
         assert len(pairwise_calls) == len(rungs)
-        assert service.stats()["matrices"]["computes"] == len(rungs)
+        assert service.stats()["matrices"]["local"]["computes"] == len(rungs)
 
     def test_harness_contract(self, dataset):
         # matrix_budget_mb=0 pins the run to unbudgeted so an ambient
@@ -387,11 +388,11 @@ class TestBudgetedService:
             got = budgeted.query(objective, k)
             assert got.value == expected.value
             assert np.array_equal(got.indices, expected.indices)
-            assert budgeted.stats()["matrices"]["resident_bytes"] <= budget
-        stats = budgeted.stats()["matrices"]
+            assert budgeted.stats()["matrices"]["local"]["resident_bytes"] <= budget
+        stats = budgeted.stats()["matrices"]["local"]
         assert stats["budget_bytes"] == budget
         assert stats["evictions"] > 0 or stats["recomputes"] > 0
-        unbudgeted_bytes = unbudgeted.stats()["matrices"]["resident_bytes"]
+        unbudgeted_bytes = unbudgeted.stats()["matrices"]["local"]["resident_bytes"]
         assert unbudgeted_bytes > budget  # the budget really binds
 
     def test_tracemalloc_peak_below_unbudgeted(self, index):
@@ -414,7 +415,7 @@ class TestBudgetedService:
                 for objective, k in workload:
                     service.query(objective, k)
                 peak = tracemalloc.get_traced_memory()[1]
-                resident = service.stats()["matrices"]["resident_bytes"]
+                resident = service.stats()["matrices"]["local"]["resident_bytes"]
             finally:
                 tracemalloc.stop()
             return peak - baseline, resident

@@ -33,6 +33,7 @@ from repro.diversity.sequential.registry import solve_on_matrix
 from repro.exceptions import ValidationError
 from repro.service import (
     DiversityService,
+    Query,
     SharedMatrixCache,
     build_coreset_index,
     make_workload,
@@ -250,9 +251,9 @@ class TestCrossExecutorDeterminism:
     def _workload(self):
         # Every objective at two k values, plus a mixed randomized tail
         # with in-batch repeats.
-        explicit = [(name, k) for name in list_objectives() for k in (3, 6)]
-        return explicit + explicit[:4] + [
-            (q.objective, q.k) for q in make_workload(8, 10, seed=11)]
+        explicit = [Query(name, k)
+                    for name in list_objectives() for k in (3, 6)]
+        return explicit + explicit[:4] + list(make_workload(8, 10, seed=11))
 
     def test_serial_thread_process_identical(self, index, process_service):
         workload = self._workload()
@@ -277,17 +278,17 @@ class TestCrossExecutorDeterminism:
         # exactly-once assertion holds standalone and after prior tests.
         process_service.query_batch(self._workload())
         stats = process_service.stats()
-        assert stats["build_calls"] == 0
-        shared = stats["shared_matrices"]
+        assert stats["counters"]["build_calls"] == 0
+        shared = stats["matrices"]["shared"]
         assert shared is not None
-        distinct_rungs = len({index.route(obj, k).key
-                              for obj, k in self._workload()})
+        distinct_rungs = len({index.route(q.objective, q.k).key
+                              for q in self._workload()})
         assert shared["computes"] == distinct_rungs
         assert shared["recomputes"] == 0
         # Driver-side (serial/thread) matrices were never touched by the
         # process batches.
-        assert stats["cache"]["hits"] + stats["cache"]["misses"] \
-            == stats["queries_answered"]
+        assert stats["caches"]["results"]["hits"] + stats["caches"]["results"]["misses"] \
+            == stats["counters"]["queries_answered"]
 
     def test_query_concurrent_process_executor(self, index, process_service):
         workload = make_workload(8, 12, seed=23)
@@ -312,7 +313,7 @@ class TestCrossExecutorDeterminism:
                 for ours, reference in zip(results, expected):
                     assert ours.value == reference.value
                     assert np.array_equal(ours.indices, reference.indices)
-            shared = service.stats()["shared_matrices"]
+            shared = service.stats()["matrices"]["shared"]
             assert shared["budget_bytes"] == 2**20
             assert shared["resident_bytes"] <= 2**20
             assert shared["recomputes"] > 0  # the budget really bound
@@ -321,7 +322,7 @@ class TestCrossExecutorDeterminism:
         with pytest.raises(ValidationError):
             DiversityService(index, executor="mapreduce")
         with pytest.raises(ValidationError):
-            DiversityService(index).query_batch([("remote-edge", 4)],
+            DiversityService(index).query_batch([Query("remote-edge", 4)],
                                                 executor="fork")
 
     def test_empty_batch_on_every_executor(self, index, process_service):
@@ -338,8 +339,10 @@ class TestCrossExecutorDeterminism:
         # cache only, so the loose query must solve its own rung in every
         # backend — never reuse the tight answer solved mid-batch, which
         # would make results depend on solve order and thread timing.
-        workload = [("remote-clique", 4, 0.2), ("remote-clique", 4, 1.0),
-                    ("remote-edge", 4, 0.2), ("remote-edge", 4, 1.0)]
+        workload = [Query("remote-clique", 4, 0.2),
+                    Query("remote-clique", 4, 1.0),
+                    Query("remote-edge", 4, 0.2),
+                    Query("remote-edge", 4, 1.0)]
         serial = DiversityService(index).query_batch(workload)
         assert serial[0].rung != serial[1].rung  # distinct rungs solved
         for executor in ("thread", "process"):
@@ -351,7 +354,7 @@ class TestCrossExecutorDeterminism:
                 assert ours.rung == reference.rung, executor
                 assert ours.value == reference.value, executor
             if executor == "thread":
-                assert service.stats()["eps_hits"] == 0
+                assert service.stats()["counters"]["eps_hits"] == 0
 
 
 # -- lifecycle: leaks, refresh epochs, tracker accounting ---------------------
@@ -365,7 +368,8 @@ class TestProcessLifecycle:
         # test below.
         with DiversityService(index, executor="process",
                               executor_workers=2) as service:
-            service.query_batch([("remote-edge", 4), ("remote-clique", 4)])
+            service.query_batch([Query("remote-edge", 4),
+                                 Query("remote-clique", 4)])
             names = set(service._executor_obj("process").segment_names())
             assert len(names) == 4  # 2 rung core-sets + 2 matrices
             assert names <= _shm_segments()
@@ -375,7 +379,7 @@ class TestProcessLifecycle:
         service = DiversityService(index, executor="process",
                                    executor_workers=2)
         try:
-            old = service.query_batch([("remote-edge", 4)])
+            old = service.query_batch([Query("remote-edge", 4)])
             backend = service._executor_obj("process")
             old_segments = set(backend.segment_names())
             assert old_segments <= _shm_segments()
@@ -384,20 +388,20 @@ class TestProcessLifecycle:
             # No process batch in flight: the superseded plane unlinks
             # on the refresh notification itself.
             assert old_segments & _shm_segments() == set()
-            new = service.query_batch([("remote-edge", 4)])
+            new = service.query_batch([Query("remote-edge", 4)])
             new_segments = set(backend.segment_names())
             # New-epoch segments are fresh, answers come from the
             # extended index (identical to a cold serial service on it).
             assert new_segments.isdisjoint(old_segments)
             assert new_segments <= _shm_segments()
             reference = DiversityService(service.index).query_batch(
-                [("remote-edge", 4)])
+                [Query("remote-edge", 4)])
             assert new[0].value == reference[0].value
             assert np.array_equal(new[0].indices, reference[0].indices)
             assert old[0].rung == new[0].rung
             # Lifetime stats carry across the epoch swap (successor
             # semantics): one matrix fill per epoch.
-            assert service.stats()["shared_matrices"]["computes"] == 2
+            assert service.stats()["matrices"]["shared"]["computes"] == 2
         finally:
             service.close()
         assert (old_segments | new_segments) & _shm_segments() == set()
@@ -465,7 +469,8 @@ class TestProcessLifecycle:
         script.write_text(textwrap.dedent("""\
             import os
             from repro.datasets.synthetic import sphere_shell
-            from repro.service import DiversityService, build_coreset_index
+            from repro.service import (DiversityService, Query,
+                                       build_coreset_index)
 
             def main():
                 points = sphere_shell(600, 8, dim=3, seed=3)
@@ -475,9 +480,9 @@ class TestProcessLifecycle:
                           if n.startswith("psm_")}
                 with DiversityService(index, executor="process",
                                       executor_workers=2) as service:
-                    service.query_batch([("remote-edge", 4),
-                                         ("remote-clique", 4),
-                                         ("remote-edge", 4)])
+                    service.query_batch([Query("remote-edge", 4),
+                                         Query("remote-clique", 4),
+                                         Query("remote-edge", 4)])
                 after = {n for n in os.listdir("/dev/shm")
                          if n.startswith("psm_")}
                 assert after - before == set(), after - before
@@ -521,16 +526,16 @@ class TestEpsilonAwareReuse:
         assert loose.rung == tight.rung  # served from the larger rung
         assert loose.epsilon == 1.0  # caller's own slack echoed back
         stats = service.stats()
-        assert stats["eps_hits"] == 1
+        assert stats["counters"]["eps_hits"] == 1
         # Accounting: both queries counted exactly one hit or miss.
-        assert stats["cache"]["hits"] + stats["cache"]["misses"] == 2
+        assert stats["caches"]["results"]["hits"] + stats["caches"]["results"]["misses"] == 2
 
     def test_reused_answer_matches_direct_computation(self, index):
         service = DiversityService(index)
         objective = get_objective("remote-clique")
         tight = service.query(objective.name, 4, epsilon=0.2)
         loose = service.query(objective.name, 4, epsilon=1.0)
-        assert service.stats()["eps_hits"] == 1
+        assert service.stats()["counters"]["eps_hits"] == 1
         rung = next(r for r in index.all_rungs() if r.key == tight.rung)
         dist = rung.coreset.pairwise()
         indices = solve_on_matrix(dist, 4, objective)
@@ -544,7 +549,7 @@ class TestEpsilonAwareReuse:
         tight = service.query("remote-edge", 4, epsilon=0.2)
         assert not tight.cached
         assert tight.rung != loose.rung
-        assert service.stats()["eps_hits"] == 0
+        assert service.stats()["counters"]["eps_hits"] == 0
 
     def test_eps_reuse_in_process_mode(self, index):
         with DiversityService(index, executor="process",
@@ -552,4 +557,4 @@ class TestEpsilonAwareReuse:
             tight = service.query("remote-edge", 4, epsilon=0.2)
             loose = service.query("remote-edge", 4, epsilon=1.0)
             assert loose.cached and loose.value == tight.value
-            assert service.stats()["eps_hits"] == 1
+            assert service.stats()["counters"]["eps_hits"] == 1

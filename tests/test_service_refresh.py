@@ -26,6 +26,7 @@ from repro.metricspace.points import PointSet
 from repro.service import (
     INDEX_FORMAT_VERSION,
     DiversityService,
+    Query,
     build_coreset_index,
     load_index,
     save_index,
@@ -186,8 +187,8 @@ class TestServiceRefresh:
         refreshed = service.refresh(growth)
         assert service.index is refreshed is not base_index
         stats = service.stats()
-        assert stats["refreshes"] == 1 and stats["epoch"] == 1
-        assert stats["cached_matrices"] == 0
+        assert stats["epochs"]["refreshes"] == 1 and stats["epochs"]["current"] == 1
+        assert stats["matrices"]["local"]["cached"] == 0
         after = service.query("remote-edge", 4)
         assert not after.cached  # caches were dropped with the old epoch
         assert after.value >= 0 and before.value >= 0
@@ -201,8 +202,8 @@ class TestServiceRefresh:
         service = DiversityService(base_index)
         service.query("remote-edge", 4)
         service.query("remote-edge", 4)  # one LRU hit
-        before_matrices = service.stats()["matrices"]
-        before_cache = service.stats()["cache"]
+        before_matrices = service.stats()["matrices"]["local"]
+        before_cache = service.stats()["caches"]["results"]
         assert before_matrices["computes"] == 1
         assert before_cache["hits"] == 1
         old_matrices, old_results = service._matrices, service.cache
@@ -210,8 +211,8 @@ class TestServiceRefresh:
         assert service._matrices is not old_matrices
         assert service.cache is not old_results
         assert len(service.cache) == 0  # empty successor, live entries safe
-        after_matrices = service.stats()["matrices"]
-        after_cache = service.stats()["cache"]
+        after_matrices = service.stats()["matrices"]["local"]
+        after_cache = service.stats()["caches"]["results"]
         assert after_matrices["computes"] == before_matrices["computes"]
         assert after_matrices["cached"] == 0
         assert after_cache["hits"] == before_cache["hits"]
@@ -239,7 +240,7 @@ class TestServiceRefresh:
             try:
                 while not stop.is_set():
                     service.query_concurrent(
-                        [("remote-edge", 4), ("remote-clique", 5)],
+                        [Query("remote-edge", 4), Query("remote-clique", 5)],
                         max_workers=2)
             except Exception as exc:  # pragma: no cover - failure path
                 errors.append(exc)
@@ -253,7 +254,7 @@ class TestServiceRefresh:
             stop.set()
             thread.join()
         assert not errors
-        assert service.stats()["epoch"] == 3
+        assert service.stats()["epochs"]["current"] == 3
 
 
 # -- persistence of extended indexes ------------------------------------------
