@@ -170,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--parallelism", type=int, default=4)
     idx.add_argument("--executor", choices=("serial", "process"),
                      default="serial")
+    idx.add_argument("--dtype", choices=("float64", "float32"),
+                     default="float64",
+                     help="storage dtype for the built index; float32 "
+                          "halves matrix memory and speeds bandwidth-bound "
+                          "queries (see docs/performance.md)")
     idx.add_argument("--seed", type=int, default=0)
 
     qry = sub.add_parser(
@@ -189,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "matrices, with LRU eviction and on-demand "
                           "recompute; default: $REPRO_MATRIX_BUDGET_MB, "
                           "else unbudgeted")
+    qry.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                     help="cast the loaded index to this dtype before "
+                          "serving (default: keep its stored dtype)")
 
     rfr = sub.add_parser(
         "refresh",
@@ -236,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="matrix-cache budget (MiB) for the served "
                           "index; default: $REPRO_MATRIX_BUDGET_MB, "
                           "else unbudgeted")
+    dmn.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                     help="cast the loaded index to this dtype before "
+                          "serving (default: keep its stored dtype)")
 
     srv = sub.add_parser(
         "serve-bench",
@@ -384,10 +395,11 @@ def _index(args: argparse.Namespace) -> int:
     index = build_coreset_index(
         points, args.k_max, families=families, multiplier=args.multiplier,
         growth=args.growth, k_min=args.k_min, parallelism=args.parallelism,
-        executor=args.executor, seed=args.seed,
+        executor=args.executor, seed=args.seed, dtype=args.dtype,
     )
     save_index(index, args.out)
     print(f"indexed {len(points)} points (metric {index.metric_name}, "
+          f"dtype {index.dtype}, "
           f"estimated dimension {index.dimension_estimate:.2f}) "
           f"in {index.build_seconds:.2f}s [{args.executor}]")
     for rung in index.all_rungs():
@@ -396,7 +408,8 @@ def _index(args: argparse.Namespace) -> int:
     print(f"wrote {args.out}.npz + {args.out}.json "
           f"({index.build_calls} core-set builds, amortized over all queries)")
     budget = recommend_matrix_budget_mb(
-        [len(rung.coreset) for rung in index.all_rungs()])
+        [len(rung.coreset) for rung in index.all_rungs()],
+        dtype=index.dtype)
     print(f"suggested REPRO_MATRIX_BUDGET_MB={budget} "
           "(keeps the two largest rung matrices resident)")
     return 0
@@ -404,7 +417,8 @@ def _index(args: argparse.Namespace) -> int:
 
 def _query(args: argparse.Namespace) -> int:
     service = DiversityService.from_file(
-        args.index, matrix_budget_mb=args.matrix_budget_mb)
+        args.index, matrix_budget_mb=args.matrix_budget_mb,
+        dtype=args.dtype)
     for _ in range(max(args.repeat, 1)):
         result = service.query(args.objective, args.k, epsilon=args.epsilon)
         family, k_cap, k_prime = result.rung
@@ -459,7 +473,8 @@ def _serve(args: argparse.Namespace) -> int:
     from repro.service.server import DiversityServer, ServerConfig
 
     service = DiversityService(
-        load_index(args.index), matrix_budget_mb=args.matrix_budget_mb,
+        load_index(args.index, dtype=args.dtype),
+        matrix_budget_mb=args.matrix_budget_mb,
         executor=args.executor)
     server = DiversityServer(service, ServerConfig(
         host=args.host, port=args.port,

@@ -17,6 +17,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.metricspace.distance import Metric
 from repro.metricspace.points import PointSet
+from repro.utils.validation import as_float_array
 
 
 @dataclass
@@ -38,7 +39,7 @@ class GeneralizedCoreset:
     metric: Metric
 
     def __post_init__(self) -> None:
-        self.points = np.asarray(self.points, dtype=np.float64)
+        self.points = as_float_array(self.points)
         self.multiplicities = np.asarray(self.multiplicities, dtype=np.int64)
         if self.points.ndim != 2:
             raise ValidationError("kernel points must form a 2-d array")

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.metricspace.points import PointSet
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_k_le_n
+from repro.utils.validation import as_float_array, check_k_le_n
 
 
 @dataclass(frozen=True)
@@ -131,7 +131,7 @@ def gmm_on_matrix(dist: np.ndarray, k: int, first_index: int = 0) -> np.ndarray:
 
     Returns the selected indices in selection order.
     """
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = as_float_array(dist)
     n = dist.shape[0]
     k = check_k_le_n(k, n, what="centers")
     if not 0 <= first_index < n:

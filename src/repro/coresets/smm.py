@@ -52,7 +52,8 @@ import numpy as np
 from repro.exceptions import NotFittedError, ValidationError
 from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.points import PointSet
-from repro.utils.validation import check_points_array, check_positive_int
+from repro.utils.validation import (as_float_array, check_points_array,
+                                    check_positive_int)
 
 
 class SMM:
@@ -167,9 +168,10 @@ class SMM:
         """Feed one stream point into the sketch."""
         if self._finalized:
             raise NotFittedError("cannot process points after finalize()")
-        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        point = as_float_array(point).reshape(-1)
         if self._buffer is None:
-            self._buffer = np.empty((self._capacity, point.shape[0]))
+            self._buffer = np.empty((self._capacity, point.shape[0]),
+                                    dtype=point.dtype)
         self._points_seen += 1
         if not self._initialized:
             self._process_initial(point)
@@ -193,12 +195,13 @@ class SMM:
         """
         if self._finalized:
             raise NotFittedError("cannot process points after finalize()")
-        batch = np.asarray(points, dtype=np.float64)
+        batch = as_float_array(points)
         if batch.size == 0:
             return
         batch = check_points_array(batch, "points")
         if self._buffer is None:
-            self._buffer = np.empty((self._capacity, batch.shape[1]))
+            self._buffer = np.empty((self._capacity, batch.shape[1]),
+                                    dtype=batch.dtype)
         elif batch.shape[1] != self._buffer.shape[1]:
             raise ValidationError(
                 f"points have dimension {batch.shape[1]}, "

@@ -14,7 +14,7 @@ from repro.diversity.sequential.remote_edge import solve_remote_edge
 from repro.diversity.sequential.remote_star import solve_remote_star
 from repro.diversity.sequential.remote_tree import solve_remote_tree
 from repro.metricspace.points import PointSet
-from repro.utils.validation import check_k_le_n
+from repro.utils.validation import as_float_array, check_k_le_n
 
 Solver = Callable[[np.ndarray, int], np.ndarray]
 
@@ -36,7 +36,7 @@ def sequential_solver(objective: str | Objective) -> Solver:
 def solve_on_matrix(dist: np.ndarray, k: int,
                     objective: str | Objective) -> np.ndarray:
     """Run the sequential approximation for *objective* on a distance matrix."""
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = as_float_array(dist)
     k = check_k_le_n(k, dist.shape[0])
     return sequential_solver(objective)(dist, k)
 

@@ -11,11 +11,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.matching import greedy_max_matching
+from repro.utils.validation import as_float_array
 
 
 def solve_remote_clique(dist: np.ndarray, k: int) -> np.ndarray:
     """Select ``k`` indices 2-approximating the maximum pairwise-distance sum."""
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = as_float_array(dist)
     n = dist.shape[0]
     if k >= n:
         return np.arange(n, dtype=np.intp)

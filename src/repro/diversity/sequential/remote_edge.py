@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coresets.gmm import gmm_on_matrix
+from repro.utils.validation import as_float_array
 
 
 def solve_remote_edge(dist: np.ndarray, k: int) -> np.ndarray:
@@ -19,6 +20,6 @@ def solve_remote_edge(dist: np.ndarray, k: int) -> np.ndarray:
     deterministic choice that in practice starts the greedy at an extreme
     point.
     """
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = as_float_array(dist)
     first = int(dist.sum(axis=1).argmax())
     return gmm_on_matrix(dist, k, first_index=first)

@@ -14,11 +14,12 @@ import numpy as np
 
 from repro.diversity.measures import remote_star_value
 from repro.diversity.sequential.remote_clique import solve_remote_clique
+from repro.utils.validation import as_float_array
 
 
 def solve_remote_star(dist: np.ndarray, k: int) -> np.ndarray:
     """Select ``k`` indices 2-approximating the maximum min-star weight."""
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = as_float_array(dist)
     n = dist.shape[0]
     selected = solve_remote_clique(dist, k)
     if k >= n:

@@ -10,10 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coresets.gmm import gmm_on_matrix
+from repro.utils.validation import as_float_array
 
 
 def solve_remote_tree(dist: np.ndarray, k: int) -> np.ndarray:
     """Select ``k`` indices 4-approximating the maximum MST weight."""
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = as_float_array(dist)
     first = int(dist.sum(axis=1).argmax())
     return gmm_on_matrix(dist, k, first_index=first)

@@ -149,7 +149,7 @@ def _instantiation_reducer(payload: tuple[PointSet | SharedPartition,
     partition, subset = payload
     partition = resolve_payload(partition)
     if subset is None or subset.size == 0:
-        return np.empty((0, partition.dim), dtype=np.float64)
+        return np.empty((0, partition.dim), dtype=partition.points.dtype)
     indices, _ = instantiate_offline(subset, partition, delta=float("inf"))
     return partition.points[indices]
 

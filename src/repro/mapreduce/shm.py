@@ -116,7 +116,7 @@ class SharedDataset:
     """
 
     def __init__(self, points: PointSet):
-        array = np.ascontiguousarray(points.points, dtype=np.float64)
+        array = np.ascontiguousarray(points.points)
         self.shape: tuple[int, int] = array.shape
         self.dtype = array.dtype.str
         self.metric = points.metric

@@ -123,13 +123,16 @@ def shared_workspace() -> KernelWorkspace:
 
 
 def tile_rows_for(metric: Metric, n_rows: int, n_cols: int, dim: int,
-                  memory_budget_bytes: int | None = None) -> int:
+                  memory_budget_bytes: int | None = None,
+                  itemsize: int = 8) -> int:
     """Largest left-operand tile whose intermediates fit the memory budget.
 
     For accumulating metrics the per-row cost is ``(1 + scratch_arrays)``
-    float64 rows of length *n_cols*; for naive fallbacks it is the
-    estimated temporary count of ``Metric.cross``.  The result is clamped
-    to ``[MIN_TILE_ROWS, n_rows]`` — the budget bounds *intermediate*
+    rows of length *n_cols* at *itemsize* bytes per element (8 for float64,
+    4 for float32 — so the float32 fast path gets 2x-wider tiles from the
+    same budget); for naive fallbacks it is the estimated temporary count
+    of ``Metric.cross``.  The result is clamped to
+    ``[MIN_TILE_ROWS, n_rows]`` — the budget bounds *intermediate*
     memory, never the ``(n, m)`` result the caller asked for.
     """
     budget = (get_default_memory_budget() if memory_budget_bytes is None
@@ -138,7 +141,8 @@ def tile_rows_for(metric: Metric, n_rows: int, n_cols: int, dim: int,
         temporaries = 1 + metric.scratch_arrays
     else:
         temporaries = _FALLBACK_TEMPORARIES
-    bytes_per_row = max(temporaries * n_cols * 8, 1)
+    itemsize = check_positive_int(itemsize, "itemsize")
+    bytes_per_row = max(temporaries * n_cols * itemsize, 1)
     tile = budget // bytes_per_row
     return int(np.clip(tile, min(MIN_TILE_ROWS, n_rows), n_rows))
 
@@ -158,10 +162,11 @@ def blocked_cross(metric: Metric, left: np.ndarray, right: np.ndarray, *,
     right = check_points_array(right, "right")
     n, m = left.shape[0], right.shape[0]
     if out is None:
-        out = np.empty((n, m), dtype=np.float64)
+        out = np.empty((n, m), dtype=np.result_type(left, right))
     if tile_rows is None:
         tile_rows = tile_rows_for(metric, n, m, left.shape[1],
-                                  memory_budget_bytes)
+                                  memory_budget_bytes,
+                                  itemsize=out.dtype.itemsize)
     else:
         tile_rows = check_positive_int(tile_rows, "tile_rows")
     if tile_rows >= n and not metric.accumulates_per_dimension:
@@ -189,7 +194,8 @@ def blocked_pairwise(metric: Metric, points: np.ndarray, *,
     n = points.shape[0]
     if tile_rows is None:
         tile_rows = tile_rows_for(metric, n, n, points.shape[1],
-                                  memory_budget_bytes)
+                                  memory_budget_bytes,
+                                  itemsize=points.dtype.itemsize)
     if tile_rows >= n and not metric.accumulates_per_dimension:
         # Single tile, BLAS metric: the naive pairwise already applies the
         # metric's own postprocessing (e.g. cosine symmetrization).

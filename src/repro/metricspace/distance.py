@@ -23,6 +23,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.utils.validation import as_float_array
 
 # Numerical guard: arccos needs its argument clipped to [-1, 1] because
 # normalized dot products can drift a few ulps outside that range.
@@ -98,8 +99,8 @@ class EuclideanMetric(Metric):
     name = "euclidean"
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        left = np.asarray(left, dtype=np.float64)
-        right = np.asarray(right, dtype=np.float64)
+        left = as_float_array(left)
+        right = as_float_array(right)
         left_sq = np.einsum("ij,ij->i", left, left)
         right_sq = np.einsum("ij,ij->i", right, right)
         sq = left_sq[:, None] + right_sq[None, :] - 2.0 * (left @ right.T)
@@ -115,13 +116,13 @@ class ManhattanMetric(Metric):
     scratch_arrays = 1
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        left = np.asarray(left, dtype=np.float64)
-        right = np.asarray(right, dtype=np.float64)
+        left = as_float_array(left)
+        right = as_float_array(right)
         return np.abs(left[:, None, :] - right[None, :, :]).sum(axis=2)
 
     def cross_into(self, left: np.ndarray, right: np.ndarray,
                    out: np.ndarray, workspace) -> None:
-        scratch = workspace.scratch("l1.diff", out.shape)
+        scratch = workspace.scratch("l1.diff", out.shape, dtype=out.dtype)
         out.fill(0.0)
         for dim in range(left.shape[1]):
             np.subtract(left[:, dim, None], right[None, :, dim], out=scratch)
@@ -137,13 +138,13 @@ class ChebyshevMetric(Metric):
     scratch_arrays = 1
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        left = np.asarray(left, dtype=np.float64)
-        right = np.asarray(right, dtype=np.float64)
+        left = as_float_array(left)
+        right = as_float_array(right)
         return np.abs(left[:, None, :] - right[None, :, :]).max(axis=2)
 
     def cross_into(self, left: np.ndarray, right: np.ndarray,
                    out: np.ndarray, workspace) -> None:
-        scratch = workspace.scratch("linf.diff", out.shape)
+        scratch = workspace.scratch("linf.diff", out.shape, dtype=out.dtype)
         out.fill(0.0)
         for dim in range(left.shape[1]):
             np.subtract(left[:, dim, None], right[None, :, dim], out=scratch)
@@ -177,7 +178,7 @@ class CosineDistance(Metric):
 
     @staticmethod
     def _normalize(points: np.ndarray) -> np.ndarray:
-        points = np.asarray(points, dtype=np.float64)
+        points = as_float_array(points)
         norms = np.linalg.norm(points, axis=1)
         if np.any(norms == 0.0):
             raise ValidationError("cosine distance is undefined for zero vectors")
@@ -197,8 +198,8 @@ class JaccardDistance(Metric):
     scratch_arrays = 2
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        left = np.asarray(left, dtype=np.float64)
-        right = np.asarray(right, dtype=np.float64)
+        left = as_float_array(left)
+        right = as_float_array(right)
         if np.any(left < 0.0) or np.any(right < 0.0):
             raise ValidationError("Jaccard distance requires non-negative vectors")
         mins = np.minimum(left[:, None, :], right[None, :, :]).sum(axis=2)
@@ -211,8 +212,8 @@ class JaccardDistance(Metric):
                    out: np.ndarray, workspace) -> None:
         if np.any(left < 0.0) or np.any(right < 0.0):
             raise ValidationError("Jaccard distance requires non-negative vectors")
-        mins = workspace.scratch("jaccard.mins", out.shape)
-        scratch = workspace.scratch("jaccard.term", out.shape)
+        mins = workspace.scratch("jaccard.mins", out.shape, dtype=out.dtype)
+        scratch = workspace.scratch("jaccard.term", out.shape, dtype=out.dtype)
         mask = workspace.scratch("jaccard.mask", out.shape, dtype=bool)
         mins.fill(0.0)
         out.fill(0.0)  # accumulates sum-of-max
@@ -240,9 +241,10 @@ class HammingDistance(Metric):
     scratch_arrays = 1
 
     def cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        left = np.asarray(left, dtype=np.float64)
-        right = np.asarray(right, dtype=np.float64)
-        return (left[:, None, :] != right[None, :, :]).sum(axis=2).astype(np.float64)
+        left = as_float_array(left)
+        right = as_float_array(right)
+        return ((left[:, None, :] != right[None, :, :])
+                .sum(axis=2).astype(np.result_type(left, right)))
 
     def cross_into(self, left: np.ndarray, right: np.ndarray,
                    out: np.ndarray, workspace) -> None:

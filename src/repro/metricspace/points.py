@@ -28,6 +28,10 @@ class PointSet:
         Array-like of shape ``(n, d)`` (or ``(n,)``, treated as 1-d points).
     metric:
         A :class:`Metric` instance or registry name such as ``"euclidean"``.
+    dtype:
+        Optional storage dtype (``"float64"`` or ``"float32"``).  When
+        omitted, float32 inputs are preserved and everything else is
+        coerced to float64.
 
     Example
     -------
@@ -40,8 +44,9 @@ class PointSet:
 
     __slots__ = ("points", "metric")
 
-    def __init__(self, points: np.ndarray, metric: MetricLike = "euclidean"):
-        self.points = check_points_array(points)
+    def __init__(self, points: np.ndarray, metric: MetricLike = "euclidean",
+                 dtype: "np.dtype | str | None" = None):
+        self.points = check_points_array(points, dtype=dtype)
         self.metric = get_metric(metric)
 
     # -- container protocol -------------------------------------------------
@@ -52,6 +57,17 @@ class PointSet:
     def dim(self) -> int:
         """Dimensionality of the ambient vector representation."""
         return self.points.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the underlying point array."""
+        return self.points.dtype
+
+    def astype(self, dtype: "np.dtype | str") -> "PointSet":
+        """A copy of this set stored in *dtype* (no-op when already there)."""
+        if self.points.dtype == np.dtype(dtype):
+            return self
+        return PointSet(self.points.astype(dtype), self.metric)
 
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self.points)

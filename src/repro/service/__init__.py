@@ -53,11 +53,13 @@ from repro.service.service import (
 )
 from repro.service.workload import (
     ConcurrencyReport,
+    MixedWorkloadReport,
     ServeLatencyReport,
     ThroughputReport,
     latency_summary,
     make_workload,
     measure_concurrent_throughput,
+    measure_mixed_workload,
     measure_serve_latency,
     measure_service_throughput,
     open_loop_load,
@@ -99,11 +101,13 @@ __all__ = [
     "Query",
     "QueryResult",
     "ConcurrencyReport",
+    "MixedWorkloadReport",
     "ServeLatencyReport",
     "ThroughputReport",
     "latency_summary",
     "make_workload",
     "measure_concurrent_throughput",
+    "measure_mixed_workload",
     "measure_serve_latency",
     "measure_service_throughput",
     "open_loop_load",

@@ -397,7 +397,8 @@ class ProcessExecutor:
                 if pair is None:
                     coreset_ref = plane.coreset_ref(rung)
                     lease = plane.matrices.lease((epoch,) + rung.key,
-                                                 len(rung.coreset))
+                                                 len(rung.coreset),
+                                                 dtype=rung.coreset.points.dtype)
                     pair = (coreset_ref, lease)
                     leases[rung.key] = pair
                 coreset_ref, lease = pair
@@ -417,6 +418,7 @@ class ProcessExecutor:
                     points=rung.coreset.points[indices], value=value,
                     rung=rung.key, cached=False, solve_seconds=seconds,
                     epoch=epoch)
+                service._maybe_verify(rung, result)
                 service._finish_group(cache, cache_key, result, members,
                                       results)
             return results

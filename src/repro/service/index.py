@@ -102,6 +102,48 @@ class CoresetIndex:
         """Construction families the index holds ladders for, sorted."""
         return sorted(self.rungs)
 
+    @property
+    def dtype(self) -> str:
+        """Storage dtype of the rung core-sets (``"float64"`` default).
+
+        Derived from the arrays themselves rather than recorded metadata,
+        so it can never drift from what the kernels actually compute on.
+        """
+        for family in self.families:
+            for rung in self.rungs[family]:
+                return str(rung.coreset.points.dtype)
+        return "float64"
+
+    def astype(self, dtype: str | np.dtype) -> "CoresetIndex":
+        """A copy of this index with every rung core-set cast to *dtype*.
+
+        Metadata (ladder, dimension estimate, build history) is shared or
+        copied verbatim — casting never changes routing, only the storage
+        and kernel dtype.  Returns ``self`` when already in *dtype*.
+        """
+        dtype = np.dtype(dtype)
+        if str(dtype) == self.dtype:
+            return self
+        rungs = {
+            family: [LadderRung(family=rung.family, k_cap=rung.k_cap,
+                                k_prime=rung.k_prime,
+                                coreset=rung.coreset.astype(dtype),
+                                build_seconds=rung.build_seconds)
+                     for rung in self.rungs[family]]
+            for family in self.families
+        }
+        return CoresetIndex(
+            metric_name=self.metric_name,
+            dimension_estimate=self.dimension_estimate,
+            rungs=rungs,
+            ladder=dict(self.ladder),
+            source=dict(self.source),
+            seed=self.seed,
+            build_calls=self.build_calls,
+            build_seconds=self.build_seconds,
+            extra=dict(self.extra),
+        )
+
     def all_rungs(self) -> list[LadderRung]:
         """Every rung across families, in family-then-cost order."""
         return [rung for family in self.families for rung in self.rungs[family]]
@@ -228,6 +270,9 @@ class CoresetIndex:
             raise ValidationError(
                 f"dimension mismatch: index holds {expected_dim}-d points, "
                 f"new points are {new_points.dim}-d")
+        # Ingest in the index's own storage dtype so merged rungs never
+        # silently upcast (a float32 plane must stay float32 across epochs).
+        new_points = new_points.astype(self.dtype)
         parallelism = max(int(self.ladder.get("parallelism", 4)), 1)
         started = time.perf_counter()
         rungs: dict[str, list[LadderRung]] = {}
@@ -330,6 +375,7 @@ class CoresetIndex:
         """JSON-ready summary (the metadata block persistence writes)."""
         return {
             "metric": self.metric_name,
+            "dtype": self.dtype,
             "dimension_estimate": self.dimension_estimate,
             "seed": self.seed,
             "ladder": self.ladder,
@@ -354,6 +400,7 @@ def build_coreset_index(
     partition_strategy: str = "random",
     seed: int | None = 0,
     sample_size: int = 2048,
+    dtype: str | np.dtype | None = None,
 ) -> CoresetIndex:
     """Ingest *points* once: build every ladder rung for every family.
 
@@ -364,11 +411,17 @@ def build_coreset_index(
     reused across rungs.  The doubling dimension estimated here is stored
     on the index and drives query routing forever after — the source
     dataset is not needed again.
+
+    With ``dtype="float32"`` the source is cast up front and the whole
+    build — sketches, kernels, rung core-sets — runs in float32 (the
+    fast path: half the bandwidth and residency of float64).
     """
     for family in families:
         if family not in FAMILIES:
             raise ValidationError(
                 f"unknown family {family!r}; known: {FAMILIES}")
+    if dtype is not None:
+        points = points.astype(dtype)
     ladder_params = ladder_parameters(k_max, multiplier=multiplier,
                                       growth=growth, k_min=k_min)
     rng = ensure_rng(seed)

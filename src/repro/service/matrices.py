@@ -1,8 +1,9 @@
 """Memory-budgeted, single-flight cache for per-rung distance matrices.
 
 Rung pairwise matrices are the largest resident state of a warm
-:class:`~repro.service.service.DiversityService` — ``O(points^2)`` float64
-per rung, dwarfing the core-sets themselves.  This module makes them
+:class:`~repro.service.service.DiversityService` — ``O(points^2)`` in the
+index's dtype per rung (float32 rungs cost half the bytes of float64),
+dwarfing the core-sets themselves.  This module makes them
 first-class cache citizens:
 
 * **Budget** — total cached bytes are bounded by a budget taken from the
@@ -127,6 +128,7 @@ class MatrixCache:
         #: Bumped by clear(); computes that started before a clear must
         #: not park their (now superseded) matrix in the fresh cache.
         self._generation = 0
+        self._dtype: str | None = None
         self.stats = MatrixStats()
 
     @property
@@ -204,6 +206,7 @@ class MatrixCache:
 
     def _insert(self, key: Hashable, matrix: np.ndarray) -> None:
         # Caller holds self._lock.
+        self._dtype = str(matrix.dtype)
         if self._budget is not None and matrix.nbytes > self._budget:
             # Oversized for the whole budget: hand it out uncached so
             # resident cache memory never exceeds the budget — but leave
@@ -258,13 +261,15 @@ class MatrixCache:
         with self._lock:
             fresh = MatrixCache(0 if self._budget is None else self._budget)
             fresh.stats = replace(self.stats)
+            fresh._dtype = self._dtype
             return fresh
 
     def describe(self) -> dict:
-        """JSON-ready snapshot: stats plus residency and budget."""
+        """JSON-ready snapshot: stats plus dtype, residency and budget."""
         with self._lock:
             payload = self.stats.as_dict()
             payload.update({
+                "dtype": self._dtype,
                 "cached": len(self._entries),
                 "resident_bytes": self._bytes,
                 "budget_bytes": self._budget,
@@ -347,6 +352,7 @@ class SharedMatrixCache:
         self._ever_cached: set[Hashable] = set()
         self._lock = threading.Lock()
         self._closed = False
+        self._dtype: str | None = None
         self.stats = MatrixStats()
 
     @property
@@ -365,16 +371,19 @@ class SharedMatrixCache:
         with self._lock:
             return len(self._entries)
 
-    def lease(self, key: Hashable, n_points: int) -> MatrixLease:
+    def lease(self, key: Hashable, n_points: int,
+              dtype: str | np.dtype = np.float64) -> MatrixLease:
         """Pin (allocating if needed) the segment for *key*'s matrix.
 
         A hit pins and returns the existing segment; a miss allocates a
         zero-filled flagged segment for an ``(n_points, n_points)``
-        float64 matrix, charges the budget and evicts unpinned LRU
-        entries that no longer fit.  The caller must :meth:`release` the
-        lease when its dispatch completes.
+        matrix of *dtype* (sized by the actual itemsize — float32
+        segments cost half the budget of float64), charges the budget
+        and evicts unpinned LRU entries that no longer fit.  The caller
+        must :meth:`release` the lease when its dispatch completes.
         """
         n_points = check_positive_int(n_points, "n_points")
+        dtype = np.dtype(dtype)
         with self._lock:
             if self._closed:
                 raise RuntimeError("SharedMatrixCache is closed")
@@ -388,8 +397,9 @@ class SharedMatrixCache:
                 slot.pins += 1
                 return MatrixLease(key=key, ref=slot.owner.ref, slot=slot)
             self.stats.misses += 1
-            owner = shm.SharedNDArray((n_points, n_points), np.float64,
+            owner = shm.SharedNDArray((n_points, n_points), dtype,
                                       flagged=True)
+            self._dtype = str(dtype)
             slot = _SharedSlot(key=key, owner=owner, pins=1,
                                is_recompute=key in self._ever_cached)
             self._ever_cached.add(key)
@@ -458,6 +468,7 @@ class SharedMatrixCache:
             fresh = SharedMatrixCache(0 if self._budget is None
                                       else self._budget)
             fresh.stats = replace(self.stats)
+            fresh._dtype = self._dtype
             return fresh
 
     def close(self) -> None:
@@ -489,10 +500,11 @@ class SharedMatrixCache:
                        for slot in self._oversize.values()])
 
     def describe(self) -> dict:
-        """JSON-ready snapshot: stats plus residency, pins and budget."""
+        """JSON-ready snapshot: stats plus dtype, residency, pins, budget."""
         with self._lock:
             payload = self.stats.as_dict()
             payload.update({
+                "dtype": self._dtype,
                 "cached": len(self._entries),
                 "resident_bytes": self._bytes,
                 "budget_bytes": self._budget,

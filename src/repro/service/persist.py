@@ -14,6 +14,10 @@ Format history:
   the incremental-refresh history written by
   :meth:`repro.service.index.CoresetIndex.extend`.  Version-1 files load
   unchanged (their ``extra`` is empty); writes always produce version 2.
+  Later version-2 writes additionally record the storage ``dtype``; the
+  field is informational (the ``.npz`` arrays are authoritative — float32
+  rungs round-trip bit-exactly through ``np.savez``), and files written
+  before it exist load as the float64 their arrays contain.
 """
 
 from __future__ import annotations
@@ -66,6 +70,7 @@ def save_index(index: CoresetIndex, path: str | Path) -> None:
     metadata = {
         "format_version": INDEX_FORMAT_VERSION,
         "metric": index.metric_name,
+        "dtype": index.dtype,
         "dimension_estimate": index.dimension_estimate,
         "seed": index.seed,
         "ladder": index.ladder,
@@ -85,12 +90,18 @@ def save_index(index: CoresetIndex, path: str | Path) -> None:
     os.replace(json_tmp, json_path)
 
 
-def load_index(path: str | Path) -> CoresetIndex:
+def load_index(path: str | Path,
+               dtype: "str | np.dtype | None" = None) -> CoresetIndex:
     """Load an index saved by :func:`save_index` (exact round-trip).
 
     Reads the current format and every older version listed in
     :data:`READABLE_FORMAT_VERSIONS`; anything else raises
     :class:`~repro.exceptions.ValidationError`.
+
+    Rung arrays load in their stored dtype (float32 indexes stay
+    float32; files written before the dtype field load as float64).
+    Pass *dtype* to cast on load — e.g. ``dtype="float32"`` serves a
+    float64 index on the fast path without re-building it.
     """
     npz_path, json_path = _paths(path)
     if not npz_path.exists() or not json_path.exists():
@@ -120,7 +131,7 @@ def load_index(path: str | Path) -> CoresetIndex:
     for family_rungs in rungs.values():
         family_rungs.sort(key=lambda rung: (rung.k_cap, rung.k_prime))
     extra = metadata.get("extra")
-    return CoresetIndex(
+    index = CoresetIndex(
         metric_name=metric,
         dimension_estimate=float(metadata["dimension_estimate"]),
         rungs=rungs,
@@ -131,3 +142,4 @@ def load_index(path: str | Path) -> CoresetIndex:
         build_seconds=float(metadata.get("build_seconds", 0.0)),
         extra=extra if isinstance(extra, dict) else {},
     )
+    return index if dtype is None else index.astype(dtype)

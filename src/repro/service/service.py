@@ -49,6 +49,7 @@ them as read-only.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import warnings
@@ -80,6 +81,32 @@ from repro.utils.validation import check_in_range, check_positive_int
 #: ``from_dict`` constructors — the wire protocol of ``repro serve``
 #: (:mod:`repro.service.protocol`) rides on these dicts verbatim.
 SCHEMA_VERSION = 1
+
+#: Environment knobs of the float64 verify path (see
+#: :meth:`DiversityService._maybe_verify`): ``REPRO_VERIFY_DTYPE=1``
+#: enables it, ``REPRO_VERIFY_FRACTION`` samples a fraction of fresh
+#: solves (default: all of them), ``REPRO_VERIFY_RTOL`` sets the
+#: objective-value tolerance.
+VERIFY_DTYPE_ENV_VAR = "REPRO_VERIFY_DTYPE"
+VERIFY_FRACTION_ENV_VAR = "REPRO_VERIFY_FRACTION"
+VERIFY_RTOL_ENV_VAR = "REPRO_VERIFY_RTOL"
+_DEFAULT_VERIFY_RTOL = 1e-4
+
+
+def _verify_config_from_env() -> tuple[bool, float, float]:
+    """``(enabled, fraction, rtol)`` from the environment (best effort)."""
+    enabled = os.environ.get(VERIFY_DTYPE_ENV_VAR, "").strip() in (
+        "1", "true", "yes", "on")
+    try:
+        fraction = float(os.environ.get(VERIFY_FRACTION_ENV_VAR, "1.0"))
+    except ValueError:
+        fraction = 1.0
+    try:
+        rtol = float(os.environ.get(VERIFY_RTOL_ENV_VAR,
+                                    str(_DEFAULT_VERIFY_RTOL)))
+    except ValueError:
+        rtol = _DEFAULT_VERIFY_RTOL
+    return enabled, min(max(fraction, 0.0), 1.0), max(rtol, 0.0)
 
 
 def _check_schema_version(payload: dict, what: str) -> None:
@@ -252,6 +279,15 @@ class DiversityService:
     executor_workers:
         Worker fan-out used when the default backend is ``thread`` or
         ``process`` and the call does not pass ``max_workers``.
+    verify_dtype, verify_fraction, verify_rtol:
+        The float64 verify path for reduced-precision (float32) indexes:
+        when enabled, a sampled fraction of fresh solves is recomputed
+        in float64 and compared — objective values within *verify_rtol*,
+        selected indices identical or tie-explained — with mismatch
+        counters surfaced in ``stats()["verify"]``.  Each ``None``
+        defers to the environment (``REPRO_VERIFY_DTYPE=1``,
+        ``REPRO_VERIFY_FRACTION``, ``REPRO_VERIFY_RTOL``).  No-op on
+        float64 indexes.
 
     Thread safety: instances are safe to share across threads; see the
     module docstring for the locking model.
@@ -272,6 +308,9 @@ class DiversityService:
                  cache_size: int = 128, cache_stripes: int = 8,
                  matrix_budget_mb: int | None = None,
                  executor: str = "serial", executor_workers: int = 4,
+                 verify_dtype: bool | None = None,
+                 verify_fraction: float | None = None,
+                 verify_rtol: float | None = None,
                  **build_options):
         if index is None and (points is None or k_max is None):
             raise ValidationError(
@@ -299,6 +338,19 @@ class DiversityService:
         self.default_executor = executor
         self.executor_workers = check_positive_int(executor_workers,
                                                    "executor_workers")
+        env_enabled, env_fraction, env_rtol = _verify_config_from_env()
+        self._verify_enabled = (env_enabled if verify_dtype is None
+                                else bool(verify_dtype))
+        self._verify_fraction = (env_fraction if verify_fraction is None
+                                 else min(max(float(verify_fraction), 0.0),
+                                          1.0))
+        self._verify_rtol = (env_rtol if verify_rtol is None
+                             else max(float(verify_rtol), 0.0))
+        self._verify_clock = 0  # fresh solves seen (the sampling stride)
+        self.verify_checks = 0
+        self.verify_value_mismatches = 0
+        self.verify_index_mismatches = 0
+        self.verify_ties = 0
         self._executors: dict[str, object] = {}
         self._executors_lock = threading.Lock()
         #: Rung builds performed by this instance; queries never bump it.
@@ -329,9 +381,15 @@ class DiversityService:
 
     @classmethod
     def from_file(cls, path: str | Path, *, cache_size: int = 128,
-                  matrix_budget_mb: int | None = None) -> "DiversityService":
-        """Warm-start from an index persisted by :meth:`save` — no build."""
-        return cls(load_index(path), cache_size=cache_size,
+                  matrix_budget_mb: int | None = None,
+                  dtype: str | None = None) -> "DiversityService":
+        """Warm-start from an index persisted by :meth:`save` — no build.
+
+        *dtype* casts the loaded index (e.g. ``"float32"`` to serve an
+        existing float64 index on the fast path); ``None`` serves it in
+        its stored dtype.
+        """
+        return cls(load_index(path, dtype=dtype), cache_size=cache_size,
                    matrix_budget_mb=matrix_budget_mb)
 
     @property
@@ -717,12 +775,64 @@ class DiversityService:
         started = time.perf_counter()
         indices = solve_on_matrix(dist, query.k, objective)
         value = objective.value(dist[np.ix_(indices, indices)])
-        return QueryResult(
+        result = QueryResult(
             objective=objective.name, k=query.k, epsilon=query.epsilon,
             indices=indices, points=rung.coreset.points[indices],
             value=float(value), rung=rung.key, cached=False,
             solve_seconds=time.perf_counter() - started, epoch=epoch,
         )
+        self._maybe_verify(rung, result)
+        return result
+
+    def _maybe_verify(self, rung: LadderRung, result: QueryResult) -> None:
+        """Float64 shadow check of a fast-path (reduced-dtype) solve.
+
+        Enabled by ``REPRO_VERIFY_DTYPE=1`` (or ``verify_dtype=True``),
+        and a no-op whenever the rung already stores float64 — there is
+        nothing to shadow.  On a sampled fraction of fresh solves the
+        rung's matrix is recomputed in float64 and solved again; the
+        fast-path answer must match the float64 objective value within
+        ``verify_rtol``, and pick the same indices unless the difference
+        is a tie (the fast-path selection's float64 value also lands
+        within ``verify_rtol``).  Outcomes feed the ``verify`` counters
+        in :meth:`stats`.
+        """
+        if not self._verify_enabled or self._verify_fraction <= 0.0:
+            return
+        if rung.coreset.points.dtype == np.float64:
+            return
+        stride = max(int(round(1.0 / self._verify_fraction)), 1)
+        with self._counter_lock:
+            self._verify_clock += 1
+            take = self._verify_clock % stride == 0
+        if not take:
+            return
+        objective = get_objective(result.objective)
+        dist64 = PointSet(rung.coreset.points.astype(np.float64),
+                          metric=rung.coreset.metric).pairwise()
+        indices64 = solve_on_matrix(dist64, result.k, objective)
+        value64 = float(objective.value(dist64[np.ix_(indices64, indices64)]))
+        tol = self._verify_rtol * max(abs(value64), 1e-12)
+        value_ok = abs(result.value - value64) <= tol
+        if sorted(result.indices) == sorted(indices64):
+            index_ok, tie = True, False
+        else:
+            # Different selections can still be equally diverse: score
+            # the fast path's pick under the float64 matrix and accept
+            # it as a tie when the objective cannot tell them apart.
+            picked = np.asarray(result.indices)
+            picked64 = float(objective.value(dist64[np.ix_(picked, picked)]))
+            tie = abs(picked64 - value64) <= tol
+            index_ok = False
+        with self._counter_lock:
+            self.verify_checks += 1
+            if not value_ok:
+                self.verify_value_mismatches += 1
+            if not index_ok:
+                if tie:
+                    self.verify_ties += 1
+                else:
+                    self.verify_index_mismatches += 1
 
     @staticmethod
     def _matrix_for(matrices: MatrixCache, epoch: int,
@@ -762,7 +872,7 @@ class DiversityService:
 
         One JSON-ready dict, shared verbatim by this in-process API and
         the daemon's ``GET /stats`` (:mod:`repro.service.server`), with a
-        ``schema_version`` stamp and five stable sections:
+        ``schema_version`` stamp and six stable sections:
 
         * ``counters`` — ``queries_answered``, ``batches_answered``,
           ``concurrent_batches``, ``build_calls`` (frozen across
@@ -777,7 +887,12 @@ class DiversityService:
           ``None`` until that backend exists;
         * ``executors`` — ``default``, ``workers``, ``active`` (backend
           names instantiated so far);
-        * ``epochs`` — ``current``, ``refreshes``, ``index_built``.
+        * ``epochs`` — ``current``, ``refreshes``, ``index_built``,
+          ``dtype`` (the index's storage dtype, ``None`` before build);
+        * ``verify`` — the float64 shadow-check block: ``enabled`` /
+          ``fraction`` / ``rtol`` configuration plus ``checks``,
+          ``value_mismatches``, ``index_mismatches``, ``ties`` counters
+          (see :meth:`_maybe_verify`).
 
         The key inventory is documented in ``docs/serving.md`` and
         drift-gated by ``tests/test_docs.py``.
@@ -813,5 +928,16 @@ class DiversityService:
                 "current": self._epoch,
                 "refreshes": self.refreshes,
                 "index_built": self._index is not None,
+                "dtype": (self._index.dtype
+                          if self._index is not None else None),
+            },
+            "verify": {
+                "enabled": self._verify_enabled,
+                "fraction": self._verify_fraction,
+                "rtol": self._verify_rtol,
+                "checks": self.verify_checks,
+                "value_mismatches": self.verify_value_mismatches,
+                "index_mismatches": self.verify_index_mismatches,
+                "ties": self.verify_ties,
             },
         }

@@ -499,6 +499,169 @@ async def open_loop_load(host: str, port: int, requests: list[list[Query]],
             "duration_seconds": loop.time() - started}
 
 
+@dataclass
+class MixedWorkloadReport:
+    """Query latency under concurrent ingest (the HTAP gate).
+
+    Two open-loop passes over the same request schedule: a *query-only*
+    baseline, then a *mixed* pass where a background refresher ingests
+    new points at ``refresh_hz`` through
+    :meth:`~repro.service.service.DiversityService.refresh` while
+    queries keep arriving.  Latency samples run from each request's
+    scheduled send instant to its completed answer, so refresh-induced
+    stalls surface in the tail instead of slowing the arrival process.
+    ``p99_factor`` (mixed p99 over query-only p99) is the number the
+    mixed-workload benchmark gates; ``epochs_mixed`` counts requests
+    whose answers spanned more than one epoch (must be 0 — the epoch'd
+    plane promises every batch a single consistent index), and
+    ``verify`` is the mixed service's float64 shadow-check block
+    (mismatches must be 0 when enabled on a float32 index).
+    """
+
+    dtype: str
+    rate_qps: float
+    requests: int
+    queries_per_request: int
+    refresh_hz: float
+    refreshes_completed: int
+    epochs_mixed: int
+    query_only_latency: dict
+    mixed_latency: dict
+    verify: dict
+    query_only_seconds: float
+    mixed_seconds: float
+
+    @property
+    def p99_factor(self) -> float:
+        """Mixed-pass p99 latency over the query-only baseline's."""
+        baseline = self.query_only_latency.get("p99_ms") or 0.0
+        mixed = self.mixed_latency.get("p99_ms") or 0.0
+        return mixed / max(baseline, 1e-9)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (one dtype block of the mixed benchmark)."""
+        payload = asdict(self)
+        payload["p99_factor"] = self.p99_factor
+        return payload
+
+
+def _open_loop_pass(service: DiversityService, requests: list[list[Query]],
+                    rate_qps: float) -> tuple[list[float], int, float]:
+    """Drive *requests* at the service open-loop from a thread pool.
+
+    Returns ``(latencies, epochs_mixed, duration_seconds)``.  Send
+    instants are anchored to the wall clock (``start + i / rate_qps``)
+    and never wait for responses; each latency sample is
+    scheduled-send-to-answer, and a request whose answers span multiple
+    epochs counts toward ``epochs_mixed``.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    interval = 1.0 / rate_qps
+    latencies: list[float | None] = [None] * len(requests)
+    mixed_flags = [False] * len(requests)
+
+    def _serve(i: int, queries: list[Query], scheduled: float) -> None:
+        results = service.query_batch(queries)
+        latencies[i] = time.perf_counter() - scheduled
+        mixed_flags[i] = len({result.epoch for result in results}) > 1
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        start = time.perf_counter()
+        futures = []
+        for i, queries in enumerate(requests):
+            scheduled = start + i * interval
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(_serve, i, queries, scheduled))
+        for future in futures:
+            future.result()
+        duration = time.perf_counter() - start
+    return [s for s in latencies if s is not None], sum(mixed_flags), duration
+
+
+def measure_mixed_workload(
+    index,
+    refresh_source,
+    *,
+    rate_qps: float = 50.0,
+    num_requests: int = 64,
+    queries_per_request: int = 2,
+    refresh_hz: float = 2.0,
+    matrix_budget_mb: int | None = None,
+    verify_dtype: bool | None = None,
+    seed: int | None = 0,
+) -> MixedWorkloadReport:
+    """Query p99 under concurrent ingest vs a query-only baseline.
+
+    *refresh_source* is a callable ``(ingest_round) -> PointSet``
+    supplying each refresh's new points (deterministic per round, so
+    both dtype runs of the benchmark ingest identical data).  The
+    query-only pass and the mixed pass each get a fresh
+    :class:`DiversityService` over *index* so neither inherits the
+    other's caches; the mixed pass runs a refresher thread calling
+    :meth:`~DiversityService.refresh` every ``1 / refresh_hz`` seconds
+    until the open loop drains.  *verify_dtype* forwards to the mixed
+    service (enable it on float32 indexes to shadow-check sampled
+    solves against float64 while ingest churns epochs).
+    """
+    check_positive_int(num_requests, "num_requests")
+    check_positive_int(queries_per_request, "queries_per_request")
+    k_max = int(index.ladder.get("k_max", 4))
+    workload = make_workload(k_max, num_requests * queries_per_request,
+                             seed=seed)
+    requests = [workload[i * queries_per_request:
+                         (i + 1) * queries_per_request]
+                for i in range(num_requests)]
+
+    with DiversityService(index, cache_size=max(128, len(workload)),
+                          matrix_budget_mb=matrix_budget_mb,
+                          executor="thread") as baseline:
+        only_latencies, only_mixed, only_seconds = _open_loop_pass(
+            baseline, requests, rate_qps)
+
+    import threading as _threading
+
+    mixed_service = DiversityService(
+        index, cache_size=max(128, len(workload)),
+        matrix_budget_mb=matrix_budget_mb, executor="thread",
+        verify_dtype=verify_dtype)
+    stop = _threading.Event()
+    refreshed = [0]
+
+    def _refresher() -> None:
+        while not stop.wait(1.0 / refresh_hz):
+            mixed_service.refresh(refresh_source(refreshed[0]))
+            refreshed[0] += 1
+
+    refresher = _threading.Thread(target=_refresher, daemon=True)
+    try:
+        refresher.start()
+        mixed_latencies, mixed_count, mixed_seconds = _open_loop_pass(
+            mixed_service, requests, rate_qps)
+    finally:
+        stop.set()
+        refresher.join()
+    verify = mixed_service.stats()["verify"]
+    mixed_service.close()
+
+    return MixedWorkloadReport(
+        dtype=index.dtype,
+        rate_qps=rate_qps,
+        requests=num_requests,
+        queries_per_request=queries_per_request,
+        refresh_hz=refresh_hz,
+        refreshes_completed=refreshed[0],
+        epochs_mixed=only_mixed + mixed_count,
+        query_only_latency=latency_summary(only_latencies),
+        mixed_latency=latency_summary(mixed_latencies),
+        verify=verify,
+        query_only_seconds=only_seconds,
+        mixed_seconds=mixed_seconds,
+    )
+
+
 def measure_serve_latency(index, *, num_requests: int = 64,
                           queries_per_request: int = 1,
                           rate_qps: float = 100.0,

@@ -30,7 +30,7 @@ from repro.metricspace.distance import Metric, get_metric
 from repro.metricspace.points import PointSet
 from repro.streaming.stream import ArrayStream, Stream
 from repro.streaming.throughput import measure_throughput
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import as_float_array, check_positive_int
 
 
 def stream_coreset(source: Stream | PointSet | np.ndarray, k: int,
@@ -72,7 +72,7 @@ def stream_coreset(source: Stream | PointSet | np.ndarray, k: int,
     elif isinstance(source, Stream):
         stream = source
     else:
-        stream = ArrayStream(np.asarray(source, dtype=np.float64))
+        stream = ArrayStream(as_float_array(source))
     metric = get_metric("euclidean" if metric is None else metric)
     if batch_size is None:
         from repro.tuning import DEFAULT_BATCH_SIZE, recommend_batch_size
@@ -232,7 +232,7 @@ class TwoPassStreamingDiversityMaximizer:
             yield from stream.batches(self.batch_size)
         else:
             for point in stream:
-                yield np.atleast_2d(np.asarray(point, dtype=np.float64))
+                yield np.atleast_2d(as_float_array(point))
 
     def run(self, stream: Stream) -> StreamingResult:
         """Two passes: SMM-GEN sketch, then delegate instantiation."""
@@ -271,7 +271,7 @@ class TwoPassStreamingDiversityMaximizer:
                     continue
                 chosen = int(candidates[int(dist[candidates].argmin())])
                 needs[chosen] -= 1
-                delegates.append(np.asarray(block[offset], dtype=np.float64))
+                delegates.append(as_float_array(block[offset]))
             if exhausted:
                 break
         kernel_seconds += time.perf_counter() - start

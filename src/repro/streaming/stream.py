@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.exceptions import StreamExhaustedError
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_points_array, check_positive_int
+from repro.utils.validation import (as_float_array, check_points_array,
+                                    check_positive_int)
 
 
 class Stream(ABC):
@@ -116,7 +117,7 @@ class IteratorStream(Stream):
             raise StreamExhaustedError("this one-shot stream was already consumed")
         self._consumed = True
         for item in self._iterator:
-            yield np.asarray(item, dtype=np.float64).reshape(-1)
+            yield as_float_array(item).reshape(-1)
 
     def replay(self) -> "Stream":
         raise StreamExhaustedError(

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.coresets.smm import SMM
 from repro.streaming.stream import Stream
+from repro.utils.validation import as_float_array
 
 
 @dataclass(frozen=True)
@@ -66,7 +67,7 @@ def measure_throughput(sketch: SMM, stream: Stream,
             points += block.shape[0]
     else:
         for point in stream:
-            row = np.asarray(point, dtype=np.float64)
+            row = as_float_array(point)
             start = time.perf_counter()
             sketch.process(row)
             kernel_seconds += time.perf_counter() - start

@@ -137,11 +137,14 @@ def recommend_k_prime(
 
 
 def recommend_matrix_budget_mb(rung_point_counts: list[int],
-                               resident_rungs: int = 2) -> int:
+                               resident_rungs: int = 2,
+                               dtype: str | np.dtype = "float64") -> int:
     """Matrix-cache budget (MiB) keeping the largest rungs resident.
 
-    The service's rung distance matrices cost ``8 * n^2`` bytes for a
-    rung of ``n`` core-set points; this sizes ``REPRO_MATRIX_BUDGET_MB``
+    The service's rung distance matrices cost ``itemsize * n^2`` bytes
+    for a rung of ``n`` core-set points stored in *dtype* (8 bytes for
+    float64, 4 for the float32 fast path — a float32 index needs half
+    the budget); this sizes ``REPRO_MATRIX_BUDGET_MB``
     (or ``DiversityService(matrix_budget_mb=...)``) so the
     *resident_rungs* largest matrices fit simultaneously while smaller
     rungs cycle through the remaining headroom.  ``repro index`` prints
@@ -154,6 +157,8 @@ def recommend_matrix_budget_mb(rung_point_counts: list[int],
         Core-set sizes of the index's rungs (``len(rung.coreset)``).
     resident_rungs:
         How many of the largest matrices the budget must hold at once.
+    dtype:
+        Matrix element dtype (the index's storage dtype).
 
     Returns
     -------
@@ -171,9 +176,10 @@ def recommend_matrix_budget_mb(rung_point_counts: list[int],
     if not rung_point_counts:
         raise ValidationError("rung_point_counts must be non-empty")
     check_positive_int(resident_rungs, "resident_rungs")
+    itemsize = np.dtype(dtype).itemsize
     sizes = sorted((check_positive_int(n, "rung_point_count")
                     for n in rung_point_counts), reverse=True)
-    needed = sum(8 * n * n for n in sizes[:resident_rungs])
+    needed = sum(itemsize * n * n for n in sizes[:resident_rungs])
     return max(1, -(-needed // 2**20))
 
 
@@ -194,6 +200,10 @@ class KernelTuning:
     accumulating:
         Whether the metric uses the per-dimension accumulation kernel
         (coordinate-wise metrics) or tiled calls to the naive kernel.
+    dtype:
+        Element dtype the tiling was sized for; float32 intermediates
+        cost half the bytes per row, so the same budget yields 2x-wider
+        tiles than float64.
     """
 
     metric: str
@@ -201,6 +211,7 @@ class KernelTuning:
     tiles: int
     memory_budget_bytes: int
     accumulating: bool
+    dtype: str = "float64"
 
     def as_dict(self) -> dict:
         """JSON-ready form, recorded into ``BENCH_*.json`` trajectories."""
@@ -218,7 +229,10 @@ class KernelTuning:
 
 PROFILE_ENV_VAR = "REPRO_PROFILE_PATH"
 DEFAULT_PROFILE_FILENAME = ".repro_profile.json"
-_PROFILE_FORMAT_VERSION = 1
+# Version 2: entries gained a ``dtype`` field and keys a ``:dtype=``
+# component — float64-derived tilings must not be replayed for float32
+# workloads (they would leave half the budgeted tile width unused).
+_PROFILE_FORMAT_VERSION = 2
 
 
 def tile_profile_path() -> Path:
@@ -227,8 +241,9 @@ def tile_profile_path() -> Path:
 
 
 def _profile_key(metric_name: str, n_rows: int, n_cols: int, dim: int,
-                 budget_bytes: int) -> str:
-    return f"{metric_name}:{n_rows}x{n_cols}x{dim}:budget={budget_bytes}"
+                 budget_bytes: int, dtype: str = "float64") -> str:
+    return (f"{metric_name}:{n_rows}x{n_cols}x{dim}"
+            f":budget={budget_bytes}:dtype={dtype}")
 
 
 def load_tile_profile(path: str | Path | None = None) -> dict[str, dict]:
@@ -278,7 +293,7 @@ def record_kernel_tuning(tuning: KernelTuning, n_rows: int, n_cols: int,
     profile is an accelerator, never a requirement.
     """
     key = _profile_key(tuning.metric, n_rows, n_cols, dim,
-                       tuning.memory_budget_bytes)
+                       tuning.memory_budget_bytes, tuning.dtype)
     try:
         entries = load_tile_profile(path)
         entries[key] = tuning.as_dict()
@@ -290,7 +305,8 @@ def record_kernel_tuning(tuning: KernelTuning, n_rows: int, n_cols: int,
 def recommend_tile_rows(metric: str | Metric, n_rows: int, n_cols: int,
                         dim: int,
                         memory_budget_bytes: int | None = None,
-                        use_profile: bool = True) -> KernelTuning:
+                        use_profile: bool = True,
+                        dtype: str | np.dtype = "float64") -> KernelTuning:
     """Tile sizing for a blocked ``cross``/``pairwise`` of the given shape.
 
     Thin, recordable wrapper over
@@ -307,25 +323,29 @@ def recommend_tile_rows(metric: str | Metric, n_rows: int, n_cols: int,
     check_positive_int(n_rows, "n_rows")
     check_positive_int(n_cols, "n_cols")
     check_positive_int(dim, "dim")
+    dtype = np.dtype(dtype)
     budget = (get_default_memory_budget() if memory_budget_bytes is None
               else check_positive_int(memory_budget_bytes, "memory_budget_bytes"))
     if use_profile:
         entry = load_tile_profile().get(
-            _profile_key(metric.name, n_rows, n_cols, dim, budget))
+            _profile_key(metric.name, n_rows, n_cols, dim, budget, str(dtype)))
         if entry is not None:
             try:
                 tuning = KernelTuning(**entry)
-                if tuning.tile_rows >= 1 and tuning.metric == metric.name:
+                if (tuning.tile_rows >= 1 and tuning.metric == metric.name
+                        and tuning.dtype == str(dtype)):
                     return tuning
             except TypeError:
                 pass  # stale profile written by an older layout
-    tile = tile_rows_for(metric, n_rows, n_cols, dim, budget)
+    tile = tile_rows_for(metric, n_rows, n_cols, dim, budget,
+                         itemsize=dtype.itemsize)
     tuning = KernelTuning(
         metric=metric.name,
         tile_rows=tile,
         tiles=int(np.ceil(n_rows / tile)),
         memory_budget_bytes=budget,
         accumulating=metric.accumulates_per_dimension,
+        dtype=str(dtype),
     )
     if use_profile:
         record_kernel_tuning(tuning, n_rows, n_cols, dim)

@@ -35,13 +35,31 @@ def check_in_range(value: float, name: str, low: float, high: float,
     return float(value)
 
 
-def check_points_array(points: np.ndarray, name: str = "points") -> np.ndarray:
+def as_float_array(values: np.ndarray, dtype: "np.dtype | str | None" = None) -> np.ndarray:
+    """Coerce *values* to a floating array, preserving the float32 fast path.
+
+    With ``dtype=None`` (the default), float32 inputs stay float32 and every
+    other dtype is coerced to float64 — exactly the historical behaviour for
+    non-float32 callers.  An explicit *dtype* forces that representation.
+    """
+    array = np.asarray(values)
+    if dtype is not None:
+        return np.asarray(array, dtype=np.dtype(dtype))
+    if array.dtype == np.float32:
+        return array
+    return np.asarray(array, dtype=np.float64)
+
+
+def check_points_array(points: np.ndarray, name: str = "points",
+                       dtype: "np.dtype | str | None" = None) -> np.ndarray:
     """Validate a 2-d float point array of shape ``(n, d)`` and return it.
 
     One-dimensional inputs are reshaped to a single column so scalar metric
-    spaces can be expressed as plain vectors.
+    spaces can be expressed as plain vectors.  ``float32`` inputs are kept in
+    float32 (the fast-path dtype); everything else is coerced to float64
+    unless an explicit *dtype* is requested.
     """
-    array = np.asarray(points, dtype=np.float64)
+    array = as_float_array(points, dtype=dtype)
     if array.ndim == 1:
         array = array.reshape(-1, 1)
     if array.ndim != 2:

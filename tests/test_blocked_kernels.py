@@ -189,3 +189,99 @@ class TestWorkspace:
         workspace.scratch("a", (4, 4))
         workspace.clear()
         assert workspace.nbytes() == 0
+
+
+class TestDtypeFastPath:
+    """float32 kernels agree with float64 within dtype-honest tolerances.
+
+    float32 carries ~7 significant digits, and the cosine metric's arccos
+    amplifies rounding near parallel vectors, so its envelope is looser
+    than the accumulating metrics'.  The solver-agreement test is
+    tie-aware: a float32 run may legitimately pick a different subset
+    when two candidates are closer than float32 resolution, but the
+    float64-evaluated objective of that pick must match the float64
+    run's optimum.
+    """
+
+    ATOL = {"cosine": 1e-3}
+
+    @pytest.mark.parametrize("metric_name", METRIC_NAMES)
+    def test_float32_cross_matches_float64(self, metric_name):
+        metric = get_metric(metric_name)
+        rng = np.random.default_rng(29)
+        left = _domain_points(metric_name, rng, 48, 9)
+        right = _domain_points(metric_name, rng, 31, 9)
+        exact = blocked_cross(metric, left, right)
+        fast = blocked_cross(metric, left.astype(np.float32),
+                             right.astype(np.float32))
+        assert fast.dtype == np.float32, metric_name
+        np.testing.assert_allclose(
+            fast, exact, rtol=1e-4, atol=self.ATOL.get(metric_name, 1e-5))
+
+    @pytest.mark.parametrize("metric_name", METRIC_NAMES)
+    def test_float32_pairwise_matches_float64(self, metric_name):
+        metric = get_metric(metric_name)
+        rng = np.random.default_rng(31)
+        points = _domain_points(metric_name, rng, 60, 7)
+        exact = blocked_pairwise(metric, points)
+        fast = blocked_pairwise(metric, points.astype(np.float32))
+        assert fast.dtype == np.float32
+        np.testing.assert_allclose(
+            fast, exact, rtol=1e-4, atol=self.ATOL.get(metric_name, 1e-5))
+        assert np.all(np.diag(fast) == 0.0)
+
+    @pytest.mark.parametrize("objective_name", [
+        "remote-edge", "remote-clique", "remote-cycle", "remote-star",
+        "remote-tree", "remote-bipartition"])
+    def test_float32_solver_selection_tie_aware(self, objective_name):
+        from repro.diversity.objectives import get_objective
+        from repro.diversity.sequential.registry import solve_on_matrix
+
+        objective = get_objective(objective_name)
+        metric = get_metric("euclidean")
+        rng = np.random.default_rng(37)
+        points = rng.normal(size=(80, 4))
+        exact = blocked_pairwise(metric, points)
+        fast = blocked_pairwise(metric, points.astype(np.float32))
+        k = 6
+        picked64 = solve_on_matrix(exact, k, objective)
+        picked32 = solve_on_matrix(fast, k, objective)
+        value64 = float(objective.value(exact[np.ix_(picked64, picked64)]))
+        if sorted(picked64) != sorted(picked32):
+            # Tie-explained: score the float32 pick on the float64 matrix.
+            revalued = float(objective.value(
+                exact[np.ix_(picked32, picked32)]))
+            assert revalued == pytest.approx(value64, rel=1e-4), (
+                objective_name, picked64, picked32)
+        value32 = float(objective.value(fast[np.ix_(picked32, picked32)]))
+        assert value32 == pytest.approx(value64, rel=1e-3)
+
+    def test_tile_rows_scale_with_itemsize(self):
+        """Half the itemsize -> ~double the tile rows from one budget."""
+        metric = get_metric("manhattan")
+        budget = 2**20
+        rows64 = tile_rows_for(metric, 100_000, 4096, 16, budget,
+                               itemsize=8)
+        rows32 = tile_rows_for(metric, 100_000, 4096, 16, budget,
+                               itemsize=4)
+        assert rows32 == 2 * rows64
+
+    def test_blocked_cross_budgets_by_output_itemsize(self):
+        """A float32 call sees wider tiles than float64 under one budget
+        (observable through the workspace's scratch sizes)."""
+        metric = get_metric("manhattan")
+        rng = np.random.default_rng(41)
+        left, right = rng.normal(size=(64, 12)), rng.normal(size=(40, 12))
+        ws64, ws32 = KernelWorkspace(), KernelWorkspace()
+        temporaries = 1 + metric.scratch_arrays
+        # 32 float64 rows of temporaries: above the MIN_TILE_ROWS clamp,
+        # so the float32 call genuinely gets a 2x-wider tile.
+        budget = temporaries * 40 * 8 * 32
+        blocked_cross(metric, left, right, memory_budget_bytes=budget,
+                      workspace=ws64)
+        blocked_cross(metric, left.astype(np.float32),
+                      right.astype(np.float32),
+                      memory_budget_bytes=budget, workspace=ws32)
+        # Same byte budget, half the itemsize: scratch covers 2x the rows
+        # but the same bytes.
+        assert ws32.nbytes() == ws64.nbytes()

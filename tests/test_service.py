@@ -284,14 +284,61 @@ class TestDiversityService:
         stats = service.stats()
         assert stats["schema_version"] == SCHEMA_VERSION
         assert set(stats) == {"schema_version", "counters", "caches",
-                              "matrices", "executors", "epochs"}
+                              "matrices", "executors", "epochs", "verify"}
         assert stats["counters"]["queries_answered"] == 1
         assert stats["counters"]["batches_answered"] == 1
         assert stats["epochs"]["index_built"] is True
+        assert stats["epochs"]["dtype"] == "float64"
+        assert set(stats["verify"]) == {
+            "enabled", "fraction", "rtol", "checks", "value_mismatches",
+            "index_mismatches", "ties"}
         assert stats["matrices"]["shared"] is None  # no process backend yet
         assert stats["executors"]["default"] == "serial"
         assert set(stats["caches"]["results"]) == {
             "hits", "misses", "evictions", "hit_rate", "entries", "capacity"}
+
+
+# -- float64 shadow verify ----------------------------------------------------
+
+class TestVerifyDtype:
+    def test_float32_solves_are_shadow_checked(self, index):
+        service = DiversityService(index.astype("float32"),
+                                   verify_dtype=True, verify_fraction=1.0)
+        for name in list_objectives():
+            service.query(name, 5)
+        verify = service.stats()["verify"]
+        assert verify["enabled"] and verify["checks"] == len(list_objectives())
+        assert verify["value_mismatches"] == 0
+        assert verify["index_mismatches"] == 0
+
+    def test_noop_on_float64_index(self, index):
+        service = DiversityService(index, verify_dtype=True,
+                                   verify_fraction=1.0)
+        service.query("remote-edge", 4)
+        assert service.stats()["verify"]["checks"] == 0
+
+    def test_fraction_samples_a_stride(self, index):
+        service = DiversityService(index.astype("float32"),
+                                   verify_dtype=True, verify_fraction=0.5)
+        workload = make_workload(8, 8, seed=3)
+        service.query_batch(workload)
+        checks = service.stats()["verify"]["checks"]
+        assert 0 < checks < len(workload)
+
+    def test_env_enables_verify(self, index, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_DTYPE", "1")
+        monkeypatch.setenv("REPRO_VERIFY_FRACTION", "1.0")
+        service = DiversityService(index.astype("float32"))
+        service.query("remote-clique", 4)
+        verify = service.stats()["verify"]
+        assert verify["enabled"] and verify["checks"] == 1
+
+    def test_cached_answers_are_not_reverified(self, index):
+        service = DiversityService(index.astype("float32"),
+                                   verify_dtype=True, verify_fraction=1.0)
+        service.query("remote-edge", 4)
+        service.query("remote-edge", 4)  # LRU hit — no fresh solve
+        assert service.stats()["verify"]["checks"] == 1
 
 
 # -- persistence --------------------------------------------------------------
@@ -352,6 +399,42 @@ class TestPersistence:
         (tmp_path / "idx.json").write_text(json.dumps(meta))
         with pytest.raises(ValidationError, match="format version"):
             load_index(path)
+
+    def test_float32_round_trip_bit_exact(self, index, tmp_path):
+        path = tmp_path / "idx32"
+        index32 = index.astype("float32")
+        save_index(index32, path)
+        meta = json.loads((tmp_path / "idx32.json").read_text())
+        assert meta["dtype"] == "float32"
+        loaded = load_index(path)
+        assert loaded.dtype == "float32"
+        for ours, theirs in zip(index32.all_rungs(), loaded.all_rungs()):
+            assert theirs.coreset.points.dtype == np.float32
+            assert ours.coreset.points.tobytes() == \
+                theirs.coreset.points.tobytes()
+
+    def test_pre_dtype_files_load_as_float64(self, index, tmp_path):
+        # A v2 sidecar written before the dtype field existed has no
+        # "dtype" key; its arrays are float64 and must load unchanged.
+        path = tmp_path / "idx"
+        save_index(index, path)
+        meta = json.loads((tmp_path / "idx.json").read_text())
+        del meta["dtype"]
+        (tmp_path / "idx.json").write_text(json.dumps(meta))
+        loaded = load_index(path)
+        assert loaded.dtype == "float64"
+        assert all(r.coreset.points.dtype == np.float64
+                   for r in loaded.all_rungs())
+
+    def test_cast_on_load(self, index, tmp_path):
+        path = tmp_path / "idx"
+        save_index(index, path)
+        fast = load_index(path, dtype="float32")
+        assert fast.dtype == "float32"
+        assert [r.key for r in fast.all_rungs()] == \
+            [r.key for r in index.all_rungs()]
+        # load_index(dtype=None) keeps the stored dtype untouched.
+        assert load_index(path).dtype == "float64"
 
 
 # -- LRU cache ----------------------------------------------------------------

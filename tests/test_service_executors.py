@@ -558,3 +558,74 @@ class TestEpsilonAwareReuse:
             loose = service.query("remote-edge", 4, epsilon=1.0)
             assert loose.cached and loose.value == tight.value
             assert service.stats()["counters"]["eps_hits"] == 1
+
+
+# -- float32 fast path over the shared plane ----------------------------------
+
+class TestDtypeProcessPlane:
+    """Process workers fill and solve float32 segments unchanged.
+
+    The dtype rides the rung core-set into
+    :meth:`SharedMatrixCache.lease`, so a float32 index's segments cost
+    half the bytes of a float64 index's under the same budget — and the
+    worker-side solve (attach, fill-once, solve_on_matrix) needs no
+    dtype plumbing at all.
+    """
+
+    def _workloads(self):
+        return [Query(name, k) for name in list_objectives() for k in (3, 5)]
+
+    def test_budgeted_float32_process_identity(self, index):
+        """Under one binding budget, the float32 process service answers
+        with float64-solver-confirmed selections and half the segment
+        residency of the float64 service."""
+        workload = self._workloads()
+        index32 = index.astype("float32")
+        residency = {}
+        answers = {}
+        # 2 MiB keeps the small rungs resident and evicts the big ones
+        # for float64; the float32 plane fits strictly more.
+        for label, idx in (("float64", index), ("float32", index32)):
+            with DiversityService(idx, executor="process",
+                                  executor_workers=2,
+                                  matrix_budget_mb=2) as service:
+                answers[label] = service.query_batch(workload)
+                shared = service.stats()["matrices"]["shared"]
+                assert shared["dtype"] == label
+                residency[label] = shared
+        for ours, reference in zip(answers["float32"], answers["float64"]):
+            assert ours.rung == reference.rung
+            assert ours.value == pytest.approx(reference.value, rel=1e-4)
+        # Identical budgets, half the itemsize: every segment the float32
+        # plane allocates is exactly half its float64 twin, so whatever
+        # subset stays resident costs at most ~half the bytes.
+        assert residency["float32"]["budget_bytes"] \
+            == residency["float64"]["budget_bytes"] == 2 * 2**20
+        assert residency["float32"]["resident_bytes"] <= \
+            0.55 * residency["float64"]["resident_bytes"] + 1024
+
+    def test_float32_segments_verified_in_process_mode(self, index):
+        """The float64 shadow verify hooks the process path too."""
+        index32 = index.astype("float32")
+        with DiversityService(index32, executor="process",
+                              executor_workers=2, verify_dtype=True,
+                              verify_fraction=1.0) as service:
+            service.query_batch(self._workloads())
+            verify = service.stats()["verify"]
+        assert verify["checks"] > 0
+        assert verify["value_mismatches"] == 0
+        assert verify["index_mismatches"] == 0
+
+    def test_float32_lease_halves_segment_bytes(self):
+        cache = SharedMatrixCache(0)
+        try:
+            lease64 = cache.lease("a", 64, dtype="float64")
+            bytes64 = lease64.ref.resolve().nbytes
+            lease32 = cache.lease("b", 64, dtype="float32")
+            bytes32 = lease32.ref.resolve().nbytes
+            assert bytes32 * 2 == bytes64
+            cache.release(lease64)
+            cache.release(lease32)
+        finally:
+            cache.close()
+        assert not cache.segment_names()

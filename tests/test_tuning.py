@@ -75,7 +75,7 @@ class TestTileProfile:
         path = tile_profile_path()
         assert path.exists()
         entries = load_tile_profile()
-        key = f"manhattan:4096x512x8:budget={2 * 2**20}"
+        key = f"manhattan:4096x512x8:budget={2 * 2**20}:dtype=float64"
         assert entries[key] == tuning.as_dict()
 
     def test_profile_entry_is_reused(self):
@@ -98,7 +98,7 @@ class TestTileProfile:
         entries = load_tile_profile()
         assert entries == {}  # nothing recorded either
         save_tile_profile({
-            f"euclidean:1000x1000x4:budget={2**20}":
+            f"euclidean:1000x1000x4:budget={2**20}:dtype=float64":
             {**baseline.as_dict(), "tile_rows": 99}})
         fresh = recommend_tile_rows("euclidean", 1000, 1000, 4,
                                     memory_budget_bytes=2**20,
@@ -130,11 +130,22 @@ class TestTileProfile:
         # Stale-version entries must not pin an outdated derivation.
         assert load_tile_profile() == {}
 
+    def test_dtype_is_a_distinct_key_with_wider_tiles(self):
+        narrow = recommend_tile_rows("manhattan", 100_000, 4096, 16,
+                                     memory_budget_bytes=2**20)
+        wide = recommend_tile_rows("manhattan", 100_000, 4096, 16,
+                                   memory_budget_bytes=2**20,
+                                   dtype="float32")
+        assert len(load_tile_profile()) == 2  # keyed per dtype
+        assert narrow.dtype == "float64" and wide.dtype == "float32"
+        # Same byte budget, half the itemsize: 2x the tile rows.
+        assert wide.tile_rows == 2 * narrow.tile_rows
+
     def test_stale_entry_layout_falls_back_to_derivation(self):
         derived = recommend_tile_rows("cosine", 800, 800, 6,
                                       memory_budget_bytes=2**20,
                                       use_profile=False)
-        save_tile_profile({f"cosine:800x800x6:budget={2**20}":
+        save_tile_profile({f"cosine:800x800x6:budget={2**20}:dtype=float64":
                            {"unexpected": "layout"}})
         tuning = recommend_tile_rows("cosine", 800, 800, 6,
                                      memory_budget_bytes=2**20)
@@ -218,6 +229,15 @@ class TestMatrixBudgetRecommendation:
         small = recommend_matrix_budget_mb([256, 256, 256], resident_rungs=1)
         large = recommend_matrix_budget_mb([256, 256, 256], resident_rungs=3)
         assert large > small
+
+    def test_float32_halves_the_budget(self):
+        # The same two largest rungs in float32: 4*(1024^2 + 512^2)
+        # bytes = 5 MiB — exactly half the float64 recommendation.
+        assert recommend_matrix_budget_mb([64, 512, 1024],
+                                          dtype="float32") == 5
+        assert recommend_matrix_budget_mb([64, 512, 1024],
+                                          dtype="float64") == \
+            recommend_matrix_budget_mb([64, 512, 1024])
 
     def test_minimum_is_one_mib(self):
         assert recommend_matrix_budget_mb([4]) == 1
