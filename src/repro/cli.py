@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro ...``.
 
-Eight subcommands cover the common workflows without writing any code:
+Nine subcommands cover the common workflows without writing any code:
 
 * ``generate`` — synthesize a dataset (sphere-shell, cube, clusters,
   bag-of-words) and save it via :mod:`repro.datasets.loaders`;
@@ -15,10 +15,14 @@ Eight subcommands cover the common workflows without writing any code:
   never touching the original dataset;
 * ``refresh`` — absorb new data into a saved index incrementally (batched
   SMM per rung + composable re-merge), no MapReduce rebuild;
-* ``serve`` — run the long-lived serving daemon over a saved index:
-  newline-delimited JSON over TCP plus an HTTP/1.1 adapter on one port,
-  with micro-batching, bounded admission queues and graceful SIGTERM
-  drain (see ``docs/serving.md``);
+* ``registry`` — manage a multi-tenant registry directory
+  (``add`` / ``remove`` / ``list``): a ``registry.json`` manifest naming
+  the persisted indexes that ``serve --registry`` loads as tenants;
+* ``serve`` — run the long-lived serving daemon over a saved index
+  (``--index``) or a whole registry of them (``--registry``, with
+  ``--max-resident`` hot/cold tiering): newline-delimited JSON over TCP
+  plus an HTTP/1.1 adapter on one port, with micro-batching, bounded
+  admission queues and graceful SIGTERM drain (see ``docs/serving.md``);
 * ``serve-bench`` — measure queries/sec and per-query latency
   percentiles: rebuild-per-query vs the warm service path vs the
   LRU-cached path, optionally with a concurrent worker sweep
@@ -42,7 +46,9 @@ Examples
     python -m repro index --data /tmp/data --k-max 32 --out /tmp/idx
     python -m repro query --index /tmp/idx --objective remote-clique --k 8
     python -m repro refresh --index /tmp/idx --data /tmp/more_data
+    python -m repro registry add --dir /tmp/fleet --id eu --index /tmp/idx
     python -m repro serve --index /tmp/idx --port 7077
+    python -m repro serve --registry /tmp/fleet --max-resident 2
     python -m repro serve-bench --data /tmp/data --k-max 16 --queries 24 \
         --threads 4 --serve-qps 100
 """
@@ -214,11 +220,54 @@ def build_parser() -> argparse.ArgumentParser:
                           "sketches; when omitted, auto-tuned from the "
                           "recorded benchmark trajectory")
 
+    reg = sub.add_parser(
+        "registry",
+        help="manage a multi-tenant registry directory for 'serve'")
+    regsub = reg.add_subparsers(dest="registry_command", required=True)
+    radd = regsub.add_parser(
+        "add", help="register one dataset (tenant) into a registry")
+    radd.add_argument("--dir", required=True,
+                      help="registry directory (created with its "
+                           "registry.json manifest if missing)")
+    radd.add_argument("--id", required=True, dest="dataset_id",
+                      help="dataset_id clients route queries with")
+    radd.add_argument("--index", default=None,
+                      help="existing index path written by 'index' "
+                           "(copied into the registry directory)")
+    radd.add_argument("--data", default=None,
+                      help="dataset path saved by 'generate' — builds "
+                           "the tenant's index now (needs --k-max)")
+    radd.add_argument("--k-max", type=int, default=None,
+                      help="largest query k (required with --data)")
+    radd.add_argument("--dtype", choices=("float64", "float32"),
+                      default=None,
+                      help="serving dtype for this tenant (default: "
+                           "the index's stored dtype)")
+    radd.add_argument("--parallelism", type=int, default=4)
+    radd.add_argument("--seed", type=int, default=0)
+    rrm = regsub.add_parser(
+        "remove", help="deregister a tenant (index files are kept)")
+    rrm.add_argument("--dir", required=True, help="registry directory")
+    rrm.add_argument("--id", required=True, dest="dataset_id")
+    rls = regsub.add_parser(
+        "list", help="list the tenants a registry directory serves")
+    rls.add_argument("--dir", required=True, help="registry directory")
+
     dmn = sub.add_parser(
         "serve",
         help="serve diversity queries from a saved index over TCP/HTTP")
-    dmn.add_argument("--index", required=True,
-                     help="index path written by 'index'")
+    dmn_source = dmn.add_mutually_exclusive_group(required=True)
+    dmn_source.add_argument("--index",
+                            help="index path written by 'index'")
+    dmn_source.add_argument("--registry", metavar="DIR",
+                            help="serve every tenant of a registry "
+                                 "directory (see 'repro registry'); "
+                                 "queries route by their 'dataset' field")
+    dmn.add_argument("--max-resident", type=int, default=None,
+                     help="registry mode: how many tenants may stay hot "
+                          "at once; the LRU rest are evicted to disk "
+                          "and faulted back on demand (default: "
+                          "$REPRO_MAX_RESIDENT, else unlimited)")
     dmn.add_argument("--host", default="127.0.0.1")
     dmn.add_argument("--port", type=int, default=0,
                      help="TCP port (0: pick an ephemeral port and "
@@ -467,15 +516,76 @@ def _refresh(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.registry import MANIFEST_NAME, IndexRegistry
+
+    directory = Path(args.dir)
+    has_manifest = (directory / MANIFEST_NAME).exists()
+    if args.registry_command == "add":
+        if (args.index is None) == (args.data is None):
+            print("registry add needs exactly one of --index or --data",
+                  file=sys.stderr)
+            return 2
+        registry = (IndexRegistry.from_directory(directory) if has_manifest
+                    else IndexRegistry(spill_dir=directory))
+        with registry:
+            if args.index is not None:
+                registry.register(args.dataset_id, path=args.index,
+                                  dtype=args.dtype)
+            else:
+                if args.k_max is None:
+                    print("registry add --data needs --k-max",
+                          file=sys.stderr)
+                    return 2
+                index = build_coreset_index(
+                    load_points(args.data), args.k_max,
+                    parallelism=args.parallelism, seed=args.seed,
+                    dtype=args.dtype or "float64")
+                registry.register(args.dataset_id, index)
+            manifest = registry.save_manifest(directory)
+            count = len(registry.list())
+        print(f"registered {args.dataset_id!r}; {manifest} now lists "
+              f"{count} tenant{'s' if count != 1 else ''}")
+        return 0
+    registry = IndexRegistry.from_directory(directory)
+    with registry:
+        if args.registry_command == "remove":
+            registry.detach(args.dataset_id)
+            registry.save_manifest(directory)
+            count = len(registry.list())
+            print(f"removed {args.dataset_id!r} (index files kept); "
+                  f"{count} tenant{'s remain' if count != 1 else ' remains'}")
+            return 0
+        per_tenant = registry.stats()["tenants"]["per_tenant"]
+    for dataset_id, block in per_tenant.items():
+        dtype = block["dtype"] or "stored"
+        print(f"{dataset_id:24s} epoch {block['epoch']}  dtype {dtype}")
+    print(f"{len(per_tenant)} tenant{'s' if len(per_tenant) != 1 else ''} "
+          f"in {directory}")
+    return 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.service.registry import IndexRegistry
     from repro.service.server import DiversityServer, ServerConfig
 
-    service = DiversityService(
-        load_index(args.index, dtype=args.dtype),
-        matrix_budget_mb=args.matrix_budget_mb,
-        executor=args.executor)
+    if args.registry is not None:
+        service: "DiversityService | IndexRegistry" = \
+            IndexRegistry.from_directory(
+                args.registry, max_resident=args.max_resident,
+                matrix_budget_mb=args.matrix_budget_mb,
+                executor=args.executor)
+        source = f"{args.registry} ({len(service.list())} tenants)"
+    else:
+        service = DiversityService(
+            load_index(args.index, dtype=args.dtype),
+            matrix_budget_mb=args.matrix_budget_mb,
+            executor=args.executor)
+        source = args.index
     server = DiversityServer(service, ServerConfig(
         host=args.host, port=args.port,
         batch_window_ms=args.batch_window_ms,
@@ -487,7 +597,7 @@ def _serve(args: argparse.Namespace) -> int:
         daemon = asyncio.ensure_future(server.run_until_shutdown(ready=ready))
         await ready.wait()
         host, port = server.address
-        print(f"serving {args.index} on {host}:{port} "
+        print(f"serving {source} on {host}:{port} "
               f"(NDJSON + HTTP; batch window {args.batch_window_ms}ms, "
               f"queue {args.max_queue}; SIGTERM drains)", flush=True)
         await daemon
@@ -592,6 +702,7 @@ _COMMANDS = {
     "index": _index,
     "query": _query,
     "refresh": _refresh,
+    "registry": _registry,
     "serve": _serve,
     "serve-bench": _serve_bench,
 }
@@ -640,6 +751,18 @@ def render_cli_reference() -> str:
                 subparser.format_help().rstrip(),
                 "```",
             ]
+            if subparser._subparsers is None:  # noqa: SLF001
+                continue
+            nested = subparser._subparsers._group_actions[0].choices  # noqa: SLF001
+            for verb, nested_parser in nested.items():
+                sections += [
+                    "",
+                    f"## repro {name} {verb}",
+                    "",
+                    "```text",
+                    nested_parser.format_help().rstrip(),
+                    "```",
+                ]
         return "\n".join(sections) + "\n"
     finally:
         if columns_before is None:

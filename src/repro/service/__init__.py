@@ -16,6 +16,7 @@ for the layer diagram.
 from repro.service.cache import CacheStats, LRUCache, StripedLRUCache
 from repro.service.executors import (
     EXECUTOR_NAMES,
+    ExecutorPool,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -44,6 +45,12 @@ from repro.service.protocol import (
     decode_response,
     encode_request,
 )
+from repro.service.registry import (
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_NAME,
+    IndexRegistry,
+    UnknownDatasetError,
+)
 from repro.service.server import DiversityServer, ServerConfig, ServerStats
 from repro.service.service import (
     SCHEMA_VERSION,
@@ -70,6 +77,7 @@ __all__ = [
     "LRUCache",
     "StripedLRUCache",
     "EXECUTOR_NAMES",
+    "ExecutorPool",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
@@ -87,6 +95,10 @@ __all__ = [
     "INDEX_FORMAT_VERSION",
     "load_index",
     "save_index",
+    "MANIFEST_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "IndexRegistry",
+    "UnknownDatasetError",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "Request",

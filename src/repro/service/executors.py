@@ -21,11 +21,15 @@ never build core-sets, and per-rung matrices are computed exactly once:
   index-based answers — point rows never cross the IPC pipe in either
   direction.
 
-Epoch semantics: the process executor keeps one :class:`_EpochPlane` per
-index epoch.  A refresh retires superseded planes, but a batch in flight
-holds a pin on its plane, so its workers finish against the old epoch's
-segments while new queries route to the new epoch's plane; the retired
-plane's segments are unlinked when the last pin releases.
+Epoch semantics: the process executor keeps one :class:`_EpochPlane` of
+published core-sets per ``(dataset, epoch)`` and **one**
+:class:`~repro.service.matrices.SharedMatrixCache` across all of them,
+keyed ``(dataset_id, epoch, rung)`` — the single budget every tenant of
+an :class:`ExecutorPool`-backed registry competes under.  A refresh
+retires the dataset's superseded planes and purges its superseded matrix
+keys, but a batch in flight holds pins, so its workers finish against
+the old epoch's segments while new queries route to the new epoch; the
+retired segments are unlinked when the last pin releases.
 :meth:`ProcessExecutor.close` (with GC finalizers on every segment as
 backstop) leaves zero ``/dev/shm`` entries behind.
 
@@ -161,23 +165,27 @@ class ThreadExecutor:
 
 
 class _EpochPlane:
-    """One epoch's shared-memory serving state: core-sets plus matrices.
+    """One ``(dataset, epoch)``'s published core-set segments.
 
-    Created lazily on the first process batch of an epoch; rung core-sets
-    publish once on demand and matrices are leased from the epoch's
-    :class:`~repro.service.matrices.SharedMatrixCache`.  Batches pin the
-    plane for their duration (:meth:`acquire` / :meth:`release`); a
-    :meth:`retire` from a newer epoch defers the actual unlink until the
-    last pin drains, which is how an in-flight worker finishes on the old
-    epoch's segments while new queries route to the new epoch.
+    Created lazily on the first process batch of a dataset's epoch; rung
+    core-sets publish once on demand.  Matrix segments live in the
+    executor's single :class:`~repro.service.matrices.SharedMatrixCache`
+    (keyed by ``(dataset_id, epoch, rung)``), not here — one budget
+    governs every tenant's matrices.  Batches pin the plane for their
+    duration (:meth:`acquire` / :meth:`release`); a :meth:`retire` from a
+    newer epoch defers the actual unlink until the last pin drains, which
+    is how an in-flight worker finishes on the old epoch's segments while
+    new queries route to the new epoch.  *transient* marks the private,
+    self-retiring planes handed to stale-epoch straggler batches — their
+    matrix leases bypass residency so a dead epoch can never re-enter
+    the shared cache.
     """
 
-    def __init__(self, epoch: int, budget_bytes: int | None,
-                 previous_matrices: SharedMatrixCache | None = None):
+    def __init__(self, dataset_id: str, epoch: int, *,
+                 transient: bool = False):
+        self.dataset_id = dataset_id
         self.epoch = epoch
-        self.matrices = (previous_matrices.successor()
-                         if previous_matrices is not None
-                         else SharedMatrixCache(budget_bytes))
+        self.transient = transient
         self._coresets: dict[tuple, shm.SharedNDArray] = {}
         self._lock = threading.Lock()
         self._pins = 0
@@ -228,7 +236,6 @@ class _EpochPlane:
             self._coresets.clear()
         for owner in owners:
             owner.close()
-        self.matrices.close()
 
     @property
     def segment_names(self) -> list[str]:
@@ -272,16 +279,17 @@ class ProcessExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
         self._pool_finalizer: weakref.finalize | None = None
-        self._planes: dict[int, _EpochPlane] = {}
-        #: Matrix cache of the most recently retired plane: the next
-        #: epoch's plane continues its lifetime stats (successor
-        #: semantics, matching the in-process MatrixCache across
-        #: refreshes).
-        self._retired_matrices: SharedMatrixCache | None = None
-        #: Highest epoch this executor has seen (batches or refresh
+        #: One matrix cache across every dataset and epoch, keyed
+        #: ``(dataset_id, epoch, rung)``: the single budget all tenants
+        #: of a registry compete under, with lifetime stats that survive
+        #: refreshes (a refresh purges the superseded keys, it does not
+        #: swap the cache).
+        self._matrices = SharedMatrixCache(matrix_budget_bytes)
+        self._planes: dict[tuple[str, int], _EpochPlane] = {}
+        #: Highest epoch seen per dataset (batches or refresh
         #: notifications); batches snapshotted below it get a transient,
         #: self-retiring plane instead of resurrecting a dead epoch.
-        self._ceiling_epoch = -1
+        self._ceiling: dict[str, int] = {}
         self._lock = threading.Lock()
         self.closed = False
 
@@ -331,44 +339,62 @@ class ProcessExecutor:
             future.result()
 
     # -- plane lifecycle ---------------------------------------------------------
-    def _plane_for(self, epoch: int) -> _EpochPlane:
+    def _plane_for(self, epoch: int, dataset_id: str = "") -> _EpochPlane:
+        key = (dataset_id, epoch)
         with self._lock:
-            if epoch < self._ceiling_epoch and epoch not in self._planes:
+            ceiling = self._ceiling.get(dataset_id, -1)
+            if epoch < ceiling and key not in self._planes:
                 # A batch that snapshotted an epoch already superseded by
                 # a refresh (and whose plane has been retired): give it a
                 # private plane that is never registered — it drains with
                 # the batch instead of resurrecting a dead epoch's
                 # segments.
-                plane = _EpochPlane(epoch, self._budget, None)
+                plane = _EpochPlane(dataset_id, epoch, transient=True)
                 plane.acquire()
                 plane.retire()  # pinned, so this defers close to release
                 return plane
-            self._ceiling_epoch = max(self._ceiling_epoch, epoch)
-            plane = self._planes.get(epoch)
+            self._ceiling[dataset_id] = max(ceiling, epoch)
+            plane = self._planes.get(key)
             if plane is None:
-                previous = (self._planes[max(self._planes)].matrices
-                            if self._planes else self._retired_matrices)
-                plane = _EpochPlane(epoch, self._budget, previous)
-                self._planes[epoch] = plane
-            stale = [self._planes.pop(e) for e in list(self._planes)
-                     if e < epoch]
-            if stale:
-                self._retired_matrices = stale[-1].matrices
+                plane = _EpochPlane(dataset_id, epoch)
+                self._planes[key] = plane
+            stale = [self._planes.pop(k) for k in list(self._planes)
+                     if k[0] == dataset_id and k[1] < epoch]
             plane.acquire()
         for old in stale:
             old.retire()
         return plane
 
-    def on_epoch(self, epoch: int) -> None:
-        """Retire planes superseded by *epoch* (refresh notification)."""
+    def on_epoch(self, epoch: int, dataset_id: str = "") -> None:
+        """Retire the dataset's planes and matrices superseded by *epoch*."""
         with self._lock:
-            self._ceiling_epoch = max(self._ceiling_epoch, epoch)
-            stale = [self._planes.pop(e) for e in list(self._planes)
-                     if e < epoch]
-            if stale:
-                self._retired_matrices = stale[-1].matrices
+            self._ceiling[dataset_id] = max(
+                self._ceiling.get(dataset_id, -1), epoch)
+            stale = [self._planes.pop(k) for k in list(self._planes)
+                     if k[0] == dataset_id and k[1] < epoch]
         for old in stale:
             old.retire()
+        # Superseded matrix segments unlink now (or, if an in-flight
+        # batch still pins them, when its last lease releases).
+        self._matrices.purge(dataset_id, before_epoch=epoch)
+
+    def drop_dataset(self, dataset_id: str) -> None:
+        """Drop one dataset's entire namespace: planes, matrices, ceiling.
+
+        The eviction/detach hook of the multi-tenant registry — after
+        this returns (and in-flight pins drain), the dataset holds no
+        shared-memory segments, which is the memory an eviction must
+        give back.  The dataset can come back later: its ceiling is
+        forgotten, so a faulted-in tenant restarts cleanly at its
+        current epoch.
+        """
+        with self._lock:
+            stale = [self._planes.pop(k) for k in list(self._planes)
+                     if k[0] == dataset_id]
+            self._ceiling.pop(dataset_id, None)
+        for old in stale:
+            old.retire()
+        self._matrices.purge(dataset_id)
 
     # -- execution ---------------------------------------------------------------
     def run(self, service: "DiversityService", snapshot,
@@ -385,7 +411,12 @@ class ProcessExecutor:
         from repro.service.service import QueryResult  # lazy: avoids a cycle
 
         _, epoch, cache, _ = snapshot
-        plane = self._plane_for(epoch)
+        dataset_id = getattr(service, "dataset_id", "")
+        plane = self._plane_for(epoch, dataset_id)
+        # Pin the cache object for the whole batch: leases taken here are
+        # released on the same object even if close() swaps in a fresh one
+        # concurrently.
+        matrices = self._matrices
         leases: dict[tuple, tuple[shm.SharedArrayRef, MatrixLease]] = {}
         try:
             results, groups = service._probe_batch(snapshot, normalized,
@@ -396,9 +427,10 @@ class ProcessExecutor:
                 pair = leases.get(rung.key)
                 if pair is None:
                     coreset_ref = plane.coreset_ref(rung)
-                    lease = plane.matrices.lease((epoch,) + rung.key,
-                                                 len(rung.coreset),
-                                                 dtype=rung.coreset.points.dtype)
+                    lease = matrices.lease(
+                        (dataset_id, epoch) + rung.key, len(rung.coreset),
+                        dtype=rung.coreset.points.dtype,
+                        transient=plane.transient)
                     pair = (coreset_ref, lease)
                     leases[rung.key] = pair
                 coreset_ref, lease = pair
@@ -410,7 +442,7 @@ class ProcessExecutor:
             for cache_key, (rung, members) in groups.items():
                 indices, value, seconds, computed = futures[cache_key].result()
                 if computed:
-                    plane.matrices.note_computed((epoch,) + rung.key)
+                    matrices.note_computed((dataset_id, epoch) + rung.key)
                 first_query = members[0][1]
                 result = QueryResult(
                     objective=first_query.objective, k=first_query.k,
@@ -424,7 +456,7 @@ class ProcessExecutor:
             return results
         finally:
             for _, lease in leases.values():
-                plane.matrices.release(lease)
+                matrices.release(lease)
             plane.release()
 
     # -- observability / shutdown ------------------------------------------------
@@ -436,49 +468,50 @@ class ProcessExecutor:
         """
         with self._lock:
             planes = list(self._planes.values())
+            matrices = self._matrices
         names: list[str] = []
         for plane in planes:
             names.extend(plane.segment_names)
-            names.extend(plane.matrices.segment_names())
+        names.extend(matrices.segment_names())
         return names
 
     def stats(self) -> dict:
-        """The newest plane's shared-matrix block plus plane bookkeeping.
+        """The shared matrix cache's block plus plane bookkeeping.
 
-        Between a refresh (which retires every plane) and the next
-        process batch, the block falls back to the retired plane's cache
-        so lifetime counters never appear to reset; before any batch has
-        run it reports an empty cache at the configured budget.
+        One cache spans every dataset and epoch, so lifetime counters
+        survive refreshes by construction; before any batch has run it
+        reports an empty cache at the configured budget.  ``epoch`` is
+        the newest epoch with a live plane (across datasets).
         """
         with self._lock:
-            planes = dict(self._planes)
-            retired = self._retired_matrices
-        newest = planes.get(max(planes)) if planes else None
-        if newest is not None:
-            payload = newest.matrices.describe()
-        elif retired is not None:
-            payload = retired.describe()
-        else:
-            payload = SharedMatrixCache(self._budget).describe()
-        payload["planes"] = len(planes)
-        payload["epoch"] = newest.epoch if newest is not None else None
+            plane_keys = list(self._planes)
+            matrices = self._matrices
+        payload = matrices.describe()
+        payload["planes"] = len(plane_keys)
+        payload["epoch"] = max((k[1] for k in plane_keys), default=None)
         return payload
 
     def close(self) -> None:
-        """Shut down the pool and unlink every plane segment (idempotent).
+        """Shut down the pool and unlink every shared segment (idempotent).
 
-        Planes are *retired*, not force-closed: a batch concurrently in
-        flight keeps its pins and drains on its own plane (segments
-        unlink on its last release); with no batch in flight — the usual
-        case — retirement unlinks immediately, so a quiesced service
-        leaves zero segments behind the moment this returns.
+        Core-set planes are *retired*, not force-closed: a batch
+        concurrently in flight keeps its pins and drains on its own plane
+        (segments unlink on its last release); with no batch in flight —
+        the usual case — retirement unlinks immediately.  The shared
+        matrix cache is closed outright and replaced with a fresh one, so
+        a quiesced service leaves zero segments behind the moment this
+        returns and the executor stays reusable.
         """
         with self._lock:
             self._drop_pool()
-            planes = [self._planes.pop(e) for e in list(self._planes)]
+            planes = [self._planes.pop(k) for k in list(self._planes)]
+            self._ceiling.clear()
+            matrices = self._matrices
+            self._matrices = SharedMatrixCache(self._budget)
             self.closed = True
         for plane in planes:
             plane.retire()
+        matrices.close()
 
 
 def create_executor(name: str, *,
@@ -498,3 +531,89 @@ def create_executor(name: str, *,
         return ProcessExecutor(matrix_budget_bytes=matrix_budget_bytes)
     raise ValidationError(
         f"unknown executor {name!r}; known: {', '.join(EXECUTOR_NAMES)}")
+
+
+class ExecutorPool:
+    """One set of execution backends shared by every tenant of a registry.
+
+    A standalone :class:`~repro.service.service.DiversityService` creates
+    its own backends; in registry mode every tenant's service receives
+    this pool instead, so all tenants ride **one** process fleet and one
+    shared-memory matrix plane (the :class:`ProcessExecutor`'s single
+    :class:`~repro.service.matrices.SharedMatrixCache`, with keys
+    namespaced by ``(dataset_id, epoch, rung)``).
+
+    Parameters
+    ----------
+    matrix_budget_bytes:
+        Budget convention of :class:`~repro.service.matrices.MatrixCache`
+        (``None`` environment, ``0`` unbudgeted, else bytes) applied to
+        the pooled process executor's shared segments — the registry's
+        single global budget.
+
+    Thread safety: fully safe; backends are created lazily under a lock
+    and are themselves thread-safe.
+    """
+
+    def __init__(self, matrix_budget_bytes: int | None = None):
+        self._budget = matrix_budget_bytes
+        self._backends: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str):
+        """The pooled backend called *name*, creating it lazily."""
+        if name not in EXECUTOR_NAMES:
+            raise ValidationError(
+                f"unknown executor {name!r}; "
+                f"known: {', '.join(EXECUTOR_NAMES)}")
+        with self._lock:
+            backend = self._backends.get(name)
+            if backend is None or getattr(backend, "closed", False):
+                backend = create_executor(
+                    name, matrix_budget_bytes=self._budget)
+                self._backends[name] = backend
+            return backend
+
+    def peek(self, name: str):
+        """The pooled backend called *name*, or ``None`` if never created."""
+        with self._lock:
+            return self._backends.get(name)
+
+    def backends(self) -> list:
+        """Every backend instantiated so far."""
+        with self._lock:
+            return list(self._backends.values())
+
+    def active(self) -> list[str]:
+        """Names of the backends instantiated so far (sorted)."""
+        with self._lock:
+            return sorted(self._backends)
+
+    def drop_dataset(self, dataset_id: str) -> None:
+        """Drop one dataset's namespace from every pooled backend."""
+        for backend in self.backends():
+            drop = getattr(backend, "drop_dataset", None)
+            if drop is not None:
+                drop(dataset_id)
+
+    def segment_names(self) -> list[str]:
+        """Every shared segment currently published by pooled backends."""
+        names: list[str] = []
+        for backend in self.backends():
+            segment_names = getattr(backend, "segment_names", None)
+            if segment_names is not None:
+                names.extend(segment_names())
+        return names
+
+    def stats(self) -> dict | None:
+        """The pooled process backend's stats block, or ``None``."""
+        backend = self.peek("process")
+        return backend.stats() if backend is not None else None
+
+    def close(self) -> None:
+        """Shut down every pooled backend; zero segments remain after."""
+        with self._lock:
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            backend.close()

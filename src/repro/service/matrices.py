@@ -245,6 +245,40 @@ class MatrixCache:
             self._oversize.clear()
             self._generation += 1
 
+    def purge(self, dataset_id: str, *,
+              before_epoch: int | None = None) -> int:
+        """Drop one dataset namespace's matrices; returns the count dropped.
+
+        Multi-tenant convention: namespaced keys are tuples opening with
+        ``(dataset_id, epoch, ...)`` (see
+        :meth:`DiversityService._matrix_for
+        <repro.service.service.DiversityService._matrix_for>`).  A
+        registry sharing one cache across tenants purges a tenant's
+        entries on refresh (*before_epoch* drops only superseded epochs)
+        and on eviction/detach (``before_epoch=None`` drops the whole
+        namespace) instead of swapping in a successor, which would throw
+        away every *other* tenant's resident matrices.  Purging bumps
+        the key generation, so in-flight computes still hand their
+        matrix to their caller but no longer park it.
+        """
+        def doomed(key: Hashable) -> bool:
+            if not (isinstance(key, tuple) and len(key) >= 2
+                    and key[0] == dataset_id):
+                return False
+            return before_epoch is None or key[1] < before_epoch
+
+        with self._lock:
+            victims = [key for key in self._entries if doomed(key)]
+            for key in victims:
+                self._bytes -= self._entries.pop(key).nbytes
+            for table in (self._key_locks, self._oversize):
+                for key in [key for key in table if doomed(key)]:
+                    del table[key]
+            self._ever_cached -= {key for key in self._ever_cached
+                                  if doomed(key)}
+            self._generation += 1
+            return len(victims)
+
     def successor(self) -> "MatrixCache":
         """A fresh cache for a new key epoch, inheriting budget and stats.
 
@@ -348,6 +382,10 @@ class SharedMatrixCache:
         self._budget = _resolve_budget(budget_bytes)
         self._entries: "OrderedDict[Hashable, _SharedSlot]" = OrderedDict()
         self._oversize: dict[Hashable, _SharedSlot] = {}
+        #: Purged while pinned: no longer servable (their key namespace is
+        #: dead) but kept linked until the in-flight batch holding the
+        #: pin releases; close() unlinks them as backstop.
+        self._doomed: list[_SharedSlot] = []
         self._bytes = 0
         self._ever_cached: set[Hashable] = set()
         self._lock = threading.Lock()
@@ -372,7 +410,8 @@ class SharedMatrixCache:
             return len(self._entries)
 
     def lease(self, key: Hashable, n_points: int,
-              dtype: str | np.dtype = np.float64) -> MatrixLease:
+              dtype: str | np.dtype = np.float64, *,
+              transient: bool = False) -> MatrixLease:
         """Pin (allocating if needed) the segment for *key*'s matrix.
 
         A hit pins and returns the existing segment; a miss allocates a
@@ -381,6 +420,12 @@ class SharedMatrixCache:
         segments cost half the budget of float64), charges the budget
         and evicts unpinned LRU entries that no longer fit.  The caller
         must :meth:`release` the lease when its dispatch completes.
+
+        *transient* leases never become resident: a freshly allocated
+        segment takes the oversize path (shared by concurrent leases of
+        the same key, unlinked on the last release) regardless of size.
+        Stale-epoch straggler batches use this so a superseded key can
+        never re-enter the resident set.
         """
         n_points = check_positive_int(n_points, "n_points")
         dtype = np.dtype(dtype)
@@ -403,10 +448,12 @@ class SharedMatrixCache:
             slot = _SharedSlot(key=key, owner=owner, pins=1,
                                is_recompute=key in self._ever_cached)
             self._ever_cached.add(key)
-            if self._budget is not None and owner.nbytes > self._budget:
-                # Oversized for the whole budget: shared by concurrent
-                # leases, unlinked when the last one releases — the
-                # segment is never retained across batches.
+            if transient or (self._budget is not None
+                             and owner.nbytes > self._budget):
+                # Oversized for the whole budget (or a stale-epoch
+                # straggler): shared by concurrent leases, unlinked when
+                # the last one releases — the segment is never retained
+                # across batches.
                 self._oversize[key] = slot
             else:
                 slot.resident = True
@@ -422,12 +469,59 @@ class SharedMatrixCache:
             slot.pins = max(slot.pins - 1, 0)
             if slot.pins == 0:
                 if not slot.resident:
-                    # Oversize or superseded: this was the last holder.
-                    self._oversize.pop(slot.key, None)
+                    # Oversize, purged or superseded: this was the last
+                    # holder.  Identity-guard the table pops — a fresh
+                    # slot may have taken this key after a purge.
+                    if self._oversize.get(slot.key) is slot:
+                        del self._oversize[slot.key]
+                    if slot in self._doomed:
+                        self._doomed.remove(slot)
                     slot.defunct = True
                     slot.owner.close()
                 else:
                     self._shrink()
+
+    def purge(self, dataset_id: str, *,
+              before_epoch: int | None = None) -> int:
+        """Unlink one dataset namespace's segments; returns the count.
+
+        The shared-plane counterpart of :meth:`MatrixCache.purge` for
+        keys opening with ``(dataset_id, epoch, ...)``: a tenant refresh
+        purges its superseded epochs (*before_epoch*), an eviction or
+        detach purges the whole namespace.  Pin-safe — a purged segment
+        still pinned by an in-flight batch stays linked (and attachable
+        by its shipped descriptor) until the last pin releases; it can
+        no longer be leased by key.
+        """
+        def doomed(key: Hashable) -> bool:
+            if not (isinstance(key, tuple) and len(key) >= 2
+                    and key[0] == dataset_id):
+                return False
+            return before_epoch is None or key[1] < before_epoch
+
+        with self._lock:
+            count = 0
+            for key in [key for key in self._entries if doomed(key)]:
+                slot = self._entries.pop(key)
+                slot.resident = False
+                self._bytes -= slot.owner.nbytes
+                count += 1
+                if slot.pins == 0:
+                    slot.defunct = True
+                    slot.owner.close()
+                else:
+                    self._doomed.append(slot)
+            for key in [key for key in self._oversize if doomed(key)]:
+                slot = self._oversize.pop(key)
+                count += 1
+                if slot.pins == 0:
+                    slot.defunct = True
+                    slot.owner.close()
+                else:
+                    self._doomed.append(slot)
+            self._ever_cached -= {key for key in self._ever_cached
+                                  if doomed(key)}
+            return count
 
     def note_computed(self, key: Hashable) -> None:
         """Fold a worker's "I filled this segment" report into the stats."""
@@ -485,11 +579,12 @@ class SharedMatrixCache:
                 slot.resident = False
                 slot.defunct = True
                 slot.owner.close()
-            for slot in list(self._oversize.values()):
+            for slot in list(self._oversize.values()) + self._doomed:
                 slot.defunct = True
                 slot.owner.close()
             self._entries.clear()
             self._oversize.clear()
+            self._doomed.clear()
             self._bytes = 0
 
     def segment_names(self) -> list[str]:
@@ -497,7 +592,8 @@ class SharedMatrixCache:
         with self._lock:
             return ([slot.owner.ref.name for slot in self._entries.values()]
                     + [slot.owner.ref.name
-                       for slot in self._oversize.values()])
+                       for slot in self._oversize.values()]
+                    + [slot.owner.ref.name for slot in self._doomed])
 
     def describe(self) -> dict:
         """JSON-ready snapshot: stats plus dtype, residency, pins, budget."""

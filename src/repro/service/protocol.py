@@ -39,6 +39,16 @@ Request kinds
     ``{"kind": "refresh", "data": "/path/saved/by/generate"}`` — loads
     the dataset server-side and absorbs it in the background; the
     response arrives when the epoch swap has happened.
+``tenants``
+    The multi-tenant registry's ``tenants`` stats section (per-tenant
+    residency, hits, faults, evictions); also served as
+    ``GET /tenants``.
+
+Multi-tenant routing: on a daemon serving an
+:class:`~repro.service.registry.IndexRegistry`, ``query`` and
+``refresh`` envelopes carry an optional ``"dataset"`` field naming the
+tenant (defaulting to the registry's sole tenant when it has exactly
+one); an unknown name is rejected with ``unknown_dataset`` (HTTP 404).
 
 Error responses are ``{"v": 1, "id": ..., "ok": false, "error": {"code":
 ..., "message": ...}}``; an ``overloaded`` rejection adds
@@ -59,7 +69,7 @@ from repro.service.service import Query, QueryResult, SCHEMA_VERSION
 PROTOCOL_VERSION = 1
 
 #: Request kinds the server understands.
-REQUEST_KINDS = ("query", "stats", "healthz", "refresh")
+REQUEST_KINDS = ("query", "stats", "healthz", "refresh", "tenants")
 
 # -- error codes ---------------------------------------------------------------
 #: Admission queue full — retry after ``retry_after_ms``.
@@ -70,6 +80,8 @@ ERROR_BAD_REQUEST = "bad_request"
 ERROR_UNSUPPORTED_VERSION = "unsupported_version"
 #: Server is draining; no new work is admitted.
 ERROR_SHUTTING_DOWN = "shutting_down"
+#: The named ``dataset`` is not served by this registry (HTTP 404).
+ERROR_UNKNOWN_DATASET = "unknown_dataset"
 #: The request crashed server-side (a bug — gated to zero in CI).
 ERROR_INTERNAL = "internal"
 
@@ -89,13 +101,17 @@ class Request:
 
     ``id`` is the client's correlation token (echoed verbatim on the
     response); ``queries`` is non-empty only for ``kind == "query"``;
-    ``data`` is the dataset path of a ``refresh``.
+    ``data`` is the dataset path of a ``refresh``; ``dataset`` names the
+    tenant a multi-tenant (registry) daemon should route the request to
+    (``None`` on a single-index daemon, or to default to the registry's
+    sole tenant).
     """
 
     kind: str
     id: object = None
     queries: tuple[Query, ...] = field(default=())
     data: str | None = None
+    dataset: str | None = None
 
 
 def _coerce_query(payload: object) -> Query:
@@ -139,6 +155,10 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError(ERROR_BAD_REQUEST,
                             f"unknown request kind {kind!r}; "
                             f"known: {', '.join(REQUEST_KINDS)}")
+    dataset = envelope.get("dataset")
+    if dataset is not None and (not isinstance(dataset, str) or not dataset):
+        raise ProtocolError(ERROR_BAD_REQUEST,
+                            "'dataset' must be a non-empty string")
     if kind == "query":
         raw = envelope.get("queries")
         if raw is None and "query" in envelope:  # single-query sugar
@@ -153,20 +173,21 @@ def decode_request(line: str | bytes) -> Request:
             raise
         except Exception as exc:  # ValidationError, ValueError, ...
             raise ProtocolError(ERROR_BAD_REQUEST, str(exc)) from exc
-        return Request(kind, request_id, queries)
+        return Request(kind, request_id, queries, dataset=dataset)
     if kind == "refresh":
         data = envelope.get("data")
         if not isinstance(data, str) or not data:
             raise ProtocolError(ERROR_BAD_REQUEST,
                                 "refresh request needs a 'data' dataset path")
-        return Request(kind, request_id, data=data)
-    return Request(kind, request_id)
+        return Request(kind, request_id, data=data, dataset=dataset)
+    return Request(kind, request_id, dataset=dataset)
 
 
 # -- encoding ------------------------------------------------------------------
 
 def encode_request(kind: str, request_id: object = None, *,
-                   queries: list | tuple = (), data: str | None = None) -> str:
+                   queries: list | tuple = (), data: str | None = None,
+                   dataset: str | None = None) -> str:
     """One NDJSON request line (client side; newline included)."""
     envelope: dict = {"v": PROTOCOL_VERSION, "kind": kind}
     if request_id is not None:
@@ -177,6 +198,8 @@ def encode_request(kind: str, request_id: object = None, *,
             for query in queries]
     if data is not None:
         envelope["data"] = data
+    if dataset is not None:
+        envelope["dataset"] = dataset
     return json.dumps(envelope) + "\n"
 
 
@@ -226,6 +249,7 @@ __all__ = [
     "ERROR_BAD_REQUEST",
     "ERROR_UNSUPPORTED_VERSION",
     "ERROR_SHUTTING_DOWN",
+    "ERROR_UNKNOWN_DATASET",
     "ERROR_INTERNAL",
     "ProtocolError",
     "Request",

@@ -1,8 +1,10 @@
 """The ``repro serve`` daemon: asyncio front-end over a DiversityService.
 
 One :class:`DiversityServer` owns one
-:class:`~repro.service.service.DiversityService` and exposes it on a
-single TCP port.  Each accepted connection is sniffed on its first line:
+:class:`~repro.service.service.DiversityService` — or, in multi-tenant
+mode, one :class:`~repro.service.registry.IndexRegistry` of named
+tenants — and exposes it on a single TCP port.  Each accepted connection
+is sniffed on its first line:
 HTTP request lines (``POST /query HTTP/1.1`` ...) route to a thin
 HTTP/1.1 adapter, anything else is treated as newline-delimited JSON in
 the :mod:`repro.service.protocol` envelope — the native framing, which
@@ -36,20 +38,30 @@ The serving pipeline, in order:
 Answers are bit-identical to calling ``service.query_batch`` in-process
 on the same index: coalescing only concatenates query lists, and the
 service's solvers are deterministic on a fixed core-set.
+
+Registry mode adds tenant routing on top of the same pipeline: a
+``dataset`` field on ``query``/``refresh`` envelopes picks the tenant
+(validated before admission; unknown names are ``unknown_dataset`` /
+HTTP 404), the micro-batcher groups each coalesced batch by dataset so
+one dispatch never mixes tenants, and ``GET /tenants`` (NDJSON kind
+``tenants``) exposes the registry's per-tenant residency counters.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import dataclasses
 import json
 import signal
 import time
 from dataclasses import dataclass, field
 
 from repro.datasets.loaders import load_points
+from repro.exceptions import ValidationError
 from repro.service import protocol
 from repro.service.protocol import ProtocolError, Request
+from repro.service.registry import IndexRegistry, UnknownDatasetError
 from repro.service.service import DiversityService
 from repro.service.workload import latency_summary
 from repro.utils.validation import check_positive_int
@@ -174,9 +186,14 @@ class DiversityServer:
     shutdown drains in-flight batches, then calls ``service.close()``.
     """
 
-    def __init__(self, service: DiversityService,
+    def __init__(self, service: "DiversityService | IndexRegistry",
                  config: ServerConfig | None = None):
         self.service = service
+        #: The multi-tenant registry, or ``None`` on a single-index
+        #: daemon.  Registry mode adds ``dataset`` routing, the
+        #: ``tenants`` kind and ``GET /tenants``.
+        self.registry = service if isinstance(service, IndexRegistry) \
+            else None
         self.config = config or ServerConfig()
         self.stats_counters = ServerStats()
         self._queue: asyncio.Queue = asyncio.Queue(
@@ -364,59 +381,109 @@ class DiversityServer:
             if stop_after:
                 return
 
+    def _query_batch_blocking(self, dataset: str | None, queries: list):
+        """One coalesced ``query_batch`` call (query-slot thread)."""
+        if self.registry is not None:
+            return self.registry.query_batch(queries, dataset)
+        return self.service.query_batch(queries)
+
     async def _dispatch(self, batch: list[_Work]) -> None:
         """Run one coalesced batch on the query slot and split results.
 
-        All requests' queries are concatenated into a single
-        ``query_batch`` call (results come back in input order, so the
-        per-request slices are exact); each request's future is resolved
-        with its slice and its server-observed latency is sampled.  A
-        service-side exception fails every request in the batch with
-        ``internal`` rather than killing the collector.
+        Requests are grouped by their ``dataset`` (one group — the whole
+        batch — on a single-index daemon) and each group's queries are
+        concatenated into a single ``query_batch`` call (results come
+        back in input order, so the per-request slices are exact); each
+        request's future is resolved with its slice and its
+        server-observed latency is sampled.  A service-side exception
+        fails that group's requests — ``unknown_dataset`` when a tenant
+        was detached between admission and dispatch, ``internal``
+        otherwise — without killing the collector or the other groups.
         """
-        queries = [query for work in batch for query in work.request.queries]
         loop = asyncio.get_running_loop()
-        self.stats_counters.batches_dispatched += 1
         if len(batch) > 1:
             self.stats_counters.batched_requests += len(batch)
-        try:
-            results = await loop.run_in_executor(
-                self._pool, self.service.query_batch, queries)
-        except Exception as exc:
-            self.stats_counters.internal_errors += len(batch)
-            for work in batch:
-                if not work.future.done():
-                    work.future.set_exception(
-                        ProtocolError(protocol.ERROR_INTERNAL, str(exc)))
-                self._work_done()
-            return
-        offset = 0
-        now = time.perf_counter()
+        groups: dict[str | None, list[_Work]] = {}
         for work in batch:
-            count = len(work.request.queries)
-            if not work.future.done():
-                work.future.set_result(results[offset:offset + count])
-            offset += count
-            self.stats_counters.queries_served += count
-            self._latencies.append(now - work.admitted_at)
-            self._work_done()
+            groups.setdefault(work.request.dataset, []).append(work)
+        for dataset, members in groups.items():
+            queries = [query for work in members
+                       for query in work.request.queries]
+            self.stats_counters.batches_dispatched += 1
+            try:
+                results = await loop.run_in_executor(
+                    self._pool, self._query_batch_blocking, dataset,
+                    queries)
+            except Exception as exc:
+                if isinstance(exc, UnknownDatasetError):
+                    error = ProtocolError(protocol.ERROR_UNKNOWN_DATASET,
+                                          str(exc))
+                else:
+                    self.stats_counters.internal_errors += len(members)
+                    error = ProtocolError(protocol.ERROR_INTERNAL, str(exc))
+                for work in members:
+                    if not work.future.done():
+                        work.future.set_exception(error)
+                    self._work_done()
+                continue
+            offset = 0
+            now = time.perf_counter()
+            for work in members:
+                count = len(work.request.queries)
+                if not work.future.done():
+                    work.future.set_result(results[offset:offset + count])
+                offset += count
+                self.stats_counters.queries_served += count
+                self._latencies.append(now - work.admitted_at)
+                self._work_done()
         if len(self._latencies) > 65536:
             del self._latencies[:32768]
 
-    def _refresh_blocking(self, path: str) -> dict:
+    def _refresh_blocking(self, path: str,
+                          dataset: str | None = None) -> dict:
         """Load a dataset and absorb it into the index (refresh slot).
 
         Runs on the dedicated refresh thread so a dataset absorption
         never occupies the query-dispatch slot; the service-side epoch
-        swap is atomic, so queries keep flowing throughout.
+        swap is atomic, so queries keep flowing throughout.  In registry
+        mode the refresh lands on the named tenant only.
         """
         points = load_points(path)
+        if self.registry is not None:
+            dataset, epoch = self.registry.refresh(dataset, points)
+            self.stats_counters.refreshes += 1
+            return {"epoch": epoch, "absorbed": len(points),
+                    "dataset": dataset}
         self.service.refresh(points)
         self.stats_counters.refreshes += 1
         return {"epoch": self.service.stats()["epochs"]["current"],
                 "absorbed": len(points)}
 
     # -- request handling ------------------------------------------------------
+
+    def _resolve_dataset(self, request: Request) -> str | None:
+        """Validate and default the request's tenant routing up front.
+
+        Single-index daemons reject any ``dataset`` field; registry
+        daemons resolve a missing one to the sole tenant and reject
+        unknown names with ``unknown_dataset`` *before* admission, so a
+        typo never occupies a queue slot.
+        """
+        if self.registry is None:
+            if request.dataset is not None:
+                raise ProtocolError(
+                    protocol.ERROR_BAD_REQUEST,
+                    "this daemon serves a single index; 'dataset' "
+                    "routing needs `repro serve --registry`")
+            return None
+        try:
+            return self.registry.resolve(request.dataset)
+        except UnknownDatasetError as exc:
+            raise ProtocolError(protocol.ERROR_UNKNOWN_DATASET,
+                                str(exc)) from exc
+        except ValidationError as exc:
+            raise ProtocolError(protocol.ERROR_BAD_REQUEST,
+                                str(exc)) from exc
 
     async def _answer(self, request: Request, peer: str) -> str:
         """Serve one decoded request; returns the NDJSON response line."""
@@ -425,20 +492,32 @@ class DiversityServer:
                                       draining=self._draining)
         if request.kind == "stats":
             return protocol.encode_ok(request.id, stats=self.stats())
+        if request.kind == "tenants":
+            if self.registry is None:
+                raise ProtocolError(
+                    protocol.ERROR_BAD_REQUEST,
+                    "this daemon serves a single index; tenants need "
+                    "`repro serve --registry`")
+            return protocol.encode_ok(
+                request.id, tenants=self.registry.stats()["tenants"])
         if request.kind == "refresh":
             if self._draining:
                 raise ProtocolError(protocol.ERROR_SHUTTING_DOWN,
                                     "server is draining")
+            dataset = self._resolve_dataset(request)
             loop = asyncio.get_running_loop()
             try:
                 summary = await loop.run_in_executor(
                     self._refresh_pool, self._refresh_blocking,
-                    request.data)
+                    request.data, dataset)
             except (OSError, ValueError) as exc:
                 raise ProtocolError(
                     protocol.ERROR_BAD_REQUEST,
                     f"cannot load dataset {request.data!r}: {exc}") from exc
             return protocol.encode_ok(request.id, **summary)
+        dataset = self._resolve_dataset(request)
+        if dataset is not None:
+            request = dataclasses.replace(request, dataset=dataset)
         work = self._admit(request, peer)
         results = await work.future
         return protocol.encode_results(request.id, results)
@@ -571,6 +650,11 @@ class DiversityServer:
         if method == "GET" and target == "/stats":
             await self._write_http(writer, 200, self.stats())
             return
+        if method == "GET" and target == "/tenants" \
+                and self.registry is not None:
+            await self._write_http(writer, 200,
+                                   self.registry.stats()["tenants"])
+            return
         if target == "/query" and method != "POST":
             await self._write_http(writer, 405,
                                    {"error": "use POST /query"})
@@ -595,6 +679,7 @@ class DiversityServer:
             error = response.get("error", {})
             status = {protocol.ERROR_OVERLOADED: 429,
                       protocol.ERROR_SHUTTING_DOWN: 503,
+                      protocol.ERROR_UNKNOWN_DATASET: 404,
                       protocol.ERROR_INTERNAL: 500}.get(
                           error.get("code"), 400)
             extra = {}

@@ -9,8 +9,8 @@ from cached read-only state:
 
 1. **route**: pick the cheapest ladder rung covering the query;
 2. **result cache**: a lock-striped LRU keyed on
-   ``(epoch, objective, k, seed, rung)`` returns repeated queries without
-   touching a solver;
+   ``(dataset_id, epoch, objective, k, seed, rung)`` returns repeated
+   queries without touching a solver;
 3. **distance-matrix reuse**: per rung, the blocked pairwise matrix is
    computed once — under a memory budget with LRU eviction
    (:class:`~repro.service.matrices.MatrixCache`) — and shared by every
@@ -288,6 +288,16 @@ class DiversityService:
         defers to the environment (``REPRO_VERIFY_DTYPE=1``,
         ``REPRO_VERIFY_FRACTION``, ``REPRO_VERIFY_RTOL``).  No-op on
         float64 indexes.
+    dataset_id, matrices, executor_pool:
+        Multi-tenant wiring used by
+        :class:`~repro.service.registry.IndexRegistry`: *dataset_id*
+        namespaces every matrix- and result-cache key, *matrices* injects
+        a registry-shared :class:`~repro.service.matrices.MatrixCache`
+        (all tenants compete under one budget), and *executor_pool*
+        injects a shared :class:`~repro.service.executors.ExecutorPool`
+        so every tenant's process queries ride one worker fleet and one
+        shared-memory plane.  Standalone services leave all three at
+        their defaults and own their caches/backends outright.
 
     Thread safety: instances are safe to share across threads; see the
     module docstring for the locking model.
@@ -311,6 +321,9 @@ class DiversityService:
                  verify_dtype: bool | None = None,
                  verify_fraction: float | None = None,
                  verify_rtol: float | None = None,
+                 dataset_id: str = "",
+                 matrices: MatrixCache | None = None,
+                 executor_pool=None,
                  **build_options):
         if index is None and (points is None or k_max is None):
             raise ValidationError(
@@ -325,6 +338,12 @@ class DiversityService:
         self._k_max = (None if k_max is None
                        else check_positive_int(k_max, "k_max"))
         self._build_options = build_options
+        #: Namespace this service's cache keys live under.  Standalone
+        #: services use the empty id; an :class:`~repro.service.registry.
+        #: IndexRegistry` assigns each tenant its ``dataset_id`` so two
+        #: tenants with identically-shaped rungs can never alias in the
+        #: shared matrix plane or the result cache.
+        self.dataset_id = str(dataset_id)
         self.cache = StripedLRUCache(cache_size, stripes=cache_stripes)
         if matrix_budget_mb is None:
             budget_bytes: int | None = None  # defer to the environment
@@ -334,7 +353,12 @@ class DiversityService:
             budget_bytes = check_positive_int(
                 matrix_budget_mb, "matrix_budget_mb") * 2**20
         self._matrix_budget_bytes = budget_bytes
-        self._matrices = MatrixCache(budget_bytes)
+        # A registry injects one shared MatrixCache + ExecutorPool so all
+        # tenants compete under one budget; standalone services own theirs.
+        self._owns_matrices = matrices is None
+        self._matrices = MatrixCache(budget_bytes) if matrices is None \
+            else matrices
+        self._pool = executor_pool
         self.default_executor = executor
         self.executor_workers = check_positive_int(executor_workers,
                                                    "executor_workers")
@@ -453,16 +477,23 @@ class DiversityService:
                 self.refreshes += 1
                 epoch = self._epoch
                 self.cache = self.cache.successor()
-                self._matrices = self._matrices.successor()
+                if self._owns_matrices:
+                    self._matrices = self._matrices.successor()
+            if not self._owns_matrices:
+                # The matrix cache is shared with other tenants, so it
+                # cannot be swapped wholesale: drop only this dataset's
+                # superseded epochs.  The purge bumps the cache
+                # generation, so stale-epoch computes in flight cannot
+                # re-park their matrices afterwards.
+                self._matrices.purge(self.dataset_id, before_epoch=epoch)
             # Retire superseded process-executor planes promptly: batches
             # in flight hold pins, so their workers still finish on the
             # old epoch's segments; the unlink happens when they drain.
-            with self._executors_lock:
-                backends = list(self._executors.values())
+            backends = self._active_backends()
         for backend in backends:
             on_epoch = getattr(backend, "on_epoch", None)
             if on_epoch is not None:
-                on_epoch(epoch)
+                on_epoch(epoch, self.dataset_id)
         return extended
 
     def _snapshot(self) -> tuple[CoresetIndex, int, StripedLRUCache,
@@ -589,7 +620,8 @@ class DiversityService:
         pending: set[tuple] = set()
         for i, query in enumerate(normalized):
             rung = rungs[i]
-            cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
+            cache_key = (self.dataset_id, epoch, query.objective, query.k,
+                         index.seed, rung.key)
             if cache_key not in pending:
                 _, hit = self._lookup(cache, epoch, index, query, rung,
                                       reuse)
@@ -679,14 +711,15 @@ class DiversityService:
                  for query in normalized]
         reuse: dict[tuple, QueryResult] = {}
         for query, rung in zip(normalized, rungs):
-            cache_key = (epoch, query.objective, query.k, index.seed,
-                         rung.key)
+            cache_key = (self.dataset_id, epoch, query.objective, query.k,
+                         index.seed, rung.key)
             if cache_key in reuse or cache.peek(cache_key) is not None:
                 continue
             for other in index.covering_rungs(query.objective, query.k):
                 if other.k_prime <= rung.k_prime:
                     continue
-                reusable = cache.peek((epoch, query.objective, query.k,
+                reusable = cache.peek((self.dataset_id, epoch,
+                                       query.objective, query.k,
                                        index.seed, other.key))
                 if reusable is not None:
                     reuse[cache_key] = reusable
@@ -703,7 +736,8 @@ class DiversityService:
         batch-start reuse set from :meth:`_reuse_candidates` may serve a
         tighter-eps answer (counted in :attr:`eps_hits`).
         """
-        cache_key = (epoch, query.objective, query.k, index.seed, rung.key)
+        cache_key = (self.dataset_id, epoch, query.objective, query.k,
+                     index.seed, rung.key)
         hit = cache.get(cache_key)
         if hit is not None:
             # Echo the caller's own slack: the cached answer is valid
@@ -721,11 +755,18 @@ class DiversityService:
 
     # -- execution backends ------------------------------------------------------
     def _executor_obj(self, name: str):
-        """The (lazily created, cached) execution backend called *name*."""
+        """The (lazily created, cached) execution backend called *name*.
+
+        With an injected :class:`~repro.service.executors.ExecutorPool`
+        (registry mode) the backend comes from the shared pool instead —
+        one process fleet serves every tenant.
+        """
         if name not in EXECUTOR_NAMES:
             raise ValidationError(
                 f"unknown executor {name!r}; "
                 f"known: {', '.join(EXECUTOR_NAMES)}")
+        if self._pool is not None:
+            return self._pool.get(name)
         with self._executors_lock:
             backend = self._executors.get(name)
             if backend is None or getattr(backend, "closed", False):
@@ -733,6 +774,13 @@ class DiversityService:
                     name, matrix_budget_bytes=self._matrix_budget_bytes)
                 self._executors[name] = backend
             return backend
+
+    def _active_backends(self) -> list:
+        """Every live backend this service dispatches to (own or pooled)."""
+        if self._pool is not None:
+            return self._pool.backends()
+        with self._executors_lock:
+            return list(self._executors.values())
 
     def warm_executor(self, executor: str | None = None,
                       max_workers: int | None = None) -> None:
@@ -755,12 +803,22 @@ class DiversityService:
         zero shared-memory segments published by this service remain (the
         leak invariant the tests assert).  The service stays usable —
         backends are recreated lazily on the next query.
+
+        In registry mode (injected matrix cache / executor pool) the
+        shared resources outlive this tenant: only this dataset's
+        namespace — its matrices, shared segments and worker planes — is
+        dropped from them, which is exactly the memory an eviction must
+        give back.
         """
         with self._executors_lock:
             backends = list(self._executors.values())
             self._executors.clear()
         for backend in backends:
             backend.close()
+        if not self._owns_matrices:
+            self._matrices.purge(self.dataset_id)
+        if self._pool is not None:
+            self._pool.drop_dataset(self.dataset_id)
 
     def __enter__(self) -> "DiversityService":
         return self
@@ -834,8 +892,7 @@ class DiversityService:
                 else:
                     self.verify_index_mismatches += 1
 
-    @staticmethod
-    def _matrix_for(matrices: MatrixCache, epoch: int,
+    def _matrix_for(self, matrices: MatrixCache, epoch: int,
                     rung: LadderRung) -> np.ndarray:
         """The rung's pairwise matrix from the budgeted single-flight cache.
 
@@ -843,9 +900,10 @@ class DiversityService:
         query's :meth:`_snapshot`, so a query in flight across a
         :meth:`refresh` writes only to the superseded cache under its own
         dead epoch — it can never seed the serving cache with a matrix
-        of the superseded index.
+        of the superseded index.  Keys open with :attr:`dataset_id`, so
+        a registry-shared cache never aliases two tenants' rungs.
         """
-        return matrices.get_or_compute((epoch, rung.key),
+        return matrices.get_or_compute((self.dataset_id, epoch, rung.key),
                                        rung.coreset.pairwise)
 
     @staticmethod
@@ -897,9 +955,13 @@ class DiversityService:
         The key inventory is documented in ``docs/serving.md`` and
         drift-gated by ``tests/test_docs.py``.
         """
-        with self._executors_lock:
-            process_backend = self._executors.get("process")
-            active = sorted(self._executors)
+        if self._pool is not None:
+            process_backend = self._pool.peek("process")
+            active = sorted(self._pool.active())
+        else:
+            with self._executors_lock:
+                process_backend = self._executors.get("process")
+                active = sorted(self._executors)
         cache = self.cache
         return {
             "schema_version": SCHEMA_VERSION,

@@ -183,6 +183,57 @@ def recommend_matrix_budget_mb(rung_point_counts: list[int],
     return max(1, -(-needed // 2**20))
 
 
+def recommend_registry_budget_mb(
+        tenant_rung_point_counts: list[list[int]],
+        hot_tenants: int = 2, resident_rungs: int = 2,
+        dtype: str | np.dtype = "float64") -> int:
+    """Global matrix budget (MiB) for a multi-tenant registry.
+
+    In registry mode every tenant's rung matrices compete under ONE
+    ``REPRO_MATRIX_BUDGET_MB``; the operational sweet spot sizes that
+    budget for the expected *hot set*, not the whole fleet — cold
+    tenants' matrices are evicted and recomputed on demand.  This sums
+    :func:`recommend_matrix_budget_mb` over the *hot_tenants* most
+    expensive tenants, so a skewed workload keeps its heavy hitters'
+    matrices resident while the long tail cycles through the headroom
+    (the shape ``benchmarks/bench_registry.py`` gates: 8 tenants served
+    correctly under a budget sized for ~2).
+
+    Parameters
+    ----------
+    tenant_rung_point_counts:
+        One list of rung core-set sizes per tenant
+        (``[len(rung.coreset) for rung in index.all_rungs()]``).
+    hot_tenants:
+        How many tenants the budget should hold fully resident at once.
+    resident_rungs:
+        Per-tenant resident-rung count (see
+        :func:`recommend_matrix_budget_mb`).
+    dtype:
+        Matrix element dtype (the tenants' storage dtype).
+
+    Returns
+    -------
+    int
+        A MiB budget, always at least 1.
+
+    Raises
+    ------
+    ValidationError
+        If *tenant_rung_point_counts* is empty, any tenant's list is
+        empty, or the counts are not positive ints.
+    """
+    from repro.exceptions import ValidationError
+
+    if not tenant_rung_point_counts:
+        raise ValidationError("tenant_rung_point_counts must be non-empty")
+    check_positive_int(hot_tenants, "hot_tenants")
+    per_tenant = sorted(
+        (recommend_matrix_budget_mb(counts, resident_rungs, dtype)
+         for counts in tenant_rung_point_counts), reverse=True)
+    return max(1, sum(per_tenant[:hot_tenants]))
+
+
 @dataclass(frozen=True)
 class KernelTuning:
     """Chosen tiling for one blocked-kernel workload.

@@ -11,8 +11,9 @@ way a broken unit does:
   without ``python docs/generate_cli.py`` fails here;
 * every page the mkdocs nav references must exist, and every docs page
   must be reachable from the nav;
-* the stats-schema table in ``docs/serving.md`` must list exactly the
-  keys a live daemon emits — stats drift without a doc update fails here.
+* the stats-schema tables in ``docs/serving.md`` — single-index and
+  registry — must each list exactly the keys a live payload emits;
+  stats drift without a doc update fails here.
 """
 
 from __future__ import annotations
@@ -120,19 +121,24 @@ class TestMkdocsNav:
             f"only on disk {on_disk - pages}, only in nav {pages - on_disk}")
 
 
+def _documented_keys(marker: str) -> set[str]:
+    """Backtick-quoted keys between ``<!-- marker:start/end -->``."""
+    text = (DOCS / "serving.md").read_text()
+    table = text.split(f"<!-- {marker}:start -->", 1)[1]
+    table = table.split(f"<!-- {marker}:end -->", 1)[0]
+    keys = set()
+    for line in table.splitlines():
+        match = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+        if match and match.group(1) != "Key":
+            keys.add(match.group(1))
+    return keys
+
+
 class TestStatsSchemaTable:
     """``docs/serving.md``'s key table must match what a daemon emits."""
 
     def _documented_keys(self) -> set[str]:
-        text = (DOCS / "serving.md").read_text()
-        table = text.split("<!-- stats-keys:start -->", 1)[1]
-        table = table.split("<!-- stats-keys:end -->", 1)[0]
-        keys = set()
-        for line in table.splitlines():
-            match = re.match(r"\|\s*`([^`]+)`\s*\|", line)
-            if match and match.group(1) != "Key":
-                keys.add(match.group(1))
-        return keys
+        return _documented_keys("stats-keys")
 
     @staticmethod
     def _flatten(payload: dict, prefix: str = "") -> set[str]:
@@ -164,5 +170,36 @@ class TestStatsSchemaTable:
         assert documented, "serving.md stats table markers missing or empty"
         assert emitted == documented, (
             f"docs/serving.md stats table drifted from the live payload: "
+            f"undocumented {sorted(emitted - documented)}, "
+            f"stale {sorted(documented - emitted)}")
+
+
+class TestRegistryStatsSchemaTable:
+    """The registry stats table must match ``IndexRegistry.stats()``."""
+
+    def test_table_matches_emitted_keys(self):
+        import numpy as np
+
+        from repro.metricspace.points import PointSet
+        from repro.service import IndexRegistry, build_coreset_index
+
+        rng = np.random.default_rng(0)
+        index = build_coreset_index(PointSet(rng.normal(size=(40, 3))), 3,
+                                    seed=0)
+        with IndexRegistry() as registry:
+            registry.register("demo", index)
+            registry.query("demo", "remote-edge", 3)
+            stats = registry.stats()
+        # Per-tenant blocks are keyed by dataset_id; the table documents
+        # them once under the <dataset> placeholder.
+        per_tenant = stats["tenants"]["per_tenant"]
+        stats["tenants"]["per_tenant"] = {
+            "<dataset>": next(iter(per_tenant.values()))}
+        emitted = TestStatsSchemaTable._flatten(stats)
+        documented = _documented_keys("registry-stats-keys")
+        assert documented, \
+            "serving.md registry stats table markers missing or empty"
+        assert emitted == documented, (
+            f"docs/serving.md registry stats table drifted: "
             f"undocumented {sorted(emitted - documented)}, "
             f"stale {sorted(documented - emitted)}")

@@ -13,7 +13,11 @@ toolchain).  Covered contracts:
 * graceful drain answers everything admitted, exactly once, and a
   SIGTERM'd CLI daemon exits 0 the same way;
 * a mid-load ``refresh`` swaps epochs without ever mixing epochs inside
-  one response.
+  one response;
+* registry mode — ``dataset`` envelopes route to the named tenant,
+  unknown tenants map to ``unknown_dataset`` (HTTP 404), ``tenants`` /
+  ``GET /tenants`` serve the registry counters, refreshes land on one
+  tenant only, and single-index daemons reject tenant routing.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.metricspace.points import PointSet
 from repro.service import (
     DiversityServer,
     DiversityService,
+    IndexRegistry,
     Query,
     ServerConfig,
     build_coreset_index,
@@ -284,6 +289,168 @@ def test_refresh_under_load_never_mixes_epochs(index, tmp_path):
         epochs_seen |= epochs
     assert epochs_seen == {0, 1}, \
         "load spanning the swap must observe both epochs"
+
+
+# -- registry (multi-tenant) mode ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tenant_indexes():
+    out = {}
+    for name, seed in (("eu", 31), ("us", 32)):
+        rng = np.random.default_rng(seed)
+        points = PointSet(rng.normal(size=(130, 3)))
+        out[name] = build_coreset_index(points, 5, seed=0)
+    return out
+
+
+def fresh_registry_server(tenant_indexes, **config) -> DiversityServer:
+    registry = IndexRegistry()
+    for name, tenant_index in tenant_indexes.items():
+        registry.register(name, tenant_index)
+    return DiversityServer(registry, ServerConfig(**config))
+
+
+async def _http(host, port, method, target, body=b""):
+    reader, writer = await asyncio.open_connection(host, port)
+    head = (f"{method} {target} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n").encode()
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    status = int(raw.split(b" ", 2)[1])
+    return status, json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+
+def test_registry_server_routes_by_dataset(tenant_indexes):
+    query = Query("remote-edge", 4, 1.0)
+    expected = {}
+    for name, tenant_index in tenant_indexes.items():
+        with DiversityService(tenant_index, cache_size=16) as oracle:
+            expected[name] = result_key(oracle.query_batch([query])[0])
+    assert expected["eu"] != expected["us"], \
+        "test needs tenants with distinguishable answers"
+
+    async def run():
+        server = fresh_registry_server(tenant_indexes, batch_window_ms=5.0)
+        host, port = await server.start()
+        try:
+            lines = [protocol.encode_request("query", name, queries=[query],
+                                             dataset=name)
+                     for name in ("eu", "us", "eu")]
+            lines.append(protocol.encode_request("tenants", "t"))
+            lines.append(protocol.encode_request("query", "missing",
+                                                 queries=[query],
+                                                 dataset="mars"))
+            responses = await send_lines(host, port, lines)
+            stats = server.stats()
+        finally:
+            await server.shutdown()
+        return responses, stats
+
+    responses, stats = asyncio.run(run())
+    by_id = {response["id"]: response for response in responses}
+    for name in ("eu", "us"):
+        assert by_id[name]["ok"], by_id[name]
+        assert result_key(protocol.results_of(by_id[name])[0]) == \
+            expected[name]
+    assert by_id["missing"]["error"]["code"] == "unknown_dataset"
+    assert "mars" in by_id["missing"]["error"]["message"]
+    tenants = by_id["t"]["tenants"]
+    assert set(tenants["per_tenant"]) == {"eu", "us"}
+    # GET /stats in registry mode serves the registry stats verbatim,
+    # with the server block alongside.
+    assert stats["tenants"]["registered"] == 2
+    assert stats["server"]["internal_errors"] == 0
+
+
+def test_registry_server_http_tenants_and_404(tenant_indexes):
+    query = Query("remote-clique", 4, 1.0)
+
+    async def run():
+        server = fresh_registry_server(tenant_indexes, batch_window_ms=1.0)
+        host, port = await server.start()
+        try:
+            routed = await _http(
+                host, port, "POST", "/query",
+                json.dumps({"queries": [query.to_dict()],
+                            "dataset": "eu"}).encode())
+            unknown = await _http(
+                host, port, "POST", "/query",
+                json.dumps({"queries": [query.to_dict()],
+                            "dataset": "mars"}).encode())
+            unnamed = await _http(
+                host, port, "POST", "/query",
+                json.dumps({"queries": [query.to_dict()]}).encode())
+            tenants = await _http(host, port, "GET", "/tenants")
+        finally:
+            await server.shutdown()
+        return routed, unknown, unnamed, tenants
+
+    routed, unknown, unnamed, tenants = asyncio.run(run())
+    assert routed[0] == 200 and routed[1]["ok"]
+    assert unknown[0] == 404
+    assert unknown[1]["error"]["code"] == "unknown_dataset"
+    # Two tenants and no 'dataset' field: the request must name one.
+    assert unnamed[0] == 400
+    assert tenants[0] == 200
+    assert set(tenants[1]["per_tenant"]) == {"eu", "us"}
+    assert tenants[1]["registered"] == 2
+
+
+def test_registry_server_refresh_targets_one_tenant(tenant_indexes,
+                                                    tmp_path):
+    extra = PointSet(np.random.default_rng(77).normal(size=(50, 3)))
+    data_path = tmp_path / "extra"
+    save_points(extra, data_path)
+    query = Query("remote-edge", 4, 1.0)
+
+    async def run():
+        server = fresh_registry_server(tenant_indexes, batch_window_ms=1.0)
+        host, port = await server.start()
+        try:
+            first = await send_lines(host, port, [protocol.encode_request(
+                "refresh", "r", data=str(data_path), dataset="eu")])
+            after = await send_lines(host, port, [
+                protocol.encode_request("query", name, queries=[query],
+                                        dataset=name)
+                for name in ("eu", "us")])
+        finally:
+            await server.shutdown()
+        return first + after
+
+    by_id = {r["id"]: r for r in asyncio.run(run())}
+    refresh = by_id["r"]
+    assert refresh["ok"] and refresh["dataset"] == "eu"
+    assert refresh["epoch"] == 1 and refresh["absorbed"] == 50
+    assert by_id["eu"]["results"][0]["epoch"] == 1
+    assert by_id["us"]["results"][0]["epoch"] == 0
+
+
+def test_single_index_server_rejects_tenant_routing(index):
+    async def run():
+        server = fresh_server(index)
+        host, port = await server.start()
+        try:
+            responses = await send_lines(host, port, [
+                protocol.encode_request(
+                    "query", 1, queries=[Query("remote-edge", 3, 1.0)],
+                    dataset="eu"),
+                protocol.encode_request("tenants", 2),
+            ])
+            missing = await _http(host, port, "GET", "/tenants")
+        finally:
+            await server.shutdown()
+        return responses, missing
+
+    responses, missing = asyncio.run(run())
+    by_id = {r["id"]: r for r in responses}
+    assert by_id[1]["error"]["code"] == "bad_request"
+    assert "--registry" in by_id[1]["error"]["message"]
+    assert by_id[2]["error"]["code"] == "bad_request"
+    assert missing[0] == 404  # no /tenants route on a single-index daemon
 
 
 def test_sigterm_drains_cli_daemon_cleanly(index, tmp_path):

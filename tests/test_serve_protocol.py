@@ -161,6 +161,33 @@ def test_decode_request_error_codes():
     assert exc.value.code == protocol.ERROR_BAD_REQUEST
 
 
+def test_decode_request_threads_the_dataset_field():
+    line = protocol.encode_request(
+        "query", 1, queries=[Query("remote-edge", 3, 1.0)], dataset="eu")
+    assert protocol.decode_request(line).dataset == "eu"
+    line = protocol.encode_request("refresh", 2, data="/x", dataset="us")
+    assert protocol.decode_request(line).dataset == "us"
+    # The field is optional — absent means "route to the default".
+    bare = protocol.decode_request(protocol.encode_request("stats"))
+    assert bare.dataset is None
+    assert "dataset" not in json.loads(protocol.encode_request("stats"))
+
+
+def test_decode_request_tenants_kind():
+    request = protocol.decode_request(protocol.encode_request("tenants", 9))
+    assert request.kind == "tenants" and request.id == 9
+    assert "tenants" in protocol.REQUEST_KINDS
+
+
+def test_decode_request_rejects_malformed_dataset():
+    for bad in ("", 7, ["eu"]):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(json.dumps(
+                {"kind": "query", "dataset": bad,
+                 "queries": [{"objective": "remote-edge", "k": 2}]}))
+        assert exc.value.code == protocol.ERROR_BAD_REQUEST
+
+
 def test_response_encoding_round_trip(service):
     results = service.query_batch([Query("remote-clique", 4, 1.0)])
     line = protocol.encode_results("abc", results)

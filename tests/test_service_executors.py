@@ -451,12 +451,12 @@ class TestProcessLifecycle:
             plane = backend._plane_for(0)  # straggler batch, old epoch
             ref = plane.coreset_ref(index.all_rungs()[0])
             assert ref.name in _shm_segments()
-            assert 0 not in backend._planes  # never registered
+            assert ("", 0) not in backend._planes  # never registered
             plane.release()  # batch drains -> plane closes itself
             assert ref.name not in _shm_segments()
             # Normal new-epoch traffic is unaffected.
             current = backend._plane_for(1)
-            assert 1 in backend._planes
+            assert ("", 1) in backend._planes
             current.release()
         finally:
             service.close()

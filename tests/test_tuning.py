@@ -261,6 +261,32 @@ class TestMatrixBudgetRecommendation:
         assert cache.stats.evictions == 0  # both largest fit together
 
 
+class TestRegistryBudget:
+    def test_sums_the_hottest_tenants(self):
+        from repro.tuning import recommend_registry_budget_mb
+
+        fleet = [[64, 512, 1024], [64, 512, 1024], [32, 64]]
+        # Two identical heavy tenants at 10 MiB each; the light tail
+        # rides the headroom.
+        assert recommend_registry_budget_mb(fleet, hot_tenants=2) == 20
+        assert recommend_registry_budget_mb(fleet, hot_tenants=1) == 10
+        # A budget for the whole fleet is strictly wider.
+        assert recommend_registry_budget_mb(fleet, hot_tenants=3) > 20
+        # dtype threads through to the per-tenant sizing.
+        assert recommend_registry_budget_mb(fleet, hot_tenants=2,
+                                            dtype="float32") == 10
+
+    def test_validation(self):
+        from repro.tuning import recommend_registry_budget_mb
+
+        with pytest.raises(ValidationError):
+            recommend_registry_budget_mb([])
+        with pytest.raises(ValidationError):
+            recommend_registry_budget_mb([[128]], hot_tenants=0)
+        with pytest.raises(ValidationError):
+            recommend_registry_budget_mb([[]])
+
+
 class TestRecommendationPipeline:
     def test_recommendation_actually_performs(self):
         """End-to-end: the recommended k' achieves a good ratio."""
