@@ -243,6 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="serving dtype for this tenant (default: "
                            "the index's stored dtype)")
+    radd.add_argument("--weight", type=float, default=None,
+                      help="relative dispatch share under 'serve --qos' "
+                           "weighted fair queueing (default 1.0; a "
+                           "weight-2 tenant drains twice as fast as a "
+                           "weight-1 tenant when both are backlogged)")
+    radd.add_argument("--max-queue", type=int, default=None,
+                      help="per-tenant admission bound under 'serve "
+                           "--qos' (default: the daemon's global "
+                           "--max-queue)")
+    radd.add_argument("--rate-limit", type=float, default=None,
+                      help="token-bucket admission rate limit in "
+                           "requests/second under 'serve --qos' "
+                           "(0 rejects everything — a kill switch; "
+                           "default: unlimited)")
     radd.add_argument("--parallelism", type=int, default=4)
     radd.add_argument("--seed", type=int, default=0)
     rrm = regsub.add_parser(
@@ -278,7 +292,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "into one query_batch call (0 disables)")
     dmn.add_argument("--max-queue", type=int, default=64,
                      help="bounded admission queue; beyond it requests "
-                          "are rejected with 'overloaded' + retry-after")
+                          "are rejected with 'overloaded' + retry-after "
+                          "(with --qos: the default per-tenant bound)")
+    dmn.add_argument("--qos", action="store_true",
+                     help="registry mode: tenant-aware admission "
+                          "control — per-tenant queues drained in "
+                          "weighted deficit-round-robin order under "
+                          "each tenant's manifest quota (weight, "
+                          "max_queue, rate limit; see 'registry add')")
     dmn.add_argument("--max-batch", type=int, default=16,
                      help="most requests one dispatch may coalesce")
     dmn.add_argument("--drain-timeout-s", type=float, default=30.0,
@@ -519,6 +540,7 @@ def _refresh(args: argparse.Namespace) -> int:
 def _registry(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro.service.qos import TenantQuota
     from repro.service.registry import MANIFEST_NAME, IndexRegistry
 
     directory = Path(args.dir)
@@ -528,12 +550,19 @@ def _registry(args: argparse.Namespace) -> int:
             print("registry add needs exactly one of --index or --data",
                   file=sys.stderr)
             return 2
+        quota = None
+        if (args.weight is not None or args.max_queue is not None
+                or args.rate_limit is not None):
+            quota = TenantQuota(
+                weight=args.weight if args.weight is not None else 1.0,
+                max_queue=args.max_queue,
+                rate_limit_qps=args.rate_limit)
         registry = (IndexRegistry.from_directory(directory) if has_manifest
                     else IndexRegistry(spill_dir=directory))
         with registry:
             if args.index is not None:
                 registry.register(args.dataset_id, path=args.index,
-                                  dtype=args.dtype)
+                                  dtype=args.dtype, quota=quota)
             else:
                 if args.k_max is None:
                     print("registry add --data needs --k-max",
@@ -543,7 +572,7 @@ def _registry(args: argparse.Namespace) -> int:
                     load_points(args.data), args.k_max,
                     parallelism=args.parallelism, seed=args.seed,
                     dtype=args.dtype or "float64")
-                registry.register(args.dataset_id, index)
+                registry.register(args.dataset_id, index, quota=quota)
             manifest = registry.save_manifest(directory)
             count = len(registry.list())
         print(f"registered {args.dataset_id!r}; {manifest} now lists "
@@ -561,7 +590,14 @@ def _registry(args: argparse.Namespace) -> int:
         per_tenant = registry.stats()["tenants"]["per_tenant"]
     for dataset_id, block in per_tenant.items():
         dtype = block["dtype"] or "stored"
-        print(f"{dataset_id:24s} epoch {block['epoch']}  dtype {dtype}")
+        quota = block["quota"]
+        knobs = f"weight {quota['weight']:g}"
+        if quota["max_queue"] is not None:
+            knobs += f"  queue {quota['max_queue']}"
+        if quota["rate_limit_qps"] is not None:
+            knobs += f"  rate {quota['rate_limit_qps']:g}/s"
+        print(f"{dataset_id:24s} epoch {block['epoch']}  dtype {dtype}  "
+              f"{knobs}")
     print(f"{len(per_tenant)} tenant{'s' if len(per_tenant) != 1 else ''} "
           f"in {directory}")
     return 0
@@ -573,13 +609,18 @@ def _serve(args: argparse.Namespace) -> int:
     from repro.service.registry import IndexRegistry
     from repro.service.server import DiversityServer, ServerConfig
 
+    if args.qos and args.registry is None:
+        print("serve --qos is per-tenant scheduling; it needs --registry",
+              file=sys.stderr)
+        return 2
     if args.registry is not None:
         service: "DiversityService | IndexRegistry" = \
             IndexRegistry.from_directory(
                 args.registry, max_resident=args.max_resident,
                 matrix_budget_mb=args.matrix_budget_mb,
                 executor=args.executor)
-        source = f"{args.registry} ({len(service.list())} tenants)"
+        source = f"{args.registry} ({len(service.list())} tenants"
+        source += ", qos)" if args.qos else ")"
     else:
         service = DiversityService(
             load_index(args.index, dtype=args.dtype),
@@ -590,7 +631,7 @@ def _serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port,
         batch_window_ms=args.batch_window_ms,
         max_queue=args.max_queue, max_batch=args.max_batch,
-        drain_timeout_s=args.drain_timeout_s))
+        drain_timeout_s=args.drain_timeout_s, qos=args.qos))
 
     async def main() -> None:
         ready = asyncio.Event()

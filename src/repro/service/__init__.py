@@ -45,6 +45,12 @@ from repro.service.protocol import (
     decode_response,
     encode_request,
 )
+from repro.service.qos import (
+    QosRejection,
+    TenantQuota,
+    TokenBucket,
+    WeightedDeficitRoundRobin,
+)
 from repro.service.registry import (
     MANIFEST_FORMAT_VERSION,
     MANIFEST_NAME,
@@ -95,6 +101,10 @@ __all__ = [
     "INDEX_FORMAT_VERSION",
     "load_index",
     "save_index",
+    "QosRejection",
+    "TenantQuota",
+    "TokenBucket",
+    "WeightedDeficitRoundRobin",
     "MANIFEST_FORMAT_VERSION",
     "MANIFEST_NAME",
     "IndexRegistry",

@@ -53,7 +53,10 @@ one); an unknown name is rejected with ``unknown_dataset`` (HTTP 404).
 Error responses are ``{"v": 1, "id": ..., "ok": false, "error": {"code":
 ..., "message": ...}}``; an ``overloaded`` rejection adds
 ``retry_after_ms``, the explicit-backpressure contract (the admission
-queue is bounded — the server never buffers without bound).
+queue is bounded — the server never buffers without bound).  On a
+QoS-enabled daemon (``repro serve --qos``) the rejection is per-tenant:
+the error also carries ``dataset`` and the ``retry_after_ms`` hint is
+computed from that tenant's own backlog or token bucket.
 """
 
 from __future__ import annotations
@@ -87,12 +90,23 @@ ERROR_INTERNAL = "internal"
 
 
 class ProtocolError(Exception):
-    """A request that cannot be served, with its wire error ``code``."""
+    """A request that cannot be served, with its wire error ``code``.
 
-    def __init__(self, code: str, message: str):
+    ``retry_after_ms`` overrides the server's generic backoff hint —
+    tenant-aware rejections (``repro serve --qos``) compute one from
+    the tenant's own backlog or token bucket.  ``dataset`` names the
+    tenant the rejection applies to, so a client multiplexing tenants
+    over one connection can back off selectively.
+    """
+
+    def __init__(self, code: str, message: str, *,
+                 retry_after_ms: float | None = None,
+                 dataset: str | None = None):
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after_ms = retry_after_ms
+        self.dataset = dataset
 
 
 @dataclass(frozen=True)
@@ -218,11 +232,19 @@ def encode_results(request_id: object,
 
 
 def encode_error(request_id: object, code: str, message: str, *,
-                 retry_after_ms: float | None = None) -> str:
-    """One NDJSON error line; ``retry_after_ms`` rides on overloads."""
+                 retry_after_ms: float | None = None,
+                 dataset: str | None = None) -> str:
+    """One NDJSON error line; ``retry_after_ms`` rides on overloads.
+
+    ``dataset`` scopes the error to one tenant — per-tenant rejections
+    from a QoS daemon carry it so clients can back off one tenant
+    without stalling the rest.
+    """
     error: dict = {"code": code, "message": message}
     if retry_after_ms is not None:
         error["retry_after_ms"] = retry_after_ms
+    if dataset is not None:
+        error["dataset"] = dataset
     return json.dumps({"v": PROTOCOL_VERSION, "id": request_id,
                        "ok": False, "error": error}) + "\n"
 

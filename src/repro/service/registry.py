@@ -59,6 +59,7 @@ from repro.service.executors import EXECUTOR_NAMES, ExecutorPool
 from repro.service.index import CoresetIndex, build_coreset_index
 from repro.service.matrices import MatrixCache
 from repro.service.persist import load_index, save_index
+from repro.service.qos import TenantQuota
 from repro.service.service import (
     SCHEMA_VERSION,
     DiversityService,
@@ -70,8 +71,13 @@ from repro.utils.validation import check_positive_int
 #: File name of the tenant manifest inside a registry directory.
 MANIFEST_NAME = "registry.json"
 
-#: Version stamp of the manifest schema (checked on load).
-MANIFEST_FORMAT_VERSION = 1
+#: Version stamp of the manifest schema written by :meth:`save_manifest`.
+#: v2 added the optional per-tenant ``"qos"`` block (weight, max_queue,
+#: rate_limit_qps); v1 manifests still load, with default quotas.
+MANIFEST_FORMAT_VERSION = 2
+
+#: Manifest versions :meth:`IndexRegistry.from_directory` accepts.
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 #: Environment fallback for ``IndexRegistry(max_resident=...)``.
 MAX_RESIDENT_ENV_VAR = "REPRO_MAX_RESIDENT"
@@ -118,12 +124,16 @@ class _Tenant:
     counters at eviction time so ``stats()`` stays truthful across
     residency transitions.  ``lock`` serializes this tenant's fault-in /
     evict / save transitions; ``pins`` (guarded by the registry lock)
-    counts attached users and blocks eviction.
+    counts attached users and blocks eviction.  ``quota`` carries the
+    tenant's admission-control knobs (manifest-v2 ``"qos"`` block),
+    consumed by the daemon's WDRR scheduler under ``repro serve
+    --qos``.
     """
 
     dataset_id: str
     path: Path
     dtype: str | None = None
+    quota: TenantQuota = field(default_factory=TenantQuota)
     service: DiversityService | None = None
     pins: int = 0
     hits: int = 0
@@ -242,10 +252,11 @@ class IndexRegistry:
             raise ValidationError(
                 f"malformed {manifest_path}: {exc}") from exc
         version = manifest.get("format_version")
-        if version != MANIFEST_FORMAT_VERSION:
+        if version not in SUPPORTED_MANIFEST_VERSIONS:
             raise ValidationError(
                 f"unsupported registry manifest format_version {version!r};"
-                f" this build speaks version {MANIFEST_FORMAT_VERSION}")
+                " this build speaks versions "
+                f"{', '.join(map(str, SUPPORTED_MANIFEST_VERSIONS))}")
         registry = cls(spill_dir=options.pop("spill_dir", directory),
                        **options)
         for entry in manifest.get("tenants", []):
@@ -256,8 +267,14 @@ class IndexRegistry:
                 raise ValidationError(
                     f"malformed tenant entry {entry!r} in "
                     f"{manifest_path}: {exc}") from exc
+            try:
+                quota = TenantQuota.from_manifest(entry.get("qos"))
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"malformed 'qos' block for tenant {dataset_id!r} in "
+                    f"{manifest_path}: {exc}") from exc
             registry.register(dataset_id, path=directory / base,
-                              dtype=entry.get("dtype"))
+                              dtype=entry.get("dtype"), quota=quota)
         return registry
 
     def register(self, dataset_id: str,
@@ -265,6 +282,7 @@ class IndexRegistry:
                  path: str | Path | None = None,
                  points: PointSet | None = None, k_max: int | None = None,
                  dtype: str | None = None,
+                 quota: TenantQuota | None = None,
                  **build_options) -> None:
         """Add a tenant, from an index object, persisted files, or data.
 
@@ -276,6 +294,10 @@ class IndexRegistry:
         *build_options*).  *dtype* casts a path-loaded index on every
         fault (e.g. ``"float32"`` to serve a float64 index on the fast
         path); in-memory sources are served in their own dtype.
+        *quota* sets the tenant's admission-control knobs
+        (:class:`~repro.service.qos.TenantQuota`; default: weight 1,
+        no rate limit), persisted in the manifest and honoured by
+        ``repro serve --qos``.
         """
         dataset_id = str(dataset_id)
         if not dataset_id:
@@ -297,7 +319,8 @@ class IndexRegistry:
                     f"dataset {dataset_id!r} is already registered")
             base = (Path(path) if path is not None
                     else self._spill_path(dataset_id))
-            tenant = _Tenant(dataset_id=dataset_id, path=base, dtype=dtype)
+            tenant = _Tenant(dataset_id=dataset_id, path=base, dtype=dtype,
+                             quota=quota or TenantQuota())
             if index is not None:
                 tenant.service = self._make_service(dataset_id, index)
                 tenant.dirty = True  # not on disk yet; evictions spill it
@@ -329,6 +352,17 @@ class IndexRegistry:
         """Registered ``dataset_id``\\ s, sorted."""
         with self._lock:
             return sorted(self._tenants)
+
+    def quotas(self) -> dict[str, TenantQuota]:
+        """Every tenant's admission quota, keyed by ``dataset_id``.
+
+        The view ``repro serve --qos`` seeds its WDRR scheduler with;
+        tenants registered later fall back to the scheduler's default
+        quota.
+        """
+        with self._lock:
+            return {dataset_id: tenant.quota
+                    for dataset_id, tenant in sorted(self._tenants.items())}
 
     @contextmanager
     def attach(self, dataset_id: str) -> Iterator[DiversityService]:
@@ -543,6 +577,9 @@ class IndexRegistry:
                      "index": tenant.dataset_id}
             if tenant.dtype is not None:
                 entry["dtype"] = tenant.dtype
+            qos = tenant.quota.to_manifest()
+            if qos:
+                entry["qos"] = qos
             entries.append(entry)
         manifest_path = directory / MANIFEST_NAME
         payload = {"format_version": MANIFEST_FORMAT_VERSION,
@@ -562,7 +599,9 @@ class IndexRegistry:
         ``tenants`` section: ``registered`` / ``resident`` /
         ``max_resident`` totals, lifetime ``faults`` / ``evictions``,
         and a ``per_tenant`` map of ``resident`` / ``hits`` / ``faults``
-        / ``evictions`` / ``resident_bytes`` / ``epoch`` / ``dtype``.
+        / ``evictions`` / ``resident_bytes`` / ``epoch`` / ``dtype``,
+        plus the tenant's admission ``quota`` knobs (weight, max_queue,
+        rate_limit_qps — the manifest-v2 ``"qos"`` block).
         ``resident_bytes`` counts the tenant's in-memory core-set rows
         (zero while cold); the shared matrix bytes are global by design
         and reported once under ``matrices``.  Served verbatim by the
@@ -603,6 +642,11 @@ class IndexRegistry:
                     "resident_bytes": resident_bytes,
                     "epoch": epoch,
                     "dtype": dtype,
+                    "quota": {
+                        "weight": tenant.quota.weight,
+                        "max_queue": tenant.quota.max_queue,
+                        "rate_limit_qps": tenant.quota.rate_limit_qps,
+                    },
                 }
             registered = len(tenants)
         return {

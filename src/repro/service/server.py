@@ -45,6 +45,17 @@ Registry mode adds tenant routing on top of the same pipeline: a
 HTTP 404), the micro-batcher groups each coalesced batch by dataset so
 one dispatch never mixes tenants, and ``GET /tenants`` (NDJSON kind
 ``tenants``) exposes the registry's per-tenant residency counters.
+
+QoS mode (``repro serve --qos``, registry only) swaps step 1's single
+queue for :mod:`repro.service.qos`: every tenant admits into its own
+bounded queue under its manifest quota (``weight`` / ``max_queue`` /
+``rate_limit_qps``), the collector pulls requests in weighted
+deficit-round-robin order (batches may mix tenants; dispatch still
+groups by dataset), rejections carry the tenant's ``dataset`` and its
+own ``retry_after_ms``, and ``stats()["server"]["qos"]`` reports
+per-tenant queue depth, deficit, admission counters and latency
+percentiles.  Answers stay bit-identical — QoS reorders only *between*
+tenants, never within one.
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ from repro.datasets.loaders import load_points
 from repro.exceptions import ValidationError
 from repro.service import protocol
 from repro.service.protocol import ProtocolError, Request
+from repro.service.qos import QosRejection, WeightedDeficitRoundRobin
 from repro.service.registry import IndexRegistry, UnknownDatasetError
 from repro.service.service import DiversityService
 from repro.service.workload import latency_summary
@@ -90,6 +102,11 @@ class ServerConfig:
     — and ``max_batch`` caps how many admitted requests one dispatch may
     coalesce.  ``retry_after_ms`` is the hint returned with rejections.
     ``drain_timeout_s`` caps how long shutdown waits for in-flight work.
+    ``qos`` (registry mode only — ``repro serve --qos``) replaces the
+    single admission queue with per-tenant queues drained in weighted
+    deficit-round-robin order under the tenants' manifest quotas;
+    ``max_queue`` then becomes the per-tenant default bound and
+    ``retry_after_ms`` the scale of the tenant-specific backoff hints.
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +116,7 @@ class ServerConfig:
     max_batch: int = 16
     retry_after_ms: float = 50.0
     drain_timeout_s: float = 30.0
+    qos: bool = False
 
     def __post_init__(self):
         """Validate the queue/batch bounds and non-negative windows."""
@@ -131,6 +149,9 @@ class ServerStats:
     signal the serve benchmark gates on.  ``rejected_overload`` and
     ``rejected_draining`` split the two admission-control outcomes;
     ``internal_errors`` counts request-crashing bugs (gated to zero).
+    ``rejected_datasets`` splits every rejection by the tenant it
+    applied to (empty on a single-index daemon), so one hot tenant's
+    backpressure is visible without grepping client logs.
     """
 
     connections: int = 0
@@ -145,12 +166,31 @@ class ServerStats:
     queries_served: int = 0
     refreshes: int = 0
     clients: dict[str, _ClientStats] = field(default_factory=dict)
+    rejected_datasets: dict[str, int] = field(default_factory=dict)
 
     def client(self, peer: str) -> _ClientStats:
         """The (created-on-first-use) counter block for *peer*."""
         if peer not in self.clients:
             self.clients[peer] = _ClientStats()
         return self.clients[peer]
+
+    def reject(self, peer: str, dataset: str | None, *,
+               draining: bool = False) -> None:
+        """Count one admission rejection everywhere it must show up.
+
+        Every rejection increments the matching global counter, the
+        per-client block AND (when the request named a tenant) the
+        per-dataset split — the single bookkeeping path that keeps the
+        three views consistent.
+        """
+        self.client(peer).rejected += 1
+        if draining:
+            self.rejected_draining += 1
+        else:
+            self.rejected_overload += 1
+        if dataset is not None:
+            self.rejected_datasets[dataset] = \
+                self.rejected_datasets.get(dataset, 0) + 1
 
 
 class _Work:
@@ -174,6 +214,11 @@ class _Work:
 #: Queue item that tells the collector to exit after the current batch.
 _SENTINEL = object()
 
+#: Queue item that wakes the collector in QoS mode: the admitted work
+#: lives in the WDRR scheduler, the queue only carries wake-ups (one
+#: token per admitted request, so token count == scheduler backlog).
+_QOS_TOKEN = object()
+
 
 class DiversityServer:
     """Asyncio TCP/HTTP front-end over one :class:`DiversityService`.
@@ -196,8 +241,23 @@ class DiversityServer:
             else None
         self.config = config or ServerConfig()
         self.stats_counters = ServerStats()
+        #: WDRR scheduler over per-tenant queues, or ``None`` when the
+        #: daemon runs the classic single-queue admission control.
+        self.qos: WeightedDeficitRoundRobin | None = None
+        if self.config.qos:
+            if self.registry is None:
+                raise ValidationError(
+                    "QoS scheduling is per-tenant; `repro serve --qos` "
+                    "needs --registry")
+            self.qos = WeightedDeficitRoundRobin(
+                self.registry.quotas(),
+                default_max_queue=self.config.max_queue,
+                base_retry_ms=self.config.retry_after_ms)
+        # In QoS mode the asyncio queue is unbounded: it carries only
+        # wake tokens (+ the shutdown sentinel); the per-tenant bounds
+        # live in the scheduler.
         self._queue: asyncio.Queue = asyncio.Queue(
-            maxsize=self.config.max_queue)
+            maxsize=0 if self.qos is not None else self.config.max_queue)
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-query")
         self._refresh_pool = concurrent.futures.ThreadPoolExecutor(
@@ -313,27 +373,40 @@ class DiversityServer:
         """Admit a query request into the bounded queue or raise.
 
         Raises :class:`ProtocolError` with ``shutting_down`` while
-        draining and ``overloaded`` when the queue is full — the two
-        admission-control rejections; both are counted globally and
-        per client.
+        draining and ``overloaded`` when the queue (in QoS mode: the
+        request's tenant queue or token bucket) rejects — the
+        admission-control rejections; all are counted globally, per
+        client and per tenant.  QoS rejections carry the tenant's
+        ``dataset`` and its own ``retry_after_ms`` hint.
         """
         client = self.stats_counters.client(peer)
         if self._draining:
-            client.rejected += 1
-            self.stats_counters.rejected_draining += 1
+            self.stats_counters.reject(peer, request.dataset, draining=True)
             raise ProtocolError(protocol.ERROR_SHUTTING_DOWN,
-                                "server is draining; not accepting work")
+                                "server is draining; not accepting work",
+                                dataset=request.dataset)
         work = _Work(request, asyncio.get_running_loop().create_future(),
                      peer)
-        try:
-            self._queue.put_nowait(work)
-        except asyncio.QueueFull:
-            client.rejected += 1
-            self.stats_counters.rejected_overload += 1
-            raise ProtocolError(
-                protocol.ERROR_OVERLOADED,
-                f"admission queue full ({self.config.max_queue}); "
-                "retry after the advertised delay") from None
+        if self.qos is not None:
+            try:
+                self.qos.admit(request.dataset, work)
+            except QosRejection as exc:
+                self.stats_counters.reject(peer, request.dataset)
+                raise ProtocolError(
+                    protocol.ERROR_OVERLOADED, str(exc),
+                    retry_after_ms=exc.retry_after_ms,
+                    dataset=request.dataset) from None
+            self._queue.put_nowait(_QOS_TOKEN)
+        else:
+            try:
+                self._queue.put_nowait(work)
+            except asyncio.QueueFull:
+                self.stats_counters.reject(peer, request.dataset)
+                raise ProtocolError(
+                    protocol.ERROR_OVERLOADED,
+                    f"admission queue full ({self.config.max_queue}); "
+                    "retry after the advertised delay",
+                    dataset=request.dataset) from None
         self._pending += 1
         self._idle.clear()
         client.accepted += 1
@@ -354,6 +427,13 @@ class DiversityServer:
         oldest request, gathers more until the batching window closes
         (or ``max_batch`` is hit), dispatches the coalesced batch, and
         repeats until the shutdown sentinel arrives.
+
+        In QoS mode the queue carries wake tokens, not work: each token
+        redeems one :meth:`WeightedDeficitRoundRobin.take`, so the
+        batch fills in WDRR order over whatever backlog exists at that
+        moment — a flooded tenant's wall of requests interleaves with
+        every other backlogged tenant inside the same window, which is
+        exactly the starvation-freedom bound the QoS tests gate.
         """
         loop = asyncio.get_running_loop()
         window = self.config.batch_window_ms / 1e3
@@ -361,7 +441,10 @@ class DiversityServer:
             first = await self._queue.get()
             if first is _SENTINEL:
                 return
-            batch = [first]
+            batch = []
+            work = self._redeem(first)
+            if work is not None:
+                batch.append(work)
             stop_after = False
             deadline = loop.time() + window
             while len(batch) < self.config.max_batch:
@@ -376,10 +459,25 @@ class DiversityServer:
                 if item is _SENTINEL:
                     stop_after = True
                     break
-                batch.append(item)
-            await self._dispatch(batch)
+                work = self._redeem(item)
+                if work is not None:
+                    batch.append(work)
+            if batch:
+                await self._dispatch(batch)
             if stop_after:
                 return
+
+    def _redeem(self, item) -> "_Work | None":
+        """Turn one queue item into admitted work.
+
+        Single-queue mode: the item *is* the work.  QoS mode: the item
+        is a wake token and the next request comes from the scheduler
+        in WDRR order (``None`` only defensively — token and backlog
+        counts match by construction).
+        """
+        if self.qos is None:
+            return item
+        return self.qos.take()
 
     def _query_batch_blocking(self, dataset: str | None, queries: list):
         """One coalesced ``query_batch`` call (query-slot thread)."""
@@ -435,6 +533,9 @@ class DiversityServer:
                 offset += count
                 self.stats_counters.queries_served += count
                 self._latencies.append(now - work.admitted_at)
+                if self.qos is not None:
+                    self.qos.record_latency(work.request.dataset,
+                                            now - work.admitted_at)
                 self._work_done()
         if len(self._latencies) > 65536:
             del self._latencies[:32768]
@@ -502,8 +603,15 @@ class DiversityServer:
                 request.id, tenants=self.registry.stats()["tenants"])
         if request.kind == "refresh":
             if self._draining:
+                # Count this rejection like any other admission refusal
+                # (it used to bump no counter at all — the per-client /
+                # per-tenant accounting regression in
+                # tests/test_serve_protocol.py pins the fix).
+                self.stats_counters.reject(peer, request.dataset,
+                                           draining=True)
                 raise ProtocolError(protocol.ERROR_SHUTTING_DOWN,
-                                    "server is draining")
+                                    "server is draining",
+                                    dataset=request.dataset)
             dataset = self._resolve_dataset(request)
             loop = asyncio.get_running_loop()
             try:
@@ -530,14 +638,15 @@ class DiversityServer:
             request_id = request.id
             return await self._answer(request, peer)
         except ProtocolError as exc:
-            retry = None
-            if exc.code == protocol.ERROR_OVERLOADED:
+            retry = exc.retry_after_ms
+            if retry is None and exc.code == protocol.ERROR_OVERLOADED:
                 retry = self.config.retry_after_ms
             if exc.code in (protocol.ERROR_BAD_REQUEST,
                             protocol.ERROR_UNSUPPORTED_VERSION):
                 self.stats_counters.bad_requests += 1
             return protocol.encode_error(request_id, exc.code, exc.message,
-                                         retry_after_ms=retry)
+                                         retry_after_ms=retry,
+                                         dataset=exc.dataset)
         except Exception as exc:  # pragma: no cover - defensive
             self.stats_counters.internal_errors += 1
             return protocol.encode_error(request_id, protocol.ERROR_INTERNAL,
@@ -717,8 +826,12 @@ class DiversityServer:
         verbatim (same versioned schema as the in-process API); the
         ``server`` section adds admission/batching counters, the
         server-observed latency percentile block
-        (:func:`~repro.service.workload.latency_summary`) and per-client
-        accounting.  ``GET /stats`` and the NDJSON ``stats`` kind both
+        (:func:`~repro.service.workload.latency_summary`), per-client
+        accounting, the per-dataset rejection split and — on a
+        QoS-enabled daemon — the WDRR scheduler's snapshot under
+        ``server.qos`` (per-tenant quota knobs, queue depth, deficit,
+        admission counters and latency percentiles; ``None`` when QoS
+        is off).  ``GET /stats`` and the NDJSON ``stats`` kind both
         return exactly this payload.
         """
         counters = self.stats_counters
@@ -734,6 +847,7 @@ class DiversityServer:
                 "max_queue": self.config.max_queue,
                 "max_batch": self.config.max_batch,
                 "retry_after_ms": self.config.retry_after_ms,
+                "qos": self.config.qos,
             },
             "connections": counters.connections,
             "http_requests": counters.http_requests,
@@ -749,6 +863,8 @@ class DiversityServer:
             "latency": latency_summary(self._latencies),
             "clients": {peer: client.as_dict()
                         for peer, client in counters.clients.items()},
+            "rejected_datasets": dict(counters.rejected_datasets),
+            "qos": self.qos.stats() if self.qos is not None else None,
         }
         return payload
 

@@ -234,6 +234,54 @@ def recommend_registry_budget_mb(
     return max(1, sum(per_tenant[:hot_tenants]))
 
 
+def recommend_tenant_weights(per_tenant_hits: dict[str, int],
+                             max_weight: int = 4) -> dict[str, int]:
+    """Seed manifest-v2 QoS weights from observed per-tenant traffic.
+
+    Maps each tenant's lifetime hit count (the ``per_tenant`` ``hits``
+    counters of :meth:`IndexRegistry.stats
+    <repro.service.registry.IndexRegistry.stats>`) onto a small integer
+    weight in ``[1, max_weight]``, proportional to its share of the
+    busiest tenant's traffic.  The point is a *starting* manifest for
+    ``repro serve --qos`` that keeps measured heavy hitters from
+    queueing behind the long tail, while the clamp to ``max_weight``
+    stops a zipf-hot tenant from monopolizing dispatch — isolation
+    (per-tenant ``max_queue`` / ``rate_limit_qps``) is the operator's
+    lever for misbehaving tenants, not an unbounded weight.
+
+    Parameters
+    ----------
+    per_tenant_hits:
+        Lifetime query hits keyed by ``dataset_id``.  Negative counts
+        are invalid; an all-zero map yields weight 1 everywhere.
+    max_weight:
+        Largest weight assigned (to the busiest tenant).
+
+    Returns
+    -------
+    dict[str, int]
+        A weight per tenant, each in ``[1, max_weight]``.
+
+    Raises
+    ------
+    ValidationError
+        If *per_tenant_hits* is empty, any count is negative, or
+        *max_weight* is not a positive int.
+    """
+    from repro.exceptions import ValidationError
+
+    if not per_tenant_hits:
+        raise ValidationError("per_tenant_hits must be non-empty")
+    check_positive_int(max_weight, "max_weight")
+    if any(hits < 0 for hits in per_tenant_hits.values()):
+        raise ValidationError("hit counts must be non-negative")
+    busiest = max(per_tenant_hits.values())
+    if busiest == 0:
+        return {tenant: 1 for tenant in per_tenant_hits}
+    return {tenant: max(1, round(max_weight * hits / busiest))
+            for tenant, hits in per_tenant_hits.items()}
+
+
 @dataclass(frozen=True)
 class KernelTuning:
     """Chosen tiling for one blocked-kernel workload.

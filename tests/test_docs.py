@@ -203,3 +203,28 @@ class TestRegistryStatsSchemaTable:
             f"docs/serving.md registry stats table drifted: "
             f"undocumented {sorted(emitted - documented)}, "
             f"stale {sorted(documented - emitted)}")
+
+
+class TestQosStatsSchemaTable:
+    """The Tenant QoS table must match the live WDRR scheduler block."""
+
+    def test_table_matches_emitted_keys(self):
+        from repro.service import TenantQuota, WeightedDeficitRoundRobin
+
+        scheduler = WeightedDeficitRoundRobin(
+            {"demo": TenantQuota(weight=2.0)})
+        scheduler.admit("demo", object())
+        scheduler.take()
+        scheduler.record_latency("demo", 0.001)
+        stats = scheduler.stats()
+        # One tenant block stands in for every tenant, documented under
+        # the <dataset> placeholder like the registry table.
+        stats["per_tenant"] = {"<dataset>": stats["per_tenant"]["demo"]}
+        emitted = TestStatsSchemaTable._flatten(stats)
+        documented = _documented_keys("qos-stats-keys")
+        assert documented, \
+            "serving.md qos stats table markers missing or empty"
+        assert emitted == documented, (
+            f"docs/serving.md qos stats table drifted: "
+            f"undocumented {sorted(emitted - documented)}, "
+            f"stale {sorted(documented - emitted)}")

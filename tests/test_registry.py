@@ -161,7 +161,10 @@ def test_stats_counts_residency_faults_and_hits(indexes):
         assert tenants["faults"] == 2 and tenants["evictions"] == 3
         for block in per.values():
             assert set(block) == {"resident", "hits", "faults", "evictions",
-                                  "resident_bytes", "epoch", "dtype"}
+                                  "resident_bytes", "epoch", "dtype", "quota"}
+            assert set(block["quota"]) == {"weight", "max_queue",
+                                           "rate_limit_qps"}
+            assert block["quota"]["weight"] == 1.0  # default quota
         assert stats["matrices"]["local"]["cached"] >= 1
         assert stats["executors"]["default"] == "serial"
 
@@ -284,7 +287,7 @@ def test_manifest_round_trip(indexes, tmp_path):
                     for name in ("eu", "us")}
         manifest = registry.save_manifest(fleet)
     payload = json.loads(manifest.read_text())
-    assert payload["format_version"] == 1
+    assert payload["format_version"] == 2
     entries = {entry["dataset_id"]: entry for entry in payload["tenants"]}
     assert set(entries) == {"eu", "us"}
     assert entries["us"]["dtype"] == "float32"
@@ -292,6 +295,65 @@ def test_manifest_round_trip(indexes, tmp_path):
         assert reloaded.list() == ["eu", "us"]
         for name, key in expected.items():
             assert result_key(reloaded.query(name, "remote-clique", 4)) == key
+
+
+def test_manifest_v2_quota_round_trip(indexes, tmp_path):
+    """Manifest v2 persists per-tenant QoS quotas; defaults stay terse."""
+    from repro.service.qos import TenantQuota
+
+    fleet = tmp_path / "fleet"
+    with IndexRegistry() as registry:
+        registry.register("hot", indexes["eu"],
+                          quota=TenantQuota(weight=3.0, max_queue=8,
+                                            rate_limit_qps=50.0))
+        registry.register("cold", indexes["us"])  # default quota
+        registry.save_manifest(fleet)
+    payload = json.loads((fleet / MANIFEST_NAME).read_text())
+    entries = {entry["dataset_id"]: entry for entry in payload["tenants"]}
+    assert entries["hot"]["qos"] == {"weight": 3.0, "max_queue": 8,
+                                     "rate_limit_qps": 50.0}
+    assert "qos" not in entries["cold"]  # defaults are not spelled out
+    with IndexRegistry.from_directory(fleet) as reloaded:
+        quotas = reloaded.quotas()
+        assert quotas["hot"] == TenantQuota(weight=3.0, max_queue=8,
+                                            rate_limit_qps=50.0)
+        assert quotas["cold"] == TenantQuota()
+        per = reloaded.stats()["tenants"]["per_tenant"]
+        assert per["hot"]["quota"] == {"weight": 3.0, "max_queue": 8,
+                                       "rate_limit_qps": 50.0}
+
+
+def test_manifest_v1_loads_with_default_quotas(indexes, tmp_path):
+    """A PR-8 (format v1) manifest still loads; every quota defaults."""
+    from repro.service.qos import TenantQuota
+
+    fleet = tmp_path / "fleet"
+    with IndexRegistry() as registry:
+        registry.register("eu", indexes["eu"])
+        registry.save_manifest(fleet)
+    manifest = fleet / MANIFEST_NAME
+    payload = json.loads(manifest.read_text())
+    payload["format_version"] = 1  # rewrite as the previous format
+    manifest.write_text(json.dumps(payload))
+    with IndexRegistry.from_directory(fleet) as reloaded:
+        assert reloaded.quotas() == {"eu": TenantQuota()}
+
+
+def test_manifest_rejects_malformed_qos_block(indexes, tmp_path):
+    fleet = tmp_path / "fleet"
+    with IndexRegistry() as registry:
+        registry.register("eu", indexes["eu"])
+        registry.save_manifest(fleet)
+    manifest = fleet / MANIFEST_NAME
+    payload = json.loads(manifest.read_text())
+    payload["tenants"][0]["qos"] = {"weight": -1}
+    manifest.write_text(json.dumps(payload))
+    with pytest.raises(ValidationError, match="qos"):
+        IndexRegistry.from_directory(fleet)
+    payload["tenants"][0]["qos"] = {"wieght": 2}
+    manifest.write_text(json.dumps(payload))
+    with pytest.raises(ValidationError, match="unknown"):
+        IndexRegistry.from_directory(fleet)
 
 
 def test_from_directory_rejects_bad_manifests(tmp_path):

@@ -40,6 +40,7 @@ from repro.service import (
     IndexRegistry,
     Query,
     ServerConfig,
+    TenantQuota,
     build_coreset_index,
     make_workload,
 )
@@ -427,6 +428,82 @@ def test_registry_server_refresh_targets_one_tenant(tenant_indexes,
     assert refresh["epoch"] == 1 and refresh["absorbed"] == 50
     assert by_id["eu"]["results"][0]["epoch"] == 1
     assert by_id["us"]["results"][0]["epoch"] == 0
+
+
+def test_qos_hot_flood_never_starves_cold_tenant(tenant_indexes):
+    """Starvation regression: a hot tenant saturating its queue must not
+    delay or reject an under-quota cold tenant, and QoS reordering must
+    keep answers bit-identical to the in-process service."""
+    cold_query = Query("remote-edge", 4, 1.0)
+    with DiversityService(tenant_indexes["eu"], cache_size=16) as oracle:
+        expected = result_key(oracle.query_batch([cold_query])[0])
+
+    async def run():
+        registry = IndexRegistry()
+        # Hot tenant: tiny queue so the flood overruns it; cold tenant
+        # keeps default quota.
+        registry.register("us", tenant_indexes["us"],
+                          quota=TenantQuota(weight=1.0, max_queue=2))
+        registry.register("eu", tenant_indexes["eu"])
+        server = DiversityServer(registry, ServerConfig(
+            qos=True, batch_window_ms=1.0, max_batch=4))
+        host, port = await server.start()
+        try:
+            async def flood():
+                reader, writer = await asyncio.open_connection(host, port)
+                for i in range(120):
+                    # Vary k to defeat the result cache and keep the
+                    # hot backlog genuinely saturated.
+                    writer.write(protocol.encode_request(
+                        "query", f"hot-{i}",
+                        queries=[Query("remote-edge", 2 + i % 4, 1.0)],
+                        dataset="us").encode())
+                await writer.drain()
+                responses = []
+                for _ in range(120):
+                    responses.append(
+                        protocol.decode_response(await reader.readline()))
+                writer.close()
+                await writer.wait_closed()
+                return responses
+
+            async def trickle():
+                responses = []
+                for i in range(8):
+                    responses += await send_lines(host, port, [
+                        protocol.encode_request(
+                            "query", f"cold-{i}", queries=[cold_query],
+                            dataset="eu")])
+                return responses
+
+            hot_task = asyncio.create_task(flood())
+            cold = await trickle()
+            hot = await hot_task
+            stats = server.stats()
+        finally:
+            await server.shutdown()
+        return hot, cold, stats
+
+    hot, cold, stats = asyncio.run(run())
+    # Every cold request was answered — zero rejections, bit-identical.
+    assert len(cold) == 8
+    for response in cold:
+        assert response["ok"], response
+        assert result_key(protocol.results_of(response)[0]) == expected
+    # The flood overran the hot tenant's 2-deep queue: rejections are
+    # per-tenant and carry the dataset plus a tenant-specific hint.
+    rejected = [r for r in hot if not r["ok"]]
+    assert rejected, "flood never saturated the hot queue"
+    for response in rejected:
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["dataset"] == "us"
+        assert response["error"]["retry_after_ms"] > 0
+    qos = stats["server"]["qos"]
+    assert qos["per_tenant"]["eu"]["rejected"] == 0
+    assert qos["per_tenant"]["eu"]["dispatched"] == 8
+    assert qos["per_tenant"]["us"]["rejected"] == len(rejected)
+    assert stats["server"]["rejected_datasets"] == {"us": len(rejected)}
+    assert qos["per_tenant"]["eu"]["latency"]["count"] == 8
 
 
 def test_single_index_server_rejects_tenant_routing(index):

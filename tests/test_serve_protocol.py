@@ -223,3 +223,83 @@ def test_latency_summary_percentiles_and_empty():
     assert block["p99_ms"] == pytest.approx(99.01, abs=0.5)
     assert block["max_ms"] == pytest.approx(100.0)
     assert block["p50_ms"] <= block["p95_ms"] <= block["p99_ms"]
+
+
+# ------------------------------------------------- rejection accounting
+
+
+def test_error_line_carries_dataset_and_retry_fields():
+    line = protocol.encode_error(3, protocol.ERROR_OVERLOADED, "tenant full",
+                                 retry_after_ms=125.0, dataset="eu")
+    error = protocol.decode_response(line)["error"]
+    assert error["dataset"] == "eu"
+    assert error["retry_after_ms"] == 125.0
+    # Absent dataset stays absent — single-index daemons are unchanged.
+    bare = protocol.decode_response(protocol.encode_error(
+        4, protocol.ERROR_OVERLOADED, "full"))
+    assert "dataset" not in bare["error"]
+    exc = ProtocolError(protocol.ERROR_OVERLOADED, "x",
+                        retry_after_ms=10.0, dataset="us")
+    assert (exc.retry_after_ms, exc.dataset) == (10.0, "us")
+
+
+def test_server_stats_reject_updates_all_three_views():
+    """Every rejection shows up globally, per-client AND per-tenant."""
+    from repro.service import ServerStats
+
+    counters = ServerStats()
+    counters.reject("1.2.3.4:1", "eu")
+    counters.reject("1.2.3.4:1", "eu")
+    counters.reject("5.6.7.8:2", "us", draining=True)
+    counters.reject("5.6.7.8:2", None)  # single-index: no tenant split
+    assert counters.rejected_overload == 3
+    assert counters.rejected_draining == 1
+    assert counters.clients["1.2.3.4:1"].rejected == 2
+    assert counters.clients["5.6.7.8:2"].rejected == 2
+    assert counters.rejected_datasets == {"eu": 2, "us": 1}
+
+
+def test_refresh_while_draining_counts_per_client_and_per_tenant():
+    """Regression: a refresh refused mid-drain used to bump no counter
+    at all — neither the per-client block nor ``rejected_draining`` —
+    so drained refreshes vanished from the stats.  Pin the fix: the
+    refusal lands in all three views and the error names the tenant."""
+    import asyncio
+
+    from repro.metricspace.points import PointSet
+    from repro.service import (
+        DiversityServer,
+        IndexRegistry,
+        ServerConfig,
+        build_coreset_index,
+    )
+
+    rng = np.random.default_rng(13)
+    index = build_coreset_index(PointSet(rng.normal(size=(90, 3))), 4, seed=0)
+    registry = IndexRegistry()
+    registry.register("eu", index)
+
+    async def run():
+        server = DiversityServer(registry, ServerConfig())
+        host, port = await server.start()
+        server._draining = True  # simulate mid-drain admission attempt
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(protocol.encode_request(
+                "refresh", 1, data="/nowhere", dataset="eu").encode())
+            await writer.drain()
+            response = protocol.decode_response(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            server._draining = False
+            await server.shutdown()
+        return response, server.stats()["server"]
+
+    response, stats = asyncio.run(run())
+    assert response["error"]["code"] == "shutting_down"
+    assert response["error"]["dataset"] == "eu"
+    assert stats["rejected_draining"] == 1
+    assert stats["rejected_datasets"] == {"eu": 1}
+    (client_block,) = stats["clients"].values()
+    assert client_block["rejected"] == 1

@@ -287,6 +287,40 @@ class TestRegistryBudget:
             recommend_registry_budget_mb([[]])
 
 
+class TestTenantWeights:
+    def test_weights_proportional_to_traffic_and_clamped(self):
+        from repro.tuning import recommend_tenant_weights
+
+        weights = recommend_tenant_weights(
+            {"hot": 1000, "warm": 500, "cool": 250, "cold": 1})
+        assert weights == {"hot": 4, "warm": 2, "cool": 1, "cold": 1}
+        # The clamp keeps a zipf-hot tenant from monopolizing dispatch.
+        assert recommend_tenant_weights(
+            {"whale": 10**9, "minnow": 1}, max_weight=8)["whale"] == 8
+        # Every tenant gets at least weight 1 — nobody is starved out
+        # of the round by the recommender itself.
+        assert set(recommend_tenant_weights(
+            {"a": 0, "b": 0}).values()) == {1}
+
+    def test_round_trips_into_valid_quotas(self):
+        from repro.service import TenantQuota
+        from repro.tuning import recommend_tenant_weights
+
+        weights = recommend_tenant_weights({"eu": 300, "us": 100})
+        for weight in weights.values():
+            TenantQuota(weight=weight)  # always a valid manifest quota
+
+    def test_validation(self):
+        from repro.tuning import recommend_tenant_weights
+
+        with pytest.raises(ValidationError):
+            recommend_tenant_weights({})
+        with pytest.raises(ValidationError):
+            recommend_tenant_weights({"eu": -1})
+        with pytest.raises(ValidationError):
+            recommend_tenant_weights({"eu": 5}, max_weight=0)
+
+
 class TestRecommendationPipeline:
     def test_recommendation_actually_performs(self):
         """End-to-end: the recommended k' achieves a good ratio."""
