@@ -196,8 +196,21 @@ class CoresetIndex:
         the largest admissible rung is the best the index can do and is
         returned rather than failing the query.
         """
-        objective = get_objective(objective)
         candidates = self.covering_rungs(objective, k)
+        return self.select_rung(candidates, objective, k, epsilon)
+
+    def select_rung(self, candidates: list[LadderRung],
+                    objective: str | Objective, k: int,
+                    epsilon: float = 1.0) -> LadderRung:
+        """Pick the serving rung among precomputed covering *candidates*.
+
+        The epsilon-sizing half of :meth:`route`, split out so callers
+        that already hold the covering list (the query service resolves
+        routing and epsilon-aware reuse from one traversal) do not scan
+        the ladder twice per query.  *candidates* must come from
+        :meth:`covering_rungs` for the same ``(objective, k)``.
+        """
+        objective = get_objective(objective)
         required = practical_coreset_size(
             k, epsilon, self.dimension_estimate, objective,
             base_multiplier=int(self.ladder.get("multiplier", 4)))

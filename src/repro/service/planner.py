@@ -1,0 +1,572 @@
+"""Cost-model query planning: pick executor and matrix strategy per batch.
+
+Static routing (:meth:`~repro.service.index.CoresetIndex.route`) answers
+*which rung* serves a query from the epsilon sizing alone; everything else
+— which execution backend runs the solves, whether the rung matrix is
+already resident or must be computed (locally or into a shared segment) —
+was a fixed policy.  This module closes the ROADMAP's "cost-model query
+planner over measured profiles" item: a :class:`CostModel` fitted from
+calibration measurements predicts what each *valid* plan would cost, and a
+:class:`QueryPlanner` picks the cheapest one per batch.
+
+The safety contract is strict: a plan changes **where and how** work runs,
+never what it answers.  The solved rung is always the statically routed
+one (eps-correctness preserved; cached tighter-eps answers are exploited
+through the existing epsilon-aware reuse, which every mode shares), and
+all execution backends are bit-identical by construction — so
+``plan="auto"`` answers are bit-identical to ``plan="static"`` for the
+same ``(objective, k, seed)``.  What the planner buys is wall time:
+serial dispatch for small batches (no pool overhead), process workers
+when predicted solve time dominates dispatch overhead, and zero matrix
+cost when the rung's matrix is already resident.
+
+Calibration runs once via ``repro calibrate``
+(:func:`run_calibration`), persists into the per-machine profile
+(``.repro_profile.json`` format v3 — see :mod:`repro.tuning`), and is
+refined online: every planned batch's measured wall time updates an EMA
+correction factor, and the predicted-vs-measured relative error is a
+first-class metric in ``stats()["planner"]`` (regression-gated by
+``benchmarks/bench_planner.py``).
+
+Everything here is deterministic given a model: :class:`QueryPlanner`
+takes an injectable :class:`CostModel`, so tests pin plans with synthetic
+cost tables instead of timing anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.service.executors import EXECUTOR_NAMES
+
+#: Smallest denominator used for relative-error and slope computations.
+_EPS_SECONDS = 1e-9
+
+#: EMA step for the online measured/predicted correction factor.
+_EMA_ALPHA = 0.2
+
+#: Clamp band for the online correction factor (and per-observation
+#: ratios): one bad measurement can nudge predictions, never capsize them.
+_SCALE_BAND = (0.1, 10.0)
+
+#: Matrix strategies a plan may record per rung.
+MATRIX_CACHED = "cached"      # resident in the local MatrixCache: free
+MATRIX_COMPUTE = "compute"    # recompute locally (serial/thread path)
+MATRIX_SHARED = "shared"      # fill a shared segment (process path)
+
+
+def _default_matrix_costs() -> dict[str, float]:
+    # Seconds per n^2 matrix cell; float32 moves half the bytes.
+    return {"float64": 4e-9, "float32": 2.5e-9}
+
+
+def _default_solve_costs() -> dict[str, float]:
+    # Seconds per k*n solve cell for the Python-heavy sequential solvers.
+    return {
+        "remote-edge": 4e-7,
+        "remote-cycle": 5e-7,
+        "remote-clique": 4e-7,
+        "remote-star": 4e-7,
+        "remote-bipartition": 5e-7,
+        "remote-tree": 5e-7,
+    }
+
+
+def _default_dispatch() -> dict[str, float]:
+    # Per-batch dispatch overhead.  The uncalibrated process figure is
+    # deliberately pessimistic so an unprofiled machine only leaves
+    # serial when the predicted solve work clearly dominates.
+    return {"serial": 0.0, "thread": 2e-3, "process": 2e-2}
+
+
+def _default_solve_scale() -> dict[str, float]:
+    # Multiplier on a batch's summed serial solve seconds.  Threads keep
+    # the GIL for the solver loops (scale ~1); processes genuinely
+    # parallelize.  Calibration replaces these with measured slopes.
+    return {"serial": 1.0, "thread": 1.0, "process": 0.4}
+
+
+@dataclass
+class CostModel:
+    """Fitted per-machine costs the planner predicts with.
+
+    Attributes
+    ----------
+    matrix_seconds_per_cell:
+        Blocked-kernel pairwise build cost, seconds per ``n^2`` cell,
+        keyed by dtype (the rung's storage dtype).
+    solve_seconds_per_cell:
+        Sequential-solver cost, seconds per ``k * n`` cell, keyed by
+        objective name (the ``(objective, k, rung)`` cost class).
+    dispatch_seconds:
+        Fixed per-batch overhead of handing work to each executor.
+    solve_scale:
+        Multiplier each executor applies to a batch's summed serial
+        solve seconds (its measured parallel slope; serial is 1.0).
+    shared_fill_factor:
+        Extra factor on matrix builds that fill a shared-memory segment
+        instead of a local array (the process backend's first touch).
+    query_overhead_seconds:
+        Per-query bookkeeping cost (normalization, routing, cache
+        probes) independent of executor — the floor that keeps
+        predictions for all-cache-hit batches honest instead of zero.
+    scale:
+        Online EMA of measured/predicted batch cost; multiplies every
+        prediction, so persistent model bias is corrected within a few
+        observed batches.
+    calibrated:
+        Whether the numbers came from :func:`run_calibration` (else the
+        conservative built-in defaults).
+    """
+
+    matrix_seconds_per_cell: dict[str, float] = field(
+        default_factory=_default_matrix_costs)
+    solve_seconds_per_cell: dict[str, float] = field(
+        default_factory=_default_solve_costs)
+    dispatch_seconds: dict[str, float] = field(default_factory=_default_dispatch)
+    solve_scale: dict[str, float] = field(default_factory=_default_solve_scale)
+    shared_fill_factor: float = 1.5
+    query_overhead_seconds: float = 2e-5
+    scale: float = 1.0
+    calibrated: bool = False
+
+    @classmethod
+    def default(cls) -> "CostModel":
+        """The uncalibrated built-in model (conservative defaults)."""
+        return cls()
+
+    # -- persistence (the profile's ``planner_calibration`` block) ---------------
+    def to_payload(self) -> dict:
+        """JSON-ready form persisted by :func:`repro.tuning.save_calibration`."""
+        return {
+            "matrix_seconds_per_cell": dict(self.matrix_seconds_per_cell),
+            "solve_seconds_per_cell": dict(self.solve_seconds_per_cell),
+            "dispatch_seconds": dict(self.dispatch_seconds),
+            "solve_scale": dict(self.solve_scale),
+            "shared_fill_factor": self.shared_fill_factor,
+            "query_overhead_seconds": self.query_overhead_seconds,
+            "scale": self.scale,
+            "calibrated": self.calibrated,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "CostModel":
+        """Rebuild a model from a persisted block, tolerantly.
+
+        Missing or malformed fields fall back to the defaults — a
+        pre-planner profile (format v1/v2, no ``planner_calibration``
+        block) yields exactly :meth:`default`, which is what "v2 loads
+        with defaults" means.
+        """
+        model = cls.default()
+        if not isinstance(payload, dict) or not payload:
+            return model
+
+        def _merge(target: dict[str, float], block: object) -> None:
+            if not isinstance(block, dict):
+                return
+            for key, value in block.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool) and value >= 0:
+                    target[str(key)] = float(value)
+
+        _merge(model.matrix_seconds_per_cell,
+               payload.get("matrix_seconds_per_cell"))
+        _merge(model.solve_seconds_per_cell,
+               payload.get("solve_seconds_per_cell"))
+        _merge(model.dispatch_seconds, payload.get("dispatch_seconds"))
+        _merge(model.solve_scale, payload.get("solve_scale"))
+        fill = payload.get("shared_fill_factor")
+        if isinstance(fill, (int, float)) and not isinstance(fill, bool) \
+                and fill > 0:
+            model.shared_fill_factor = float(fill)
+        overhead = payload.get("query_overhead_seconds")
+        if isinstance(overhead, (int, float)) \
+                and not isinstance(overhead, bool) and overhead >= 0:
+            model.query_overhead_seconds = float(overhead)
+        scale = payload.get("scale")
+        if isinstance(scale, (int, float)) and not isinstance(scale, bool) \
+                and scale > 0:
+            model.scale = min(max(float(scale), _SCALE_BAND[0]),
+                              _SCALE_BAND[1])
+        model.calibrated = bool(payload.get("calibrated", False))
+        return model
+
+    # -- cost primitives ---------------------------------------------------------
+    def matrix_seconds(self, n: int, dtype: str) -> float:
+        """Predicted seconds to build one ``n x n`` pairwise matrix."""
+        per_cell = self.matrix_seconds_per_cell.get(
+            dtype, self.matrix_seconds_per_cell.get("float64", 4e-9))
+        return per_cell * float(n) * float(n)
+
+    def solve_seconds(self, objective: str, k: int, n: int) -> float:
+        """Predicted seconds for one ``(objective, k)`` solve on ``n`` points."""
+        per_cell = self.solve_seconds_per_cell.get(objective, 4e-7)
+        return per_cell * float(k) * float(n)
+
+    def dispatch_overhead(self, executor: str) -> float:
+        """Predicted fixed per-batch overhead of *executor*."""
+        return self.dispatch_seconds.get(executor, 0.0)
+
+    def observe(self, predicted: float, measured: float) -> None:
+        """Fold one observed batch into the online correction factor."""
+        if predicted <= 0.0 or measured <= 0.0:
+            return
+        ratio = measured / predicted
+        ratio = min(max(ratio, _SCALE_BAND[0]), _SCALE_BAND[1])
+        scale = (1.0 - _EMA_ALPHA) * self.scale + _EMA_ALPHA * ratio
+        self.scale = min(max(scale, _SCALE_BAND[0]), _SCALE_BAND[1])
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One chosen execution plan for one batch.
+
+    ``matrix_strategy`` maps each distinct rung key the batch must solve
+    on to :data:`MATRIX_CACHED` / :data:`MATRIX_COMPUTE` /
+    :data:`MATRIX_SHARED`; ``breakdown`` carries the predicted
+    dispatch/matrix/solve split plus every candidate executor's total, so
+    ``repro plan`` can explain why the winner won.
+    """
+
+    executor: str
+    predicted_seconds: float
+    matrix_strategy: dict
+    breakdown: dict
+    queries: int
+    solves: int
+
+    @property
+    def signature(self) -> tuple:
+        """Hashable batching class: requests with equal signatures may
+        share a dispatch (the daemon groups by ``(dataset, signature)``)."""
+        return ("auto", self.executor)
+
+
+class QueryPlanner:
+    """Pick the cheapest valid plan per batch and track prediction error.
+
+    The planner never touches answers: rungs are the static route's, and
+    every candidate executor is bit-identical — so "valid" is every
+    combination, and cheapest-predicted wins (ties break toward the
+    earlier entry of *executors*, so serial beats thread beats process on
+    equal predictions).  Instances are thread-safe; the cost model is
+    shared mutable state refined by :meth:`record`.
+    """
+
+    #: Per-query prediction records kept for benchmarks (bounded).
+    MAX_SAMPLES = 1024
+
+    def __init__(self, model: CostModel | None = None,
+                 executors: Sequence[str] = EXECUTOR_NAMES):
+        self.model = model if model is not None else CostModel.default()
+        self.executors = tuple(executors)
+        self._lock = threading.Lock()
+        self.planned = 0
+        self.predicted_seconds = 0.0
+        self.measured_seconds = 0.0
+        self._error_sum = 0.0
+        self._error_count = 0
+        self.plans_by_executor = {name: 0 for name in EXECUTOR_NAMES}
+        self._samples: list[dict] = []
+
+    def plan_batch(self, queries: Sequence, rungs: Sequence,
+                   dtype: str, matrix_resident: Callable[[tuple], bool],
+                   cached_flags: Sequence[bool] | None = None) -> Plan:
+        """The cheapest plan for *queries* already routed to *rungs*.
+
+        *matrix_resident* probes the serving matrix cache (non-mutating)
+        so resident rungs cost nothing to reuse; *cached_flags* marks
+        queries the result cache will answer without a solve (resolved
+        by the service during routing, at zero extra cost).  Process
+        residency in the shared plane is approximated by the local
+        cache's — the strategies only shift predicted cost, never
+        results.
+        """
+        if cached_flags is None:
+            cached_flags = [False] * len(queries)
+        solve_total = 0.0
+        solves = 0
+        matrix_rungs: dict[tuple, float] = {}
+        seen: set[tuple] = set()
+        for query, rung, cached in zip(queries, rungs, cached_flags):
+            if cached:
+                continue
+            # In-batch repeats are grouped by the execution path and
+            # solved once; price them once too.
+            identity = (query.objective, query.k, rung.key)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            n = len(rung.coreset)
+            solve_total += self.model.solve_seconds(query.objective,
+                                                    query.k, n)
+            solves += 1
+            if rung.key not in matrix_rungs:
+                matrix_rungs[rung.key] = (
+                    0.0 if matrix_resident(rung.key)
+                    else self.model.matrix_seconds(n, dtype))
+        matrix_total = sum(matrix_rungs.values())
+        scale = self.model.scale
+        overhead = self.model.query_overhead_seconds * len(queries)
+        candidates: dict[str, float] = {}
+        for name in self.executors:
+            matrix_cost = matrix_total
+            if name == "process":
+                matrix_cost *= self.model.shared_fill_factor
+            predicted = scale * (
+                self.model.dispatch_overhead(name) + overhead
+                + matrix_cost
+                + self.model.solve_scale.get(name, 1.0) * solve_total)
+            candidates[name] = predicted
+        executor = min(self.executors, key=lambda name: candidates[name])
+        strategy = {
+            key: (MATRIX_CACHED if cost == 0.0
+                  else MATRIX_SHARED if executor == "process"
+                  else MATRIX_COMPUTE)
+            for key, cost in matrix_rungs.items()
+        }
+        matrix_cost = matrix_total * (self.model.shared_fill_factor
+                                      if executor == "process" else 1.0)
+        return Plan(
+            executor=executor,
+            predicted_seconds=candidates[executor],
+            matrix_strategy=strategy,
+            breakdown={
+                "dispatch": scale * (self.model.dispatch_overhead(executor)
+                                     + overhead),
+                "matrix": scale * matrix_cost,
+                "solve": scale * self.model.solve_scale.get(executor, 1.0)
+                * solve_total,
+                "candidates": candidates,
+            },
+            queries=len(queries),
+            solves=solves,
+        )
+
+    def record(self, plan: Plan, measured_seconds: float) -> None:
+        """Fold one executed plan's measured wall time into the metrics.
+
+        Updates the planned counters, the predicted-vs-measured error
+        metric surfaced in ``stats()["planner"]``, the bounded sample
+        log (the benchmark's per-query record), and the model's online
+        correction factor.
+        """
+        measured_seconds = max(float(measured_seconds), 0.0)
+        error = (abs(measured_seconds - plan.predicted_seconds)
+                 / max(measured_seconds, plan.predicted_seconds,
+                       _EPS_SECONDS))
+        with self._lock:
+            self.planned += 1
+            self.plans_by_executor[plan.executor] = (
+                self.plans_by_executor.get(plan.executor, 0) + 1)
+            self.predicted_seconds += plan.predicted_seconds
+            self.measured_seconds += measured_seconds
+            self._error_sum += error
+            self._error_count += 1
+            self._samples.append({
+                "executor": plan.executor,
+                "queries": plan.queries,
+                "solves": plan.solves,
+                "predicted_seconds": plan.predicted_seconds,
+                "measured_seconds": measured_seconds,
+                "rel_error": error,
+            })
+            if len(self._samples) > self.MAX_SAMPLES:
+                del self._samples[:self.MAX_SAMPLES // 2]
+            self.model.observe(plan.predicted_seconds, measured_seconds)
+
+    def samples(self) -> list[dict]:
+        """A copy of the bounded per-batch prediction records."""
+        with self._lock:
+            return [dict(sample) for sample in self._samples]
+
+    def stats(self) -> dict:
+        """The fixed-key metrics block embedded in ``stats()["planner"]``."""
+        with self._lock:
+            mean_error = (self._error_sum / self._error_count
+                          if self._error_count else None)
+            return {
+                "calibrated": self.model.calibrated,
+                "planned": self.planned,
+                "predicted_seconds": self.predicted_seconds,
+                "measured_seconds": self.measured_seconds,
+                "mean_rel_error": mean_error,
+                "plans": {name: self.plans_by_executor.get(name, 0)
+                          for name in EXECUTOR_NAMES},
+            }
+
+
+def explain_plan(plan: Plan, model: CostModel) -> str:
+    """Human-readable rendering of one plan (the ``repro plan`` output)."""
+    lines = [
+        f"plan: executor {plan.executor}  "
+        f"predicted {plan.predicted_seconds * 1e3:.3f} ms  "
+        f"({plan.queries} queries, {plan.solves} fresh solves; "
+        f"model {'calibrated' if model.calibrated else 'defaults'}, "
+        f"online scale {model.scale:.2f})",
+    ]
+    breakdown = plan.breakdown
+    lines.append(f"  dispatch {breakdown['dispatch'] * 1e3:.3f} ms"
+                 f" + matrices {breakdown['matrix'] * 1e3:.3f} ms"
+                 f" + solves {breakdown['solve'] * 1e3:.3f} ms")
+    for family, k_cap, k_prime in sorted(plan.matrix_strategy):
+        strategy = plan.matrix_strategy[(family, k_cap, k_prime)]
+        lines.append(f"  rung {family} k<={k_cap} k'={k_prime}: "
+                     f"matrix {strategy}")
+    for name, seconds in sorted(breakdown["candidates"].items(),
+                                key=lambda item: item[1]):
+        marker = "->" if name == plan.executor else "  "
+        lines.append(f"  {marker} {name:8s} {seconds * 1e3:10.3f} ms")
+    return "\n".join(lines)
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_calibration(*, sizes: tuple[int, ...] = (96, 256),
+                    k: int = 8,
+                    dtypes: Iterable[str] = ("float64", "float32"),
+                    objectives: Iterable[str] | None = None,
+                    executors: Iterable[str] = EXECUTOR_NAMES,
+                    repeats: int = 2, seed: int = 0,
+                    workers: int = 4) -> dict:
+    """Measure this machine's kernel, solve and dispatch costs.
+
+    The ``repro calibrate`` implementation.  Three measurement families,
+    all on synthetic data sized like ladder rungs (seconds per run, not
+    per benchmark suite — the whole calibration targets well under a
+    minute):
+
+    * **matrix** — time :meth:`PointSet.pairwise` per dtype at each size
+      in *sizes*; the per-``n^2``-cell rate is the model's blocked-kernel
+      coefficient.
+    * **solve** — time :func:`solve_on_matrix` per objective on the
+      largest matrix; the per-``k*n``-cell rate is the solve class
+      coefficient.
+    * **dispatch** — run the same one-query and eight-query batches
+      through each requested executor on a small warm service (matrices
+      pre-computed, process pool pre-warmed) and fit
+      ``wall = dispatch + slope * serial_solve_seconds`` from the two
+      points: the intercept is the executor's dispatch overhead, the
+      slope its parallel solve scale.
+
+    Returns the JSON-ready :meth:`CostModel.to_payload` block that
+    :func:`repro.tuning.save_calibration` persists (profile format v3).
+    """
+    import numpy as np
+
+    from repro.diversity.objectives import get_objective, list_objectives
+    from repro.diversity.sequential.registry import solve_on_matrix
+    from repro.metricspace.points import PointSet
+
+    rng = np.random.default_rng(seed)
+    model = CostModel.default()
+    model.scale = 1.0
+
+    for dtype in dtypes:
+        rates = []
+        for n in sizes:
+            points = PointSet(
+                rng.normal(size=(n, 3)).astype(np.dtype(dtype)))
+            points.pairwise()  # warm allocator and kernel dispatch
+            seconds = _time_best_of(points.pairwise, repeats)
+            rates.append(seconds / (n * n))
+        model.matrix_seconds_per_cell[str(dtype)] = float(np.median(rates))
+
+    n = max(sizes)
+    dist = PointSet(rng.normal(size=(n, 3))).pairwise()
+    for name in (objectives if objectives is not None else list_objectives()):
+        objective = get_objective(name)
+        solve_on_matrix(dist, k, objective)  # warm
+        seconds = _time_best_of(
+            lambda objective=objective: solve_on_matrix(dist, k, objective),
+            repeats)
+        model.solve_seconds_per_cell[objective.name] = seconds / (k * n)
+
+    executors = tuple(executors)
+    if executors:
+        _calibrate_dispatch(model, executors, repeats=repeats, seed=seed,
+                            workers=workers, rng=rng)
+
+    model.calibrated = True
+    return model.to_payload()
+
+
+def _calibrate_dispatch(model: CostModel, executors: tuple[str, ...],
+                        *, repeats: int, seed: int, workers: int,
+                        rng) -> None:
+    """Fit per-executor ``(dispatch, solve_scale)`` from two batch sizes."""
+    from repro.diversity.objectives import list_objectives
+    from repro.metricspace.points import PointSet
+    from repro.service.index import build_coreset_index
+    from repro.service.service import DiversityService, Query
+
+    points = PointSet(rng.normal(size=(600, 3)))
+    index = build_coreset_index(points, 16, seed=seed)
+    names = list_objectives()
+    # Distinct (objective, k) pairs so no batch ever repeats a cache key;
+    # the one-query and eight-query sets are disjoint per executor run.
+    combos = [(names[i % len(names)], 9 + i % 8) for i in range(9)]
+    small = [Query(*combos[0])]
+    large = [Query(*combo) for combo in combos[1:]]
+
+    walls: dict[str, tuple[float, float]] = {}
+    for name in executors:
+        with DiversityService(index, cache_size=256,
+                              executor_workers=workers) as service:
+            for rung in index.all_rungs():
+                service._matrix_for(service._matrices, 0, rung)
+            service.warm_executor(name, workers)
+            best_small = best_large = float("inf")
+            for round_ in range(max(repeats, 1)):
+                # Fresh result-cache per repeat so every solve is real.
+                service.cache = service.cache.successor()
+                started = time.perf_counter()
+                service.query_batch(small, executor=name)
+                best_small = min(best_small,
+                                 time.perf_counter() - started)
+                service.cache = service.cache.successor()
+                started = time.perf_counter()
+                service.query_batch(large, executor=name)
+                best_large = min(best_large,
+                                 time.perf_counter() - started)
+            walls[name] = (best_small, best_large)
+            if name == "serial":
+                # Every key is now cache-resident: replaying the batch
+                # measures pure per-query bookkeeping (normalization,
+                # routing, cache probes) with zero solve work.
+                hit_wall = _time_best_of(
+                    lambda service=service: service.query_batch(
+                        large, executor=name), repeats)
+                model.query_overhead_seconds = max(
+                    hit_wall / len(large), 1e-7)
+
+    reference = walls.get("serial")
+    if reference is None:
+        # Without a serial reference the intercept/slope fit has no
+        # baseline; record the raw walls as dispatch overhead deltas.
+        for name, (small_wall, _large_wall) in walls.items():
+            model.dispatch_seconds[name] = small_wall
+        return
+    serial_small, serial_large = reference
+    model.dispatch_seconds["serial"] = 0.0
+    model.solve_scale["serial"] = 1.0
+    denominator = max(serial_large - serial_small, _EPS_SECONDS)
+    for name, (small_wall, large_wall) in walls.items():
+        if name == "serial":
+            continue
+        slope = (large_wall - small_wall) / denominator
+        slope = min(max(slope, 0.05), 4.0)
+        model.solve_scale[name] = slope
+        model.dispatch_seconds[name] = max(
+            small_wall - slope * serial_small, 0.0)

@@ -72,6 +72,7 @@ from repro.service.index import (
 )
 from repro.service.matrices import MatrixCache
 from repro.service.persist import load_index, save_index
+from repro.service.planner import CostModel, Plan, QueryPlanner
 from repro.utils.validation import check_in_range, check_positive_int
 
 
@@ -288,6 +289,21 @@ class DiversityService:
         defers to the environment (``REPRO_VERIFY_DTYPE=1``,
         ``REPRO_VERIFY_FRACTION``, ``REPRO_VERIFY_RTOL``).  No-op on
         float64 indexes.
+    plan, planner:
+        Query-planning mode.  ``"static"`` (default) keeps today's fixed
+        policy: rung from the epsilon sizing, executor from
+        *executor*/the call site, matrices computed on demand.
+        ``"auto"`` lets a :class:`~repro.service.planner.QueryPlanner`
+        pick the cheapest executor and matrix strategy per batch from a
+        fitted :class:`~repro.service.planner.CostModel` (loaded from
+        the machine profile's calibration block; refined online from
+        measured batch times).  The solved rung is always the statically
+        routed one and every backend is bit-identical, so ``auto``
+        answers match ``static`` exactly — only wall time changes.  An
+        explicit ``executor=`` on a call always wins over the planner.
+        *planner* injects a (possibly shared) planner instance — a
+        registry passes one so all tenants refine one model; tests pass
+        one with a synthetic cost table for deterministic plans.
     dataset_id, matrices, executor_pool:
         Multi-tenant wiring used by
         :class:`~repro.service.registry.IndexRegistry`: *dataset_id*
@@ -321,6 +337,8 @@ class DiversityService:
                  verify_dtype: bool | None = None,
                  verify_fraction: float | None = None,
                  verify_rtol: float | None = None,
+                 plan: str = "static",
+                 planner: QueryPlanner | None = None,
                  dataset_id: str = "",
                  matrices: MatrixCache | None = None,
                  executor_pool=None,
@@ -333,6 +351,21 @@ class DiversityService:
             raise ValidationError(
                 f"unknown executor {executor!r}; "
                 f"known: {', '.join(EXECUTOR_NAMES)}")
+        if plan not in ("static", "auto"):
+            raise ValidationError(
+                f"unknown plan mode {plan!r}; known: static, auto")
+        self.plan_mode = plan
+        if planner is not None:
+            self._planner = planner
+        elif plan == "auto":
+            # Only the auto path pays the profile read; static services
+            # keep an idle default planner so stats() stays fixed-shape.
+            from repro.tuning import load_calibration
+
+            self._planner = QueryPlanner(
+                CostModel.from_payload(load_calibration()))
+        else:
+            self._planner = QueryPlanner()
         self._index = index
         self._points = points
         self._k_max = (None if k_max is None
@@ -385,6 +418,10 @@ class DiversityService:
         #: Queries served from a cached tighter-eps answer (epsilon-aware
         #: reuse); a subset of the result cache's counted misses.
         self.eps_hits = 0
+        #: Routing decisions taken — exactly one per query answered (the
+        #: single-query path shares the batch workspace, it does not
+        #: route twice).
+        self.routing_decisions = 0
         self.refreshes = 0
         self._epoch = 0
         self._build_lock = threading.Lock()
@@ -406,15 +443,17 @@ class DiversityService:
     @classmethod
     def from_file(cls, path: str | Path, *, cache_size: int = 128,
                   matrix_budget_mb: int | None = None,
-                  dtype: str | None = None) -> "DiversityService":
+                  dtype: str | None = None,
+                  plan: str = "static") -> "DiversityService":
         """Warm-start from an index persisted by :meth:`save` — no build.
 
         *dtype* casts the loaded index (e.g. ``"float32"`` to serve an
         existing float64 index on the fast path); ``None`` serves it in
-        its stored dtype.
+        its stored dtype.  *plan* selects the query-planning mode (see
+        the constructor).
         """
         return cls(load_index(path, dtype=dtype), cache_size=cache_size,
-                   matrix_budget_mb=matrix_budget_mb)
+                   matrix_budget_mb=matrix_budget_mb, plan=plan)
 
     @property
     def index(self) -> CoresetIndex | None:
@@ -531,9 +570,13 @@ class DiversityService:
         the shared-memory data plane with identical answers).  Results
         come back in input order; exact repeats — within the batch or
         across calls — are served from the LRU.
+
+        With ``plan="auto"`` and no explicit *executor*, the query
+        planner picks the backend the cost model predicts cheapest for
+        this batch; answers are identical either way.
         """
-        return self._execute(queries, executor or self.default_executor,
-                             self.executor_workers, concurrent=False)
+        return self._execute(queries, executor, self.executor_workers,
+                             concurrent=False)
 
     def query_concurrent(self, queries: Iterable[QueryLike],
                          max_workers: int = 4,
@@ -556,21 +599,24 @@ class DiversityService:
         been cached yet; the LRU still counts every query as exactly one
         hit or miss.
         """
-        if executor is None:
-            executor = ("thread" if self.default_executor == "serial"
-                        else self.default_executor)
         check_positive_int(max_workers, "max_workers")
         return self._execute(queries, executor, max_workers, concurrent=True)
 
-    def _execute(self, queries: Iterable[QueryLike], executor: str,
+    def _execute(self, queries: Iterable[QueryLike], executor: str | None,
                  max_workers: int, concurrent: bool) -> list[QueryResult]:
-        """Common query funnel: normalize, snapshot, dispatch, count.
+        """Common query funnel: normalize, snapshot, plan, dispatch, count.
 
         The epsilon-reuse candidates are resolved here, against the
         cache state *at batch start*, and handed to the backend: every
         executor then sees the same reuse set regardless of solve order
         or thread timing, which is what keeps concurrent answers
         bit-identical to ``query_batch`` on mixed-eps workloads.
+
+        When the call site names no *executor*, ``plan="auto"`` asks the
+        query planner for the predicted-cheapest backend (and records
+        the plan's measured wall time afterwards); ``plan="static"``
+        resolves it exactly as before — the service default, or
+        ``thread`` for concurrent calls on a serial-default service.
         """
         queries = list(queries)
         if any(isinstance(query, (tuple, list)) for query in queries):
@@ -585,10 +631,30 @@ class DiversityService:
                     self.batches_answered += 1
             return []
         snapshot = self._snapshot()
+        rungs, reuse, cached_flags = self._plan_batch(snapshot, normalized)
+        plan: Plan | None = None
+        if executor is None:
+            if self.plan_mode == "auto":
+                index, epoch, _cache, matrices = snapshot
+
+                def resident(rung_key, _m=matrices, _e=epoch):
+                    """Whether the rung's matrix is already cached."""
+                    return _m.contains((self.dataset_id, _e, rung_key))
+
+                plan = self._planner.plan_batch(normalized, rungs,
+                                                index.dtype, resident,
+                                                cached_flags)
+                executor = plan.executor
+            elif concurrent and self.default_executor == "serial":
+                executor = "thread"
+            else:
+                executor = self.default_executor
         backend = self._executor_obj(executor)
-        rungs, reuse = self._plan_batch(snapshot, normalized)
+        started = time.perf_counter()
         results = backend.run(self, snapshot, normalized, max_workers,
                               rungs, reuse)
+        if plan is not None:
+            self._planner.record(plan, time.perf_counter() - started)
         with self._counter_lock:
             self.queries_answered += len(normalized)
             if concurrent:
@@ -690,32 +756,48 @@ class DiversityService:
         cache.put(cache_key, result)
         return result
 
-    def _plan_batch(self, snapshot,
-                    normalized: list[Query]) -> tuple[list, dict]:
+    def _plan_batch(self, snapshot, normalized: list[Query],
+                    ) -> tuple[list, dict, list[bool]]:
         """Route the batch and resolve its epsilon-reuse answers up front.
 
-        Returns ``(rungs, reuse)``: the rung serving each query (in
-        input order — backends consume these instead of re-routing), and
-        the epsilon-reuse answers available at batch start keyed by
-        cache key.  For each query routing to a rung whose own key is
-        absent, cached answers of *larger* covering rungs — solved for a
-        tighter ``eps``, hence valid for this looser one by the core-set
-        guarantee — are peeked without touching stats or recency.
-        Resolving the whole batch up front (instead of peeking live
-        during execution) pins the reuse set to the batch-start cache
-        state, so answers do not depend on solve order or thread timing
-        and every backend returns identical results.
+        Returns ``(rungs, reuse, cached_flags)``: the rung serving each
+        query (in input order — backends consume these instead of
+        re-routing), the epsilon-reuse answers available at batch start
+        keyed by cache key, and per query whether the result cache (or
+        the reuse set) already holds its answer — the query planner's
+        zero-cost signal for which queries still need a solve.  For each
+        query routing to a rung whose own key is absent, cached answers
+        of *larger* covering rungs — solved for a tighter ``eps``, hence
+        valid for this looser one by the core-set guarantee — are peeked
+        without touching stats or recency.  Resolving the whole batch up
+        front (instead of peeking live during execution) pins the reuse
+        set to the batch-start cache state, so answers do not depend on
+        solve order or thread timing and every backend returns identical
+        results.
+
+        Each query traverses its covering-rung list exactly once: the
+        same candidates feed both the routing decision
+        (:meth:`CoresetIndex.select_rung
+        <repro.service.index.CoresetIndex.select_rung>`) and the
+        eps-reuse scan, and :attr:`routing_decisions` counts one
+        decision per query — the single-query :meth:`query` path rides
+        this same batch workspace rather than routing on its own.
         """
         index, epoch, cache, _ = snapshot
-        rungs = [index.route(query.objective, query.k, query.epsilon)
-                 for query in normalized]
+        rungs: list[LadderRung] = []
+        cached_flags: list[bool] = []
         reuse: dict[tuple, QueryResult] = {}
-        for query, rung in zip(normalized, rungs):
+        for query in normalized:
+            candidates = index.covering_rungs(query.objective, query.k)
+            rung = index.select_rung(candidates, query.objective, query.k,
+                                     query.epsilon)
+            rungs.append(rung)
             cache_key = (self.dataset_id, epoch, query.objective, query.k,
                          index.seed, rung.key)
             if cache_key in reuse or cache.peek(cache_key) is not None:
+                cached_flags.append(True)
                 continue
-            for other in index.covering_rungs(query.objective, query.k):
+            for other in candidates:
                 if other.k_prime <= rung.k_prime:
                     continue
                 reusable = cache.peek((self.dataset_id, epoch,
@@ -724,7 +806,53 @@ class DiversityService:
                 if reusable is not None:
                     reuse[cache_key] = reusable
                     break
-        return rungs, reuse
+            cached_flags.append(cache_key in reuse)
+        with self._counter_lock:
+            self.routing_decisions += len(normalized)
+        return rungs, reuse, cached_flags
+
+    def preview_plan(self, queries: Iterable[QueryLike]) -> Plan:
+        """Plan a batch without executing or recording it.
+
+        The ``repro plan`` explain path: routes the queries, probes
+        cache residency (stat-free peeks) and returns the
+        :class:`~repro.service.planner.Plan` the ``auto`` mode would
+        run, including every candidate executor's predicted cost.  No
+        counters move and the planner's metrics are untouched.
+        """
+        normalized = [self._normalize(query) for query in list(queries)]
+        if not normalized:
+            raise ValidationError("preview_plan needs at least one query")
+        index, epoch, cache, matrices = self._snapshot()
+        rungs = [index.route(query.objective, query.k, query.epsilon)
+                 for query in normalized]
+        cached_flags = [
+            cache.peek((self.dataset_id, epoch, query.objective, query.k,
+                        index.seed, rung.key)) is not None
+            for query, rung in zip(normalized, rungs)]
+
+        def resident(rung_key):
+            """Whether the rung's matrix is already cached."""
+            return matrices.contains((self.dataset_id, epoch, rung_key))
+
+        return self._planner.plan_batch(normalized, rungs, index.dtype,
+                                        resident, cached_flags)
+
+    def plan_signature(self, queries: Iterable[QueryLike]) -> tuple | None:
+        """The batching class these queries would dispatch under.
+
+        ``None`` in static mode (and on any planning failure), so the
+        daemon's micro-batch grouping degrades to exactly today's
+        dataset-only key; in ``auto`` mode requests predicted to run on
+        different executors get different signatures and dispatch as
+        separate batches.  Never builds a lazy index.
+        """
+        if self.plan_mode != "auto" or self._index is None:
+            return None
+        try:
+            return self.preview_plan(queries).signature
+        except Exception:
+            return None
 
     def _lookup(self, cache: StripedLRUCache, epoch: int,
                 index: CoresetIndex, query: Query, rung: LadderRung,
@@ -930,12 +1058,13 @@ class DiversityService:
 
         One JSON-ready dict, shared verbatim by this in-process API and
         the daemon's ``GET /stats`` (:mod:`repro.service.server`), with a
-        ``schema_version`` stamp and six stable sections:
+        ``schema_version`` stamp and seven stable sections:
 
         * ``counters`` — ``queries_answered``, ``batches_answered``,
           ``concurrent_batches``, ``build_calls`` (frozen across
           queries), ``eps_hits`` (queries served from a cached
-          tighter-eps answer);
+          tighter-eps answer), ``routing_decisions`` (exactly one per
+          query answered);
         * ``caches`` — ``results``: the result-LRU block (``hits`` /
           ``misses`` / ``evictions`` / ``hit_rate`` / ``entries`` /
           ``capacity``);
@@ -950,7 +1079,13 @@ class DiversityService:
         * ``verify`` — the float64 shadow-check block: ``enabled`` /
           ``fraction`` / ``rtol`` configuration plus ``checks``,
           ``value_mismatches``, ``index_mismatches``, ``ties`` counters
-          (see :meth:`_maybe_verify`).
+          (see :meth:`_maybe_verify`);
+        * ``planner`` — the query-planning block: ``mode``
+          (``static``/``auto``), ``calibrated``, ``planned`` batches,
+          per-executor ``plans`` counts, cumulative
+          ``predicted_seconds``/``measured_seconds`` and the
+          regression-gated ``mean_rel_error`` (predicted-vs-measured;
+          ``None`` until a batch has been planned).
 
         The key inventory is documented in ``docs/serving.md`` and
         drift-gated by ``tests/test_docs.py``.
@@ -971,6 +1106,7 @@ class DiversityService:
                 "concurrent_batches": self.concurrent_batches,
                 "build_calls": self.build_calls,
                 "eps_hits": self.eps_hits,
+                "routing_decisions": self.routing_decisions,
             },
             "caches": {
                 "results": {**cache.stats.as_dict(), "entries": len(cache),
@@ -1001,5 +1137,9 @@ class DiversityService:
                 "value_mismatches": self.verify_value_mismatches,
                 "index_mismatches": self.verify_index_mismatches,
                 "ties": self.verify_ties,
+            },
+            "planner": {
+                "mode": self.plan_mode,
+                **self._planner.stats(),
             },
         }

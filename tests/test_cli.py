@@ -259,6 +259,127 @@ class TestServiceVerbs:
         assert "refreshes" not in original.get("extra", {})
 
 
+class TestPlannerVerbs:
+    """``repro calibrate`` / ``repro plan`` / ``repro query --plan auto``."""
+
+    @pytest.fixture
+    def index_path(self, dataset, tmp_path):
+        idx = tmp_path / "svc"
+        assert main(["index", "--data", str(dataset), "--k-max", "8",
+                     "--out", str(idx)]) == 0
+        return idx
+
+    def test_calibrate_writes_profile_v3(self, tmp_path, capsys):
+        import json
+
+        profile = tmp_path / "profile.json"
+        assert main(["calibrate", "--sizes", "48,64", "--executors",
+                     "serial", "--repeats", "1",
+                     "--profile", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "profile format v3" in out
+        assert "ns/cell" in out and "dispatch" in out
+        payload = json.loads(profile.read_text())
+        assert payload["format_version"] == 3
+        assert payload["planner_calibration"]["calibrated"] is True
+
+    def test_calibrate_rejects_unknown_executor(self, capsys):
+        assert main(["calibrate", "--executors", "gpu"]) == 2
+        assert "unknown executor" in capsys.readouterr().err
+
+    def test_plan_explains_the_choice(self, index_path, capsys):
+        assert main(["plan", "--index", str(index_path), "--k", "6",
+                     "--batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "routed rung" in out
+        assert "plan: executor" in out
+        assert "->" in out  # the winning candidate is marked
+
+    def test_query_plan_auto_reports_planner(self, index_path, capsys):
+        assert main(["query", "--index", str(index_path),
+                     "--objective", "remote-edge", "--k", "4",
+                     "--plan", "auto", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "value =" in out
+        assert "planner: 2 planned batches" in out
+
+    def test_query_plan_defaults_to_static(self, index_path, capsys):
+        assert main(["query", "--index", str(index_path),
+                     "--objective", "remote-edge", "--k", "4"]) == 0
+        assert "planner:" not in capsys.readouterr().out
+
+
+class TestRegistryTune:
+    """``repro registry tune``: the adaptive-QoS loop, closed offline."""
+
+    @pytest.fixture
+    def registry_dir(self, dataset, tmp_path):
+        regdir = tmp_path / "reg"
+        for name in ("us", "eu"):
+            assert main(["registry", "add", "--dir", str(regdir),
+                         "--id", name, "--data", str(dataset),
+                         "--k-max", "4"]) == 0
+        return regdir
+
+    @staticmethod
+    def _snapshot(tmp_path, per_tenant):
+        import json
+
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(
+            {"server": {"qos": {"per_tenant": per_tenant}}}))
+        return path
+
+    def test_tune_rewrites_manifest_weights(self, registry_dir, tmp_path,
+                                            capsys):
+        import json
+
+        stats = self._snapshot(tmp_path, {"us": {"dispatched": 400},
+                                          "eu": {"dispatched": 100}})
+        assert main(["registry", "tune", "--dir", str(registry_dir),
+                     "--stats-json", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "restart the daemon to apply" in out
+        manifest = json.loads(
+            (registry_dir / "registry.json").read_text())
+        weights = {entry["dataset_id"]: entry.get("qos", {}).get(
+            "weight", 1.0) for entry in manifest["tenants"]}
+        assert weights["us"] == 4.0  # busiest tenant gets --max-weight
+        assert weights["eu"] == 1.0
+
+    def test_tune_preserves_other_quota_knobs(self, dataset, tmp_path,
+                                              capsys):
+        import json
+
+        regdir = tmp_path / "reg2"
+        assert main(["registry", "add", "--dir", str(regdir), "--id", "us",
+                     "--data", str(dataset), "--k-max", "4",
+                     "--max-queue", "7", "--rate-limit", "3.5"]) == 0
+        stats = self._snapshot(tmp_path, {"us": {"dispatched": 10}})
+        assert main(["registry", "tune", "--dir", str(regdir),
+                     "--stats-json", str(stats)]) == 0
+        (entry,) = json.loads(
+            (regdir / "registry.json").read_text())["tenants"]
+        assert entry["qos"]["max_queue"] == 7
+        assert entry["qos"]["rate_limit_qps"] == 3.5
+
+    def test_tune_needs_exactly_one_source(self, registry_dir, tmp_path,
+                                           capsys):
+        assert main(["registry", "tune", "--dir", str(registry_dir)]) == 2
+        stats = self._snapshot(tmp_path, {"us": {"dispatched": 1}})
+        assert main(["registry", "tune", "--dir", str(registry_dir),
+                     "--stats-json", str(stats), "--port", "9"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_tune_rejects_snapshot_without_qos(self, registry_dir,
+                                               tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        stats.write_text("{}")
+        assert main(["registry", "tune", "--dir", str(registry_dir),
+                     "--stats-json", str(stats)]) == 2
+        assert "no per-tenant QoS stats" in capsys.readouterr().err
+
+
 class TestEstimate:
     def test_reports_dimension_and_sizes(self, dataset, capsys):
         assert main(["estimate", "--data", str(dataset), "--k", "4",

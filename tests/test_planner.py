@@ -1,0 +1,334 @@
+"""Tests for the cost-model query planner (``plan="auto"``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import sphere_shell
+from repro.diversity.objectives import list_objectives
+from repro.exceptions import ValidationError
+from repro.service import (
+    CostModel,
+    DiversityService,
+    Plan,
+    Query,
+    QueryPlanner,
+    build_coreset_index,
+    explain_plan,
+)
+from repro.service.planner import MATRIX_CACHED, MATRIX_COMPUTE, MATRIX_SHARED
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return sphere_shell(1200, 12, dim=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    return build_coreset_index(dataset, k_max=16, k_min=4, parallelism=4,
+                               seed=0)
+
+
+@pytest.fixture(scope="module")
+def index32(dataset):
+    return build_coreset_index(dataset, k_max=16, k_min=4, parallelism=4,
+                               seed=0, dtype="float32")
+
+
+class _FakeRung:
+    """Just enough rung surface for the planner: a key and a sized coreset."""
+
+    def __init__(self, key, n):
+        self.key = key
+        self.coreset = np.zeros((n, 1))
+
+
+def _query(objective="remote-edge", k=8):
+    return Query(objective, k)
+
+
+class TestCostModel:
+    def test_empty_payload_is_the_default_model(self):
+        model = CostModel.from_payload({})
+        assert model == CostModel.default()
+        assert model.calibrated is False
+        assert CostModel.from_payload(None) == CostModel.default()
+        assert CostModel.from_payload("junk") == CostModel.default()
+
+    def test_round_trip(self):
+        model = CostModel.default()
+        model.calibrated = True
+        model.scale = 1.3
+        model.solve_scale["process"] = 0.25
+        model.query_overhead_seconds = 5e-5
+        assert CostModel.from_payload(model.to_payload()) == model
+
+    def test_malformed_fields_fall_back(self):
+        payload = {
+            "matrix_seconds_per_cell": {"float64": "fast", "float32": -1.0},
+            "dispatch_seconds": {"process": True},  # bools are not rates
+            "shared_fill_factor": 0.0,              # must be positive
+            "scale": 1e9,                           # clamped into band
+            "calibrated": 1,
+        }
+        model = CostModel.from_payload(payload)
+        default = CostModel.default()
+        assert model.matrix_seconds_per_cell == default.matrix_seconds_per_cell
+        assert model.dispatch_seconds == default.dispatch_seconds
+        assert model.shared_fill_factor == default.shared_fill_factor
+        assert model.scale == 10.0
+        assert model.calibrated is True
+
+    def test_observe_moves_scale_toward_ratio_clamped(self):
+        model = CostModel.default()
+        model.observe(predicted=1.0, measured=2.0)
+        assert 1.0 < model.scale < 2.0  # EMA step, not a jump
+        for _ in range(100):
+            model.observe(predicted=1.0, measured=1000.0)
+        assert model.scale == pytest.approx(10.0)  # band ceiling
+        # Degenerate observations are ignored.
+        before = model.scale
+        model.observe(predicted=0.0, measured=1.0)
+        model.observe(predicted=1.0, measured=0.0)
+        assert model.scale == before
+
+    def test_unknown_keys_fall_back_to_defaults(self):
+        model = CostModel.default()
+        assert model.matrix_seconds(10, "float16") >= 0
+        assert model.solve_seconds("no-such-objective", 4, 10) > 0
+        assert model.dispatch_overhead("no-such-executor") == 0.0
+
+
+class TestPlannerChoices:
+    """Deterministic plans from synthetic cost tables — nothing is timed."""
+
+    @staticmethod
+    def _model(*, dispatch_process=0.0, process_scale=0.5, thread=1e9):
+        model = CostModel.default()
+        model.dispatch_seconds = {"serial": 0.0, "thread": thread,
+                                  "process": dispatch_process}
+        model.solve_scale = {"serial": 1.0, "thread": 1.0,
+                             "process": process_scale}
+        model.query_overhead_seconds = 0.0
+        return model
+
+    def test_dispatch_dominated_batch_stays_serial(self):
+        planner = QueryPlanner(self._model(dispatch_process=10.0))
+        rung = _FakeRung(("gmm", 8, 32), 32)
+        plan = planner.plan_batch([_query()], [rung], "float64",
+                                  lambda key: True)
+        assert plan.executor == "serial"
+        assert plan.matrix_strategy == {rung.key: MATRIX_CACHED}
+
+    def test_solve_dominated_batch_goes_process(self):
+        model = self._model(dispatch_process=1e-6, process_scale=0.25)
+        model.solve_seconds_per_cell["remote-edge"] = 1.0  # huge solves
+        planner = QueryPlanner(model)
+        rungs = [_FakeRung(("gmm", 16, 64), 64) for _ in range(4)]
+        queries = [_query(k=9 + i) for i in range(4)]
+        plan = planner.plan_batch(queries, rungs, "float64", lambda key: True)
+        assert plan.executor == "process"
+        # Non-resident matrices on the process path fill shared segments.
+        plan = planner.plan_batch(queries, rungs, "float64",
+                                  lambda key: False)
+        assert plan.matrix_strategy == {("gmm", 16, 64): MATRIX_SHARED}
+
+    def test_serial_compute_strategy_for_cold_matrix(self):
+        planner = QueryPlanner(self._model(dispatch_process=10.0))
+        rung = _FakeRung(("smm", 4, 16), 16)
+        plan = planner.plan_batch([_query()], [rung], "float64",
+                                  lambda key: False)
+        assert plan.executor == "serial"
+        assert plan.matrix_strategy == {rung.key: MATRIX_COMPUTE}
+        assert plan.breakdown["matrix"] > 0
+
+    def test_equal_costs_tie_break_toward_serial(self):
+        model = self._model(dispatch_process=0.0, process_scale=1.0,
+                            thread=0.0)
+        planner = QueryPlanner(model)
+        plan = planner.plan_batch([_query()], [_FakeRung(("g", 8, 32), 32)],
+                                  "float64", lambda key: True)
+        assert plan.executor == "serial"
+
+    def test_cached_queries_cost_only_overhead(self):
+        model = self._model()
+        model.query_overhead_seconds = 1e-4
+        planner = QueryPlanner(model)
+        rung = _FakeRung(("gmm", 8, 32), 32)
+        plan = planner.plan_batch([_query(), _query(k=9)], [rung, rung],
+                                  "float64", lambda key: True,
+                                  cached_flags=[True, True])
+        assert plan.solves == 0
+        assert plan.predicted_seconds == pytest.approx(2e-4)
+
+    def test_in_batch_repeats_priced_once(self):
+        planner = QueryPlanner(self._model())
+        rung = _FakeRung(("gmm", 8, 32), 32)
+        once = planner.plan_batch([_query()], [rung], "float64",
+                                  lambda key: True)
+        thrice = planner.plan_batch([_query()] * 3, [rung] * 3, "float64",
+                                    lambda key: True)
+        assert thrice.solves == once.solves == 1
+
+    def test_float32_matrices_predict_cheaper(self):
+        model = CostModel.default()
+        planner = QueryPlanner(model)
+        rung = _FakeRung(("gmm", 8, 64), 64)
+        wide = planner.plan_batch([_query()], [rung], "float64",
+                                  lambda key: False)
+        narrow = planner.plan_batch([_query()], [rung], "float32",
+                                    lambda key: False)
+        assert narrow.breakdown["matrix"] < wide.breakdown["matrix"]
+
+    def test_explain_plan_names_winner_and_candidates(self):
+        planner = QueryPlanner(self._model(dispatch_process=10.0))
+        rung = _FakeRung(("gmm", 8, 32), 32)
+        plan = planner.plan_batch([_query()], [rung], "float64",
+                                  lambda key: False)
+        text = explain_plan(plan, planner.model)
+        assert "-> serial" in text
+        assert "rung gmm" in text and "matrix compute" in text
+
+
+class TestPlannerMetrics:
+    def test_record_updates_stats(self):
+        planner = QueryPlanner(CostModel.default())
+        plan = planner.plan_batch([_query()], [_FakeRung(("g", 8, 32), 32)],
+                                  "float64", lambda key: True)
+        planner.record(plan, plan.predicted_seconds)  # perfect prediction
+        stats = planner.stats()
+        assert stats["planned"] == 1
+        assert stats["plans"][plan.executor] == 1
+        assert stats["mean_rel_error"] == pytest.approx(0.0)
+        assert stats["measured_seconds"] == pytest.approx(
+            stats["predicted_seconds"])
+
+    def test_mean_rel_error_is_none_until_recorded(self):
+        assert QueryPlanner().stats()["mean_rel_error"] is None
+
+    def test_sample_log_is_bounded(self):
+        planner = QueryPlanner(CostModel.default())
+        plan = planner.plan_batch([_query()], [_FakeRung(("g", 8, 32), 32)],
+                                  "float64", lambda key: True)
+        for _ in range(QueryPlanner.MAX_SAMPLES + 1):
+            planner.record(plan, 1e-4)
+        assert len(planner.samples()) <= QueryPlanner.MAX_SAMPLES
+        assert planner.stats()["planned"] == QueryPlanner.MAX_SAMPLES + 1
+
+    def test_record_feeds_the_online_scale(self):
+        planner = QueryPlanner(CostModel.default())
+        plan = planner.plan_batch([_query()], [_FakeRung(("g", 8, 32), 32)],
+                                  "float64", lambda key: False)
+        planner.record(plan, plan.predicted_seconds * 4)
+        assert planner.model.scale > 1.0
+
+
+class TestAutoStaticIdentity:
+    """``plan="auto"`` must answer bit-identically to ``plan="static"``."""
+
+    def test_all_objectives_both_dtypes(self, index, index32):
+        queries = [Query(objective, k)
+                   for objective in list_objectives()
+                   for k in (4, 9)]
+        for idx in (index, index32):
+            with DiversityService(idx) as static, \
+                    DiversityService(idx, plan="auto") as auto:
+                expected = static.query_batch(queries)
+                actual = auto.query_batch(queries)
+                for a, b in zip(expected, actual):
+                    assert list(a.indices) == list(b.indices)
+                    assert a.value == b.value
+                assert auto.stats()["planner"]["planned"] == 1
+
+    def test_identity_when_model_forces_another_executor(self, index):
+        model = CostModel.default()
+        model.dispatch_seconds = {"serial": 10.0, "thread": 0.0,
+                                  "process": 10.0}
+        planner = QueryPlanner(model)
+        queries = [Query("remote-edge", k) for k in (4, 6, 9)]
+        with DiversityService(index) as static, \
+                DiversityService(index, plan="auto",
+                                 planner=planner) as forced:
+            expected = static.query_batch(queries)
+            actual = forced.query_batch(queries)
+            for a, b in zip(expected, actual):
+                assert list(a.indices) == list(b.indices)
+            assert forced.stats()["planner"]["plans"]["thread"] == 1
+
+    def test_explicit_executor_bypasses_the_planner(self, index):
+        with DiversityService(index, plan="auto") as service:
+            service.query_batch([_query()], executor="serial")
+            assert service.stats()["planner"]["planned"] == 0
+
+    def test_static_mode_never_plans(self, index):
+        with DiversityService(index) as service:
+            service.query_batch([_query()])
+            stats = service.stats()["planner"]
+            assert stats == {"mode": "static", "calibrated": False,
+                             "planned": 0, "predicted_seconds": 0.0,
+                             "measured_seconds": 0.0, "mean_rel_error": None,
+                             "plans": {"serial": 0, "thread": 0,
+                                       "process": 0}}
+
+    def test_plan_mode_validated(self, index):
+        with pytest.raises(ValidationError):
+            DiversityService(index, plan="adaptive")
+
+
+class TestRoutingDecisions:
+    """Regression: exactly one routing decision per query, on every path."""
+
+    def test_single_query_routes_once(self, index):
+        with DiversityService(index) as service:
+            service.query("remote-edge", 6)
+            assert service.stats()["counters"]["routing_decisions"] == 1
+            service.query("remote-edge", 6)  # cache hit still routes once
+            assert service.stats()["counters"]["routing_decisions"] == 2
+
+    def test_batch_routes_once_per_query(self, index):
+        with DiversityService(index) as service:
+            service.query_batch([_query(k=k) for k in (4, 6, 9)])
+            assert service.stats()["counters"]["routing_decisions"] == 3
+
+    def test_concurrent_and_auto_paths_count_too(self, index):
+        with DiversityService(index, plan="auto") as service:
+            service.query_concurrent([_query(k=4), _query(k=6)],
+                                     max_workers=2)
+            service.query("remote-clique", 5)
+            assert service.stats()["counters"]["routing_decisions"] == 3
+
+
+class TestPreviewAndSignature:
+    def test_preview_moves_no_counters(self, index):
+        with DiversityService(index, plan="auto") as service:
+            plan = service.preview_plan([_query()])
+            assert isinstance(plan, Plan)
+            assert plan.breakdown["candidates"].keys() == {
+                "serial", "thread", "process"}
+            stats = service.stats()
+            assert stats["planner"]["planned"] == 0
+            assert stats["counters"]["routing_decisions"] == 0
+
+    def test_preview_rejects_empty(self, index):
+        with DiversityService(index, plan="auto") as service:
+            with pytest.raises(ValidationError):
+                service.preview_plan([])
+
+    def test_signature_static_is_none(self, index):
+        with DiversityService(index) as service:
+            assert service.plan_signature([_query()]) is None
+
+    def test_signature_auto_is_the_plan_class(self, index):
+        with DiversityService(index, plan="auto") as service:
+            signature = service.plan_signature([_query()])
+            assert signature is not None
+            assert signature[0] == "auto" and signature[1] in (
+                "serial", "thread", "process")
+
+    def test_signature_never_faults_a_lazy_index(self, dataset):
+        with DiversityService(points=dataset, k_max=8,
+                              plan="auto") as service:
+            assert service.plan_signature([_query(k=4)]) is None
+            assert service.index is None  # grouping must not build it

@@ -284,7 +284,9 @@ class TestDiversityService:
         stats = service.stats()
         assert stats["schema_version"] == SCHEMA_VERSION
         assert set(stats) == {"schema_version", "counters", "caches",
-                              "matrices", "executors", "epochs", "verify"}
+                              "matrices", "executors", "epochs", "verify",
+                              "planner"}
+        assert stats["planner"]["mode"] == "static"
         assert stats["counters"]["queries_answered"] == 1
         assert stats["counters"]["batches_answered"] == 1
         assert stats["epochs"]["index_built"] is True

@@ -321,6 +321,85 @@ class TestTenantWeights:
             recommend_tenant_weights({"eu": 5}, max_weight=0)
 
 
+class TestProfileMigration:
+    """Profile format v3: the planner calibration block rides along."""
+
+    @staticmethod
+    def _write_raw(payload):
+        path = tile_profile_path()
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_v1_profile_loads_as_empty(self):
+        # Pre-dtype v1 files must not pin outdated tilings — and they
+        # never carried a calibration block.
+        from repro.tuning import load_calibration
+
+        self._write_raw({"format_version": 1,
+                         "kernel_tuning": {"stale": {"tile_rows": 7}}})
+        assert load_tile_profile() == {}
+        assert load_calibration() == {}
+
+    def test_v2_profile_loads_with_default_calibration(self):
+        from repro.service.planner import CostModel
+        from repro.tuning import load_calibration
+
+        entry = {"euclidean:10x10x2:budget=1:dtype=float64":
+                 {"tile_rows": 5}}
+        self._write_raw({"format_version": 2, "kernel_tuning": entry})
+        assert load_tile_profile() == entry  # v2 entries stay usable
+        assert load_calibration() == {}
+        model = CostModel.from_payload(load_calibration())
+        assert model.calibrated is False
+        assert model == CostModel.default()
+
+    def test_v3_round_trip_preserves_calibration(self):
+        from repro.service.planner import CostModel
+        from repro.tuning import load_calibration, save_calibration
+
+        model = CostModel.default()
+        model.calibrated = True
+        model.dispatch_seconds["process"] = 0.125
+        save_calibration(model.to_payload())
+        path = tile_profile_path()
+        assert json.loads(path.read_text())["format_version"] == 3
+        restored = CostModel.from_payload(load_calibration())
+        assert restored == model
+
+    def test_save_tile_profile_preserves_calibration(self):
+        from repro.tuning import load_calibration, save_calibration
+
+        save_calibration({"scale": 2.0})
+        save_tile_profile({"key": {"tile_rows": 3}})
+        assert load_calibration() == {"scale": 2.0}
+        assert load_tile_profile() == {"key": {"tile_rows": 3}}
+
+    def test_save_calibration_preserves_kernel_entries(self):
+        from repro.tuning import load_calibration, save_calibration
+
+        save_tile_profile({"key": {"tile_rows": 3}})
+        save_calibration({"scale": 2.0})
+        assert load_tile_profile() == {"key": {"tile_rows": 3}}
+        assert load_calibration() == {"scale": 2.0}
+
+    def test_save_calibration_upgrades_v2_in_place(self):
+        from repro.tuning import save_calibration
+
+        entry = {"k": {"tile_rows": 9}}
+        self._write_raw({"format_version": 2, "kernel_tuning": entry})
+        save_calibration({"scale": 1.5})
+        payload = json.loads(tile_profile_path().read_text())
+        assert payload["format_version"] == 3
+        assert payload["kernel_tuning"] == entry  # survives the upgrade
+
+    def test_calibration_block_ignored_when_malformed(self):
+        from repro.tuning import CALIBRATION_KEY, load_calibration
+
+        self._write_raw({"format_version": 3, "kernel_tuning": {},
+                         CALIBRATION_KEY: ["not", "a", "dict"]})
+        assert load_calibration() == {}
+
+
 class TestRecommendationPipeline:
     def test_recommendation_actually_performs(self):
         """End-to-end: the recommended k' achieves a good ratio."""
